@@ -1,0 +1,328 @@
+//! A compact event loop shared by the baseline superschedulers.
+//!
+//! The baselines make *immediate* placement decisions (the paper's broadcast
+//! protocols gather AWT/ERT estimates and decide on the spot), so they do not
+//! need the full message-passing engine: a time-ordered loop over job
+//! arrivals and completions driving the per-cluster LRMS state machines is an
+//! exact simulation of their behaviour.  Placement policy is injected as a
+//! closure so the S-I/R-I/Sy-I and flock variants share all bookkeeping.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use grid_cluster::{completion_time, ClusterJob, LocalScheduler, ResourceSpec, SpaceSharedFcfs};
+use grid_workload::{Job, JobId};
+
+/// Per-resource statistics produced by a baseline run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BaselineResourceStats {
+    /// Jobs submitted by this resource's local users.
+    pub total_local_jobs: usize,
+    /// Local jobs accepted anywhere.
+    pub accepted: usize,
+    /// Local jobs rejected.
+    pub rejected: usize,
+    /// Local jobs executed on this resource.
+    pub processed_locally: usize,
+    /// Local jobs executed elsewhere.
+    pub migrated: usize,
+    /// Jobs from other origins executed here.
+    pub remote_jobs_processed: usize,
+    /// Utilization over the run, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// The outcome of one baseline run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BaselineOutcome {
+    /// Per-resource statistics.
+    pub resources: Vec<BaselineResourceStats>,
+    /// Total control messages exchanged (queries, replies, volunteer
+    /// announcements, job transfers, completions).
+    pub total_messages: u64,
+    /// Mean response time of accepted jobs, in seconds.
+    pub mean_response_time: f64,
+    /// Number of accepted jobs across the whole system.
+    pub total_accepted: usize,
+    /// Number of rejected jobs across the whole system.
+    pub total_rejected: usize,
+}
+
+impl BaselineOutcome {
+    /// Mean acceptance rate across resources, in percent.
+    #[must_use]
+    pub fn mean_acceptance_rate(&self) -> f64 {
+        if self.resources.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .resources
+            .iter()
+            .map(|r| {
+                if r.total_local_jobs == 0 {
+                    100.0
+                } else {
+                    100.0 * r.accepted as f64 / r.total_local_jobs as f64
+                }
+            })
+            .sum();
+        sum / self.resources.len() as f64
+    }
+}
+
+/// Context handed to a placement policy for one arriving job.
+pub struct PlacementContext<'a> {
+    /// Current simulation time (the job's submit time).
+    pub now: f64,
+    /// The participating resources.
+    pub resources: &'a [ResourceSpec],
+    /// The per-resource LRMS state machines (read-only; use the estimators).
+    pub lrms: &'a [SpaceSharedFcfs],
+    /// Message counter the policy must update with its own control traffic.
+    pub messages: &'a mut u64,
+}
+
+/// Decision returned by a placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Execute on the given resource index.
+    On(usize),
+    /// Drop the job.
+    Reject,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueuedEvent {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Arrival { origin: usize, index: usize },
+    Completion { resource: usize, job: JobId },
+}
+
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// Runs a baseline: `place` decides, for each arriving job, where it runs.
+///
+/// The driver charges two messages (job transfer + completion notification)
+/// for every migrated job on top of whatever control traffic the policy
+/// already recorded.
+///
+/// # Panics
+/// Panics if `workloads.len() != resources.len()`.
+#[must_use]
+pub fn drive<F>(
+    resources: &[ResourceSpec],
+    workloads: &[Vec<Job>],
+    mut place: F,
+) -> BaselineOutcome
+where
+    F: FnMut(&Job, &mut PlacementContext<'_>) -> Placement,
+{
+    assert_eq!(
+        resources.len(),
+        workloads.len(),
+        "need exactly one workload per resource"
+    );
+    let n = resources.len();
+    let mut lrms: Vec<SpaceSharedFcfs> = resources
+        .iter()
+        .map(|r| SpaceSharedFcfs::new(r.processors))
+        .collect();
+    let mut stats = vec![BaselineResourceStats::default(); n];
+    for (i, w) in workloads.iter().enumerate() {
+        stats[i].total_local_jobs = w.len();
+    }
+
+    let mut heap: BinaryHeap<Reverse<QueuedEvent>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (origin, jobs) in workloads.iter().enumerate() {
+        for (index, job) in jobs.iter().enumerate() {
+            heap.push(Reverse(QueuedEvent {
+                time: job.submit,
+                seq,
+                kind: EventKind::Arrival { origin, index },
+            }));
+            seq += 1;
+        }
+    }
+
+    let mut messages = 0u64;
+    let mut response_sum = 0.0;
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    // Executing job → (origin, submit time).
+    let mut executing: HashMap<JobId, (usize, f64)> = HashMap::new();
+    let mut last_time = 0.0f64;
+
+    while let Some(Reverse(ev)) = heap.pop() {
+        last_time = ev.time;
+        match ev.kind {
+            EventKind::Arrival { origin, index } => {
+                let job = &workloads[origin][index];
+                let mut ctx = PlacementContext {
+                    now: ev.time,
+                    resources,
+                    lrms: &lrms,
+                    messages: &mut messages,
+                };
+                match place(job, &mut ctx) {
+                    Placement::Reject => {
+                        rejected += 1;
+                        stats[origin].rejected += 1;
+                    }
+                    Placement::On(target) => {
+                        accepted += 1;
+                        stats[origin].accepted += 1;
+                        if target == origin {
+                            stats[origin].processed_locally += 1;
+                        } else {
+                            stats[origin].migrated += 1;
+                            stats[target].remote_jobs_processed += 1;
+                            // Job transfer + completion notification.
+                            messages += 2;
+                        }
+                        let service = completion_time(job, &resources[target], &resources[origin]);
+                        executing.insert(job.id, (origin, job.submit));
+                        let started = lrms[target].submit(
+                            ClusterJob {
+                                id: job.id,
+                                processors: job.processors.min(resources[target].processors),
+                                service_time: service,
+                            },
+                            ev.time,
+                        );
+                        for s in started {
+                            heap.push(Reverse(QueuedEvent {
+                                time: s.finish,
+                                seq,
+                                kind: EventKind::Completion {
+                                    resource: target,
+                                    job: s.id,
+                                },
+                            }));
+                            seq += 1;
+                        }
+                    }
+                }
+            }
+            EventKind::Completion { resource, job } => {
+                let started = lrms[resource].on_finished(job, ev.time);
+                for s in started {
+                    heap.push(Reverse(QueuedEvent {
+                        time: s.finish,
+                        seq,
+                        kind: EventKind::Completion {
+                            resource,
+                            job: s.id,
+                        },
+                    }));
+                    seq += 1;
+                }
+                if let Some((_, submit)) = executing.remove(&job) {
+                    response_sum += ev.time - submit;
+                }
+            }
+        }
+    }
+
+    for (i, l) in lrms.iter().enumerate() {
+        stats[i].utilization = l.utilization(last_time);
+    }
+
+    BaselineOutcome {
+        resources: stats,
+        total_messages: messages,
+        mean_response_time: if accepted == 0 {
+            0.0
+        } else {
+            response_sum / accepted as f64
+        },
+        total_accepted: accepted,
+        total_rejected: rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_workload::{JobId, UserId};
+
+    fn resources() -> Vec<ResourceSpec> {
+        vec![
+            ResourceSpec::new("a", 8, 500.0, 1.0, 2.0),
+            ResourceSpec::new("b", 8, 1_000.0, 1.0, 4.0),
+        ]
+    }
+
+    fn job(origin: usize, seq: usize, submit: f64, procs: u32, runtime: f64) -> Job {
+        Job::from_runtime(
+            JobId { origin, seq },
+            UserId { origin, local: 0 },
+            submit,
+            procs,
+            runtime,
+            if origin == 0 { 500.0 } else { 1_000.0 },
+            0.10,
+        )
+    }
+
+    #[test]
+    fn always_local_policy_behaves_like_independent_resources() {
+        let res = resources();
+        let workloads = vec![
+            vec![job(0, 0, 0.0, 4, 100.0), job(0, 1, 10.0, 4, 100.0)],
+            vec![job(1, 0, 5.0, 8, 50.0)],
+        ];
+        let out = drive(&res, &workloads, |j, _ctx| Placement::On(j.id.origin));
+        assert_eq!(out.total_accepted, 3);
+        assert_eq!(out.total_rejected, 0);
+        assert_eq!(out.total_messages, 0);
+        assert_eq!(out.resources[0].processed_locally, 2);
+        assert_eq!(out.resources[1].processed_locally, 1);
+        assert!(out.mean_response_time > 0.0);
+        assert!((out.mean_acceptance_rate() - 100.0).abs() < 1e-9);
+        assert!(out.resources.iter().all(|r| r.utilization > 0.0));
+    }
+
+    #[test]
+    fn migration_charges_transfer_messages() {
+        let res = resources();
+        let workloads = vec![vec![job(0, 0, 0.0, 4, 100.0)], vec![]];
+        let out = drive(&res, &workloads, |_j, ctx| {
+            *ctx.messages += 3; // pretend the policy broadcast a query
+            Placement::On(1)
+        });
+        assert_eq!(out.total_messages, 3 + 2);
+        assert_eq!(out.resources[0].migrated, 1);
+        assert_eq!(out.resources[1].remote_jobs_processed, 1);
+    }
+
+    #[test]
+    fn rejecting_policy_rejects_everything() {
+        let res = resources();
+        let workloads = vec![vec![job(0, 0, 0.0, 4, 100.0)], vec![job(1, 0, 0.0, 4, 100.0)]];
+        let out = drive(&res, &workloads, |_j, _ctx| Placement::Reject);
+        assert_eq!(out.total_accepted, 0);
+        assert_eq!(out.total_rejected, 2);
+        assert_eq!(out.mean_response_time, 0.0);
+        assert_eq!(out.mean_acceptance_rate(), 0.0);
+    }
+}

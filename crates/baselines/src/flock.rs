@@ -1,0 +1,217 @@
+//! A Condor-Flock-style partial-view superscheduler.
+//!
+//! In the self-organising Condor flock (Butt, Zhang & Hu) each pool only
+//! knows the pools indexed by its Pastry routing table, so its scheduling
+//! decision is "based on a partial set of resources and hence it inhibits the
+//! system from approaching optimal load balancing".  This baseline captures
+//! exactly that limitation: each resource is given a deterministic peer set
+//! of configurable size, and jobs that cannot be served locally may only
+//! migrate to a known peer.  Comparing its acceptance rate against the
+//! Grid-Federation (which sees the complete quote set through the shared
+//! directory) quantifies the value of the full view.
+
+use grid_cluster::{completion_time, LocalScheduler, ResourceSpec};
+use grid_workload::Job;
+
+use crate::driver::{drive, BaselineOutcome, Placement, PlacementContext};
+
+/// Configuration of the partial-view flock baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlockConfig {
+    /// Number of peers each pool knows (routing-table size).  A value of
+    /// `⌈log₂ n⌉` mimics Pastry; `n - 1` recovers a full view.
+    pub peers_per_pool: usize,
+    /// Seed for the deterministic peer-set construction.
+    pub seed: u64,
+    /// Whether deadline admission control is enforced.
+    pub enforce_deadlines: bool,
+}
+
+impl Default for FlockConfig {
+    fn default() -> Self {
+        FlockConfig {
+            peers_per_pool: 3,
+            seed: 17,
+            enforce_deadlines: true,
+        }
+    }
+}
+
+/// Deterministic peer set of pool `i` in a system of `n` pools.
+#[must_use]
+pub fn peer_set(i: usize, n: usize, k: usize, seed: u64) -> Vec<usize> {
+    if n <= 1 {
+        return Vec::new();
+    }
+    let k = k.min(n - 1);
+    // Deterministic "hashed stride" selection: start from a seed-dependent
+    // offset and take k distinct peers spread around the ring.
+    let mut peers = Vec::with_capacity(k);
+    let mut x = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    while peers.len() < k {
+        x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let candidate = (x >> 33) as usize % n;
+        if candidate != i && !peers.contains(&candidate) {
+            peers.push(candidate);
+        }
+    }
+    peers.sort_unstable();
+    peers
+}
+
+/// Runs the partial-view flock baseline.
+///
+/// # Panics
+/// Panics if `workloads.len() != resources.len()`.
+#[must_use]
+pub fn run_flock(
+    resources: &[ResourceSpec],
+    workloads: &[Vec<Job>],
+    config: &FlockConfig,
+) -> BaselineOutcome {
+    let n = resources.len();
+    let peer_sets: Vec<Vec<usize>> = (0..n)
+        .map(|i| peer_set(i, n, config.peers_per_pool, config.seed))
+        .collect();
+
+    drive(resources, workloads, |job: &Job, ctx: &mut PlacementContext<'_>| {
+        let origin = job.id.origin;
+        let now = ctx.now;
+        let deadline = job.absolute_deadline();
+        let local_service = completion_time(job, &ctx.resources[origin], &ctx.resources[origin]);
+        let fits_locally = job.processors <= ctx.resources[origin].processors;
+        let local_ok = fits_locally
+            && (!config.enforce_deadlines
+                || ctx.lrms[origin].estimate_completion(job.processors, local_service, now)
+                    <= deadline + 1e-9);
+        if local_ok {
+            return Placement::On(origin);
+        }
+
+        // Inquire with the known peers only (one enquiry + one reply each).
+        let peers = &peer_sets[origin];
+        *ctx.messages += 2 * peers.len() as u64;
+        let mut best: Option<(f64, usize)> = None;
+        for &peer in peers {
+            if job.processors > ctx.resources[peer].processors {
+                continue;
+            }
+            let service = completion_time(job, &ctx.resources[peer], &ctx.resources[origin]);
+            let estimate = ctx.lrms[peer].estimate_completion(job.processors, service, now);
+            if config.enforce_deadlines && estimate > deadline + 1e-9 {
+                continue;
+            }
+            if best.map_or(true, |(b, _)| estimate < b) {
+                best = Some((estimate, peer));
+            }
+        }
+        match best {
+            Some((_, peer)) => Placement::On(peer),
+            None => Placement::Reject,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_workload::{JobId, UserId};
+
+    fn resources(n: usize) -> Vec<ResourceSpec> {
+        (0..n)
+            .map(|i| {
+                if i == 0 {
+                    ResourceSpec::new("origin", 8, 500.0, 1.0, 2.0)
+                } else {
+                    ResourceSpec::new(&format!("peer{i}"), 64, 900.0, 2.0, 3.6)
+                }
+            })
+            .collect()
+    }
+
+    fn overload(origin_spec: &ResourceSpec) -> Vec<Job> {
+        let mut jobs: Vec<Job> = (0..24)
+            .map(|i| {
+                Job::from_runtime(
+                    JobId { origin: 0, seq: i },
+                    UserId { origin: 0, local: i % 4 },
+                    i as f64,
+                    8,
+                    400.0,
+                    500.0,
+                    0.10,
+                )
+            })
+            .collect();
+        grid_cluster::fabricate_qos_all(&mut jobs, origin_spec);
+        jobs
+    }
+
+    #[test]
+    fn peer_sets_are_deterministic_and_well_formed() {
+        for n in [2usize, 5, 16, 33] {
+            for i in 0..n {
+                let p = peer_set(i, n, 4, 7);
+                assert_eq!(p, peer_set(i, n, 4, 7));
+                assert!(p.len() <= 4 && p.len() == 4.min(n - 1));
+                assert!(p.iter().all(|&x| x != i && x < n));
+                let mut dedup = p.clone();
+                dedup.dedup();
+                assert_eq!(dedup, p);
+            }
+        }
+        assert!(peer_set(0, 1, 3, 7).is_empty());
+    }
+
+    #[test]
+    fn partial_view_accepts_no_more_than_full_view() {
+        let res = resources(12);
+        let mut workloads = vec![Vec::new(); 12];
+        workloads[0] = overload(&res[0]);
+        let partial = run_flock(
+            &res,
+            &workloads,
+            &FlockConfig {
+                peers_per_pool: 2,
+                ..FlockConfig::default()
+            },
+        );
+        let full = run_flock(
+            &res,
+            &workloads,
+            &FlockConfig {
+                peers_per_pool: 11,
+                ..FlockConfig::default()
+            },
+        );
+        assert!(full.total_accepted >= partial.total_accepted);
+        assert!(full.total_accepted > 0);
+        // The full view contacts more peers per migrating job.
+        assert!(full.total_messages > partial.total_messages);
+    }
+
+    #[test]
+    fn idle_pools_keep_jobs_local_without_messages() {
+        let res = resources(4);
+        let mut workloads = vec![Vec::new(); 4];
+        workloads[1] = vec![{
+            let mut j = Job::from_runtime(
+                JobId { origin: 1, seq: 0 },
+                UserId { origin: 1, local: 0 },
+                0.0,
+                4,
+                100.0,
+                900.0,
+                0.10,
+            );
+            grid_cluster::fabricate_qos_all(std::slice::from_mut(&mut j), &res[1]);
+            j
+        }];
+        let out = run_flock(&res, &workloads, &FlockConfig::default());
+        assert_eq!(out.total_accepted, 1);
+        assert_eq!(out.total_messages, 0);
+        assert_eq!(out.resources[1].processed_locally, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # grid-baselines — related-work superscheduling baselines
+//!
+//! The paper's related-work section describes, in enough detail to rebuild,
+//! the superscheduling mechanisms it positions Grid-Federation against.  This
+//! crate implements the two quantitative ones so the ablation benchmarks can
+//! compare message complexity and acceptance against the federation:
+//!
+//! * [`broadcast`] — the NASA superscheduler of Shan et al.: autonomous grid
+//!   schedulers that keep jobs local while the expected wait is below a
+//!   threshold φ and otherwise run a **one-to-all broadcast** job-migration
+//!   protocol, in its sender-initiated (S-I), receiver-initiated (R-I) and
+//!   symmetrically-initiated (Sy-I) variants.
+//! * [`flock`] — a Condor-Flock-style scheduler in which every pool only
+//!   knows the partial set of pools in its P2P routing table and can only
+//!   migrate jobs to those.
+//! * [`comparison`] — the qualitative comparison of superscheduling systems
+//!   reproduced from Table 4.
+//!
+//! Both baselines reuse the same cluster substrate (`grid-cluster`) and the
+//! same cost model as the federation, so differences in the results come from
+//! the coordination mechanism alone.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod broadcast;
+pub mod comparison;
+pub mod driver;
+pub mod flock;
+
+pub use broadcast::{run_broadcast, BroadcastConfig, MigrationPolicy};
+pub use comparison::{table4, SuperschedulerRow};
+pub use driver::{BaselineOutcome, BaselineResourceStats};
+pub use flock::{run_flock, FlockConfig};

@@ -1,0 +1,197 @@
+//! Microbenchmarks of the substrates: the event queue, the LRMS, the
+//! directory, the Chord overlay and the synthetic workload generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use grid_cluster::{ClusterJob, EasyBackfilling, LocalScheduler, SpaceSharedFcfs};
+use grid_des::{Context, Entity, EntityId, Event, EventQueue, SimTime, Simulation};
+use grid_directory::{ChordOverlay, FederationDirectory, IdealDirectory, Quote};
+use grid_workload::{JobId, SyntheticWorkloadConfig};
+
+fn event_queue_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_event_queue");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q: EventQueue<u64> = EventQueue::with_capacity(n);
+                for i in 0..n {
+                    q.push(Event {
+                        time: SimTime::new(((i * 7919) % n) as f64),
+                        seq: 0,
+                        src: EntityId::new(0),
+                        dst: EntityId::new(0),
+                        kind: grid_des::EventKind::Message,
+                        payload: i as u64,
+                    });
+                }
+                let mut acc = 0u64;
+                while let Some(ev) = q.pop() {
+                    acc = acc.wrapping_add(ev.payload);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A self-ticking entity used to measure raw engine dispatch overhead.
+struct Ticker {
+    remaining: u32,
+}
+impl Entity<u32> for Ticker {
+    fn name(&self) -> &str {
+        "ticker"
+    }
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        ctx.timer(1.0, 0);
+    }
+    fn on_event(&mut self, _event: Event<u32>, ctx: &mut Context<'_, u32>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.timer(1.0, 0);
+        }
+    }
+}
+
+fn simulation_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_dispatch");
+    group.bench_function("100k_timer_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            sim.add_entity(Box::new(Ticker { remaining: 100_000 }));
+            sim.run();
+            black_box(sim.stats().events_delivered)
+        })
+    });
+    group.finish();
+}
+
+fn lrms_operations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lrms");
+    group.bench_function("fcfs_submit_finish_1000_jobs", |b| {
+        b.iter(|| {
+            let mut s = SpaceSharedFcfs::new(256);
+            let mut running = Vec::new();
+            for i in 0..1_000usize {
+                let started = s.submit(
+                    ClusterJob {
+                        id: JobId { origin: 0, seq: i },
+                        processors: 1 + (i % 64) as u32,
+                        service_time: 100.0 + (i % 17) as f64,
+                    },
+                    i as f64,
+                );
+                running.extend(started);
+            }
+            // Drain every completion in finish order with a monotone clock.
+            running.sort_by(|a: &grid_cluster::StartedJob, b| a.finish.total_cmp(&b.finish));
+            let mut now = 1_000.0f64;
+            let mut idx = 0;
+            while idx < running.len() {
+                let job = running[idx];
+                now = now.max(job.finish);
+                let newly = s.on_finished(job.id, now);
+                running.extend(newly);
+                running[idx..].sort_by(|a, b| a.finish.total_cmp(&b.finish));
+                idx += 1;
+            }
+            black_box(s.completed_jobs())
+        })
+    });
+    group.bench_function("estimate_completion_deep_queue", |b| {
+        let mut s = SpaceSharedFcfs::new(128);
+        for i in 0..500usize {
+            s.submit(
+                ClusterJob {
+                    id: JobId { origin: 0, seq: i },
+                    processors: 32,
+                    service_time: 1_000.0,
+                },
+                0.0,
+            );
+        }
+        b.iter(|| black_box(s.estimate_completion(64, 500.0, 0.0)))
+    });
+    group.bench_function("easy_backfilling_mixed_queue", |b| {
+        b.iter(|| {
+            let mut s = EasyBackfilling::new(128);
+            for i in 0..300usize {
+                s.submit(
+                    ClusterJob {
+                        id: JobId { origin: 0, seq: i },
+                        processors: 1 + (i % 96) as u32,
+                        service_time: 50.0 + (i % 29) as f64 * 10.0,
+                    },
+                    i as f64 * 0.5,
+                );
+            }
+            black_box(s.busy_processors())
+        })
+    });
+    group.finish();
+}
+
+fn directory_operations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("directory");
+    let quotes: Vec<Quote> = (0..64)
+        .map(|i| Quote {
+            gfa: i,
+            processors: 128,
+            mips: 400.0 + i as f64 * 9.0,
+            bandwidth: 1.0 + (i % 4) as f64,
+            price: 2.0 + i as f64 * 0.05,
+        })
+        .collect();
+    group.bench_function("ideal_subscribe_64", |b| {
+        b.iter(|| black_box(IdealDirectory::with_quotes(quotes.clone()).len()))
+    });
+    let dir = IdealDirectory::with_quotes(quotes);
+    group.bench_function("ideal_rank_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for r in 1..=64 {
+                acc += dir.kth_cheapest(r).map(|q| q.gfa).unwrap_or(0);
+                acc += dir.kth_fastest(r).map(|q| q.gfa).unwrap_or(0);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("chord_build_128", |b| {
+        b.iter(|| black_box(ChordOverlay::new(128, 3).len()))
+    });
+    let overlay = ChordOverlay::new(128, 3);
+    group.bench_function("chord_lookup_128", |b| {
+        b.iter(|| black_box(overlay.average_lookup_hops(64, 5)))
+    });
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generator");
+    for jobs in [100usize, 1_000] {
+        group.bench_with_input(BenchmarkId::new("synthetic", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let mut cfg = SyntheticWorkloadConfig::new(0, "bench");
+                cfg.total_jobs = jobs;
+                cfg.max_processors = 512;
+                cfg.origin_mips = 850.0;
+                cfg.offered_load = 0.6;
+                cfg.seed = 42;
+                black_box(cfg.generate().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    event_queue_throughput,
+    simulation_dispatch,
+    lrms_operations,
+    directory_operations,
+    workload_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Benchmarks regenerating the Experiment 3/4 figures (Fig. 3–9): the
+//! economy-driven federation swept over population profiles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use grid_bench::{bench_options, tiny_options};
+use grid_experiments::{exp3, exp4};
+use grid_workload::PopulationProfile;
+
+fn economy_profile_run(c: &mut Criterion) {
+    let options = tiny_options();
+    let mut group = c.benchmark_group("fig3_incentive");
+    group.sample_size(10);
+    for oft in [0u32, 30, 100] {
+        group.bench_function(format!("single_profile_oft{oft}"), |b| {
+            b.iter(|| {
+                let sweep =
+                    exp3::run_sweep(black_box(&options), &[PopulationProfile::new(oft)]);
+                black_box(sweep.reports[0].total_incentive())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn economy_figures_extraction(c: &mut Criterion) {
+    // One reduced three-profile sweep shared by every figure-extraction bench.
+    let options = bench_options();
+    let sweep = exp3::run_sweep(
+        &options,
+        &[
+            PopulationProfile::new(0),
+            PopulationProfile::new(30),
+            PopulationProfile::new(100),
+        ],
+    );
+    let mut group = c.benchmark_group("fig4_to_fig9_extraction");
+    group.bench_function("fig3a_incentive", |b| {
+        b.iter(|| black_box(exp3::figure3a(black_box(&sweep)).to_csv()))
+    });
+    group.bench_function("fig3b_remote_jobs", |b| {
+        b.iter(|| black_box(exp3::figure3b(black_box(&sweep)).to_csv()))
+    });
+    group.bench_function("fig4_utilization_profiles", |b| {
+        b.iter(|| black_box(exp3::figure4(black_box(&sweep)).to_csv()))
+    });
+    group.bench_function("fig5_job_processing", |b| {
+        b.iter(|| black_box(exp3::figure5(black_box(&sweep)).to_csv()))
+    });
+    group.bench_function("fig6_rejected", |b| {
+        b.iter(|| black_box(exp3::figure6(black_box(&sweep)).to_csv()))
+    });
+    group.bench_function("fig7_user_qos_excl", |b| {
+        b.iter(|| {
+            (
+                black_box(exp3::figure7a(black_box(&sweep)).to_csv()),
+                black_box(exp3::figure7b(black_box(&sweep)).to_csv()),
+            )
+        })
+    });
+    group.bench_function("fig8_user_qos_incl", |b| {
+        b.iter(|| {
+            (
+                black_box(exp3::figure8a(black_box(&sweep)).to_csv()),
+                black_box(exp3::figure8b(black_box(&sweep)).to_csv()),
+            )
+        })
+    });
+    group.bench_function("fig9_messages", |b| {
+        b.iter(|| {
+            (
+                black_box(exp4::figure9a(black_box(&sweep)).to_csv()),
+                black_box(exp4::figure9b(black_box(&sweep)).to_csv()),
+                black_box(exp4::figure9c(black_box(&sweep)).to_csv()),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, economy_profile_run, economy_figures_extraction);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Benchmarks regenerating the paper's tables (Experiments 1 and 2).
+//!
+//! Each benchmark runs the corresponding experiment end to end on the reduced
+//! workload and reports the wall-clock cost of regenerating the table; the
+//! printed summaries double as a smoke check that the tables still have the
+//! expected shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use grid_bench::bench_options;
+use grid_experiments::{exp1, exp2};
+
+fn table2_independent(c: &mut Criterion) {
+    let options = bench_options();
+    let mut group = c.benchmark_group("table2_independent");
+    group.sample_size(10);
+    group.bench_function("experiment1_run_and_render", |b| {
+        b.iter(|| {
+            let result = exp1::run(black_box(&options));
+            let table = exp1::table2(&result);
+            assert_eq!(table.len(), 8);
+            black_box(table.to_csv())
+        })
+    });
+    group.finish();
+}
+
+fn table3_federation(c: &mut Criterion) {
+    let options = bench_options();
+    let mut group = c.benchmark_group("table3_federation");
+    group.sample_size(10);
+    group.bench_function("experiment2_run_and_render", |b| {
+        b.iter(|| {
+            let result = exp2::run(black_box(&options));
+            let table = exp2::table3(&result);
+            assert_eq!(table.len(), 8);
+            black_box(table.to_csv())
+        })
+    });
+    group.finish();
+}
+
+fn fig2_utilization_and_migration(c: &mut Criterion) {
+    let options = bench_options();
+    // Run the experiment once and benchmark the figure extraction separately
+    // from the simulation (the extraction is what a plotting notebook calls
+    // repeatedly).
+    let result = exp2::run(&options);
+    let mut group = c.benchmark_group("fig2_utilization");
+    group.bench_function("figure2a_render", |b| {
+        b.iter(|| black_box(exp2::figure2a(black_box(&result)).to_csv()))
+    });
+    group.bench_function("figure2b_render", |b| {
+        b.iter(|| black_box(exp2::figure2b(black_box(&result)).to_csv()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table2_independent, table3_federation, fig2_utilization_and_migration);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmarks regenerating the Experiment 5 figures (Fig. 10–11): message
+//! complexity as the federation grows from 10 to 50 clusters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use grid_bench::tiny_options;
+use grid_experiments::exp5::{self, Stat};
+use grid_experiments::workloads::replicated_workloads;
+use grid_federation_core::federation::{run_federation, FederationConfig, SchedulingMode};
+use grid_workload::PopulationProfile;
+
+fn fig10_11_msgs_vs_system_size(c: &mut Criterion) {
+    let options = tiny_options();
+    let mut group = c.benchmark_group("fig10_fig11_msgs_vs_size");
+    group.sample_size(10);
+    for size in [10usize, 30, 50] {
+        group.bench_with_input(BenchmarkId::new("economy_federation", size), &size, |b, &size| {
+            b.iter(|| {
+                let setup = replicated_workloads(size, PopulationProfile::new(50), &options);
+                let report = run_federation(
+                    setup.resources,
+                    setup.workloads,
+                    FederationConfig::with_mode(SchedulingMode::Economy),
+                );
+                black_box(report.messages.per_job_summary())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig10_11_panel_extraction(c: &mut Criterion) {
+    let options = tiny_options();
+    let sweep = exp5::run_sweep(
+        &options,
+        &[10, 20],
+        &[PopulationProfile::new(0), PopulationProfile::new(100)],
+    );
+    let mut group = c.benchmark_group("fig10_fig11_panels");
+    group.bench_function("all_six_panels", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for stat in Stat::ALL {
+                out.push(exp5::figure10(black_box(&sweep), stat).to_csv());
+                out.push(exp5::figure11(black_box(&sweep), stat).to_csv());
+            }
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig10_11_msgs_vs_system_size, fig10_11_panel_extraction);
+criterion_main!(benches);

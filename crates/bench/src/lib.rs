@@ -1,0 +1,48 @@
+//! # grid-bench — shared helpers for the Criterion benchmark harness
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `paper_tables` — regenerates Table 2 and Table 3 (Experiments 1–2),
+//! * `paper_figures` — regenerates the Experiment 3/4 figures (Fig. 3–9),
+//! * `scalability` — regenerates the Experiment 5 figures (Fig. 10–11),
+//! * `ablations` — design-choice ablations called out in DESIGN.md
+//!   (LRMS policy, directory implementation, charging policy, baseline
+//!   superschedulers),
+//! * `micro` — microbenchmarks of the substrates (event queue, LRMS,
+//!   directory, workload generator).
+//!
+//! Benchmarks use the reduced [`bench_options`] workload so a full
+//! `cargo bench` pass stays in the minutes range; the experiment binaries in
+//! `grid-experiments` regenerate the full-scale numbers.
+
+use grid_experiments::workloads::WorkloadOptions;
+
+/// Workload options used by the benchmark harness: a quarter of the paper's
+/// job counts over half a simulated day (same as `WorkloadOptions::quick`).
+#[must_use]
+pub fn bench_options() -> WorkloadOptions {
+    WorkloadOptions::quick()
+}
+
+/// An even smaller configuration for the per-iteration benches that run many
+/// times inside Criterion's measurement loop.
+#[must_use]
+pub fn tiny_options() -> WorkloadOptions {
+    WorkloadOptions {
+        duration: 21_600.0,
+        job_scale: 0.1,
+        ..WorkloadOptions::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_are_reduced() {
+        assert!(bench_options().job_scale < 1.0);
+        assert!(tiny_options().job_scale < bench_options().job_scale);
+        assert!(tiny_options().duration < bench_options().duration);
+    }
+}

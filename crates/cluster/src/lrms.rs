@@ -1,0 +1,449 @@
+//! The local resource management system (LRMS).
+//!
+//! Every federation cluster runs a PBS/SGE-like space-shared scheduler with a
+//! single central queue (master–worker organisation, as the paper assumes).
+//! [`SpaceSharedFcfs`] reproduces GridSim's `SpaceShared` allocation policy:
+//! a job occupies `processors` dedicated PEs for its entire service time and
+//! queued jobs start strictly in FCFS order.
+//!
+//! The scheduler is a passive state machine.  The caller owns the clock and
+//! drives it with three calls:
+//!
+//! * [`LocalScheduler::submit`] when a job arrives,
+//! * [`LocalScheduler::on_finished`] when a previously started job's finish
+//!   time is reached,
+//! * [`LocalScheduler::estimate_completion`] when the GFA needs the
+//!   admission-control answer "when would this job finish if I accepted it
+//!   right now?".
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+use grid_workload::JobId;
+
+/// A job as seen by the LRMS: identity, size and service time.
+///
+/// The service time is computed by the caller from the paper's cost model
+/// (`D(J, R_m)`, Eq. 2), so the LRMS itself stays independent of the economy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterJob {
+    /// Global job id.
+    pub id: JobId,
+    /// Processors the job occupies while running.
+    pub processors: u32,
+    /// Total service (execution) time in seconds on *this* cluster.
+    pub service_time: f64,
+}
+
+/// A job the LRMS has dispatched onto processors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StartedJob {
+    /// Global job id.
+    pub id: JobId,
+    /// Time the job started executing.
+    pub start: f64,
+    /// Time the job will finish executing (start + service time).
+    pub finish: f64,
+    /// Processors occupied.
+    pub processors: u32,
+}
+
+/// Common interface of the local schedulers (`SpaceSharedFcfs` and the EASY
+/// backfilling variant in [`crate::backfill`]).
+pub trait LocalScheduler {
+    /// Total processors managed by this scheduler.
+    fn total_processors(&self) -> u32;
+
+    /// Processors currently executing jobs.
+    fn busy_processors(&self) -> u32;
+
+    /// Number of running jobs.
+    fn running_count(&self) -> usize;
+
+    /// Number of queued (not yet started) jobs.
+    fn queued_count(&self) -> usize;
+
+    /// Submits a job at time `now`.  Returns every job that starts as a
+    /// direct consequence (usually just this job, or nothing if it queued).
+    ///
+    /// # Panics
+    /// Implementations panic if the job requests more processors than the
+    /// cluster owns or if time moves backwards.
+    fn submit(&mut self, job: ClusterJob, now: f64) -> Vec<StartedJob>;
+
+    /// Notifies the scheduler that a running job finished at `now`.  Returns
+    /// every queued job that starts as a consequence.
+    ///
+    /// # Panics
+    /// Implementations panic if the job is not currently running.
+    fn on_finished(&mut self, id: JobId, now: f64) -> Vec<StartedJob>;
+
+    /// Estimated completion time (absolute) of a hypothetical job with the
+    /// given size and service time submitted at `now`, assuming no further
+    /// arrivals.  This is the quantity the GFA's admission control compares
+    /// against the job deadline.
+    fn estimate_completion(&self, processors: u32, service_time: f64, now: f64) -> f64;
+
+    /// Busy processor-seconds accumulated up to `now` (the numerator of the
+    /// utilization figure reported in Tables 2 and 3).
+    fn busy_processor_seconds(&self, now: f64) -> f64;
+
+    /// Average utilization over `[0, now]`: busy processor-seconds divided by
+    /// total processor-seconds.  Returns 0 at time 0.
+    fn utilization(&self, now: f64) -> f64 {
+        if now <= 0.0 {
+            return 0.0;
+        }
+        self.busy_processor_seconds(now) / (f64::from(self.total_processors()) * now)
+    }
+}
+
+/// Finish event used by the completion-time estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FinishEvent {
+    time: f64,
+    processors: u32,
+}
+
+impl Eq for FinishEvent {}
+impl PartialOrd for FinishEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FinishEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.processors.cmp(&other.processors))
+    }
+}
+
+/// The space-shared FCFS local scheduler.
+#[derive(Debug, Clone)]
+pub struct SpaceSharedFcfs {
+    total: u32,
+    busy: u32,
+    running: Vec<StartedJob>,
+    queue: VecDeque<ClusterJob>,
+    // Utilization accounting.
+    busy_acc: f64,
+    last_change: f64,
+    completed_jobs: u64,
+}
+
+impl SpaceSharedFcfs {
+    /// Creates a scheduler managing `processors` PEs.
+    ///
+    /// # Panics
+    /// Panics if `processors == 0`.
+    #[must_use]
+    pub fn new(processors: u32) -> Self {
+        assert!(processors > 0, "a cluster needs at least one processor");
+        SpaceSharedFcfs {
+            total: processors,
+            busy: 0,
+            running: Vec::new(),
+            queue: VecDeque::new(),
+            busy_acc: 0.0,
+            last_change: 0.0,
+            completed_jobs: 0,
+        }
+    }
+
+    /// Number of jobs that have run to completion on this cluster.
+    #[must_use]
+    pub fn completed_jobs(&self) -> u64 {
+        self.completed_jobs
+    }
+
+    /// The currently running jobs (primarily for tests and debugging).
+    #[must_use]
+    pub fn running_jobs(&self) -> &[StartedJob] {
+        &self.running
+    }
+
+    fn advance_accounting(&mut self, now: f64) {
+        assert!(
+            now + 1e-9 >= self.last_change,
+            "time moved backwards: {now} < {}",
+            self.last_change
+        );
+        let now = now.max(self.last_change);
+        self.busy_acc += f64::from(self.busy) * (now - self.last_change);
+        self.last_change = now;
+    }
+
+    fn start_job(&mut self, job: ClusterJob, now: f64) -> StartedJob {
+        debug_assert!(self.busy + job.processors <= self.total);
+        self.busy += job.processors;
+        let started = StartedJob {
+            id: job.id,
+            start: now,
+            finish: now + job.service_time,
+            processors: job.processors,
+        };
+        self.running.push(started);
+        started
+    }
+
+    fn try_start_queued(&mut self, now: f64) -> Vec<StartedJob> {
+        let mut started = Vec::new();
+        while let Some(head) = self.queue.front() {
+            if self.total - self.busy >= head.processors {
+                let job = self.queue.pop_front().expect("front exists");
+                started.push(self.start_job(job, now));
+            } else {
+                break;
+            }
+        }
+        started
+    }
+}
+
+impl LocalScheduler for SpaceSharedFcfs {
+    fn total_processors(&self) -> u32 {
+        self.total
+    }
+
+    fn busy_processors(&self) -> u32 {
+        self.busy
+    }
+
+    fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    fn queued_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn submit(&mut self, job: ClusterJob, now: f64) -> Vec<StartedJob> {
+        assert!(
+            job.processors >= 1 && job.processors <= self.total,
+            "job {} requests {} processors on a {}-processor cluster",
+            job.id,
+            job.processors,
+            self.total
+        );
+        assert!(
+            job.service_time >= 0.0 && job.service_time.is_finite(),
+            "service time must be finite and non-negative"
+        );
+        self.advance_accounting(now);
+        self.queue.push_back(job);
+        self.try_start_queued(now)
+    }
+
+    fn on_finished(&mut self, id: JobId, now: f64) -> Vec<StartedJob> {
+        self.advance_accounting(now);
+        let pos = self
+            .running
+            .iter()
+            .position(|r| r.id == id)
+            .unwrap_or_else(|| panic!("job {id} is not running on this cluster"));
+        let finished = self.running.swap_remove(pos);
+        self.busy -= finished.processors;
+        self.completed_jobs += 1;
+        self.try_start_queued(now)
+    }
+
+    fn estimate_completion(&self, processors: u32, service_time: f64, now: f64) -> f64 {
+        assert!(processors >= 1, "estimate needs at least one processor");
+        if processors > self.total {
+            return f64::INFINITY;
+        }
+        let mut heap: BinaryHeap<Reverse<FinishEvent>> = self
+            .running
+            .iter()
+            .map(|r| {
+                Reverse(FinishEvent {
+                    time: r.finish,
+                    processors: r.processors,
+                })
+            })
+            .collect();
+        let mut free = self.total - self.busy;
+        let mut t = now;
+
+        let simulate_start = |procs: u32, service: f64, free: &mut u32, t: &mut f64, heap: &mut BinaryHeap<Reverse<FinishEvent>>| -> f64 {
+            while *free < procs {
+                let Reverse(ev) = heap.pop().expect("not enough processors ever free");
+                if ev.time > *t {
+                    *t = ev.time;
+                }
+                *free += ev.processors;
+            }
+            let start = *t;
+            *free -= procs;
+            heap.push(Reverse(FinishEvent {
+                time: start + service,
+                processors: procs,
+            }));
+            start
+        };
+
+        for q in &self.queue {
+            let _ = simulate_start(q.processors, q.service_time, &mut free, &mut t, &mut heap);
+        }
+        let start = simulate_start(processors, service_time, &mut free, &mut t, &mut heap);
+        start + service_time
+    }
+
+    fn busy_processor_seconds(&self, now: f64) -> f64 {
+        let extra = f64::from(self.busy) * (now - self.last_change).max(0.0);
+        self.busy_acc + extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jid(seq: usize) -> JobId {
+        JobId { origin: 0, seq }
+    }
+
+    fn job(seq: usize, procs: u32, service: f64) -> ClusterJob {
+        ClusterJob {
+            id: jid(seq),
+            processors: procs,
+            service_time: service,
+        }
+    }
+
+    #[test]
+    fn immediate_start_when_processors_available() {
+        let mut s = SpaceSharedFcfs::new(16);
+        let started = s.submit(job(0, 8, 100.0), 0.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].start, 0.0);
+        assert_eq!(started[0].finish, 100.0);
+        assert_eq!(s.busy_processors(), 8);
+        assert_eq!(s.running_count(), 1);
+        assert_eq!(s.queued_count(), 0);
+    }
+
+    #[test]
+    fn fcfs_queueing_and_release() {
+        let mut s = SpaceSharedFcfs::new(16);
+        s.submit(job(0, 12, 100.0), 0.0);
+        // Doesn't fit next to the 12-proc job.
+        let started = s.submit(job(1, 8, 50.0), 10.0);
+        assert!(started.is_empty());
+        assert_eq!(s.queued_count(), 1);
+        // A small job behind it must NOT jump the queue (strict FCFS).
+        let started = s.submit(job(2, 2, 10.0), 20.0);
+        assert!(started.is_empty());
+        assert_eq!(s.queued_count(), 2);
+        // When the big job finishes, both queued jobs fit (8 + 2 <= 16).
+        let started = s.on_finished(jid(0), 100.0);
+        assert_eq!(started.len(), 2);
+        assert_eq!(started[0].id, jid(1));
+        assert_eq!(started[0].start, 100.0);
+        assert_eq!(started[1].id, jid(2));
+        assert_eq!(s.busy_processors(), 10);
+        assert_eq!(s.completed_jobs(), 1);
+    }
+
+    #[test]
+    fn fcfs_head_blocks_smaller_jobs() {
+        let mut s = SpaceSharedFcfs::new(16);
+        s.submit(job(0, 10, 100.0), 0.0);
+        s.submit(job(1, 10, 100.0), 0.0); // queued, needs 10, only 6 free
+        s.submit(job(2, 4, 10.0), 0.0); // would fit, but FCFS forbids starting it
+        assert_eq!(s.running_count(), 1);
+        assert_eq!(s.queued_count(), 2);
+        assert_eq!(s.busy_processors(), 10);
+    }
+
+    #[test]
+    fn estimator_matches_reality_for_fcfs() {
+        let mut s = SpaceSharedFcfs::new(16);
+        s.submit(job(0, 12, 100.0), 0.0);
+        s.submit(job(1, 8, 50.0), 10.0);
+        s.submit(job(2, 10, 30.0), 20.0);
+        // Estimate a 6-processor, 40 s job submitted at t = 25.
+        // FCFS replay: job0 runs to 100; job1 starts at 100 (free 4→... wait).
+        // At t=100: job0 done, free = 16; job1 (8) starts → free 8; job2 needs 10 → waits
+        // until job1 finishes at 150 → free 16, job2 starts at 150 (ends 180), free 6;
+        // our 6-proc job starts at 150 as well (6 <= 6) → finishes 190.
+        let est = s.estimate_completion(6, 40.0, 25.0);
+        assert!((est - 190.0).abs() < 1e-9, "estimate {est}");
+
+        // Now actually run it and compare.
+        let started_new = s.submit(job(3, 6, 40.0), 25.0);
+        assert!(started_new.is_empty());
+        let mut finish_of_3 = None;
+        // Drive completions in order of their finish times.
+        let mut started = s.on_finished(jid(0), 100.0);
+        while let Some(next) = started.iter().min_by(|a, b| a.finish.total_cmp(&b.finish)).copied() {
+            let more = s.on_finished(next.id, next.finish);
+            if next.id == jid(3) {
+                finish_of_3 = Some(next.finish);
+            }
+            started.retain(|x| x.id != next.id);
+            started.extend(more);
+        }
+        assert!((finish_of_3.unwrap() - est).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimator_handles_empty_cluster_and_oversized_jobs() {
+        let s = SpaceSharedFcfs::new(8);
+        assert_eq!(s.estimate_completion(4, 100.0, 50.0), 150.0);
+        assert_eq!(s.estimate_completion(9, 100.0, 50.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut s = SpaceSharedFcfs::new(10);
+        s.submit(job(0, 5, 100.0), 0.0);
+        // At t=100 the job finishes: 5 procs × 100 s = 500 proc·s busy.
+        s.on_finished(jid(0), 100.0);
+        assert!((s.busy_processor_seconds(100.0) - 500.0).abs() < 1e-9);
+        assert!((s.utilization(100.0) - 0.5).abs() < 1e-9);
+        // Idle afterwards: utilization decays.
+        assert!((s.utilization(200.0) - 0.25).abs() < 1e-9);
+        assert_eq!(s.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn utilization_counts_partial_intervals_of_running_jobs() {
+        let mut s = SpaceSharedFcfs::new(4);
+        s.submit(job(0, 4, 1_000.0), 0.0);
+        assert!((s.utilization(500.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "requests 32 processors")]
+    fn oversized_submission_panics() {
+        let mut s = SpaceSharedFcfs::new(16);
+        s.submit(job(0, 32, 10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn finishing_unknown_job_panics() {
+        let mut s = SpaceSharedFcfs::new(16);
+        s.on_finished(jid(7), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time moved backwards")]
+    fn time_must_not_go_backwards() {
+        let mut s = SpaceSharedFcfs::new(16);
+        s.submit(job(0, 4, 10.0), 100.0);
+        s.submit(job(1, 4, 10.0), 50.0);
+    }
+
+    #[test]
+    fn zero_service_time_jobs_are_legal() {
+        let mut s = SpaceSharedFcfs::new(4);
+        let started = s.submit(job(0, 1, 0.0), 5.0);
+        assert_eq!(started[0].finish, 5.0);
+        s.on_finished(jid(0), 5.0);
+        assert_eq!(s.busy_processors(), 0);
+    }
+}

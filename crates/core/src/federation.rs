@@ -1,0 +1,528 @@
+//! Building and running a Grid-Federation.
+//!
+//! [`FederationBuilder`] wires together everything the paper's simulation
+//! contains: one GFA per cluster (each owning a space-shared LRMS and its
+//! local user population's trace), the shared federation directory holding
+//! every quote, the GridBank, and the message ledger.  [`FederationBuilder::run`]
+//! executes the discrete-event simulation to completion and assembles the
+//! [`FederationReport`] every experiment consumes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use grid_cluster::{EasyBackfilling, LocalScheduler, ResourceSpec, SpaceSharedFcfs};
+use grid_des::{RunOutcome, Simulation};
+use grid_directory::{FederationDirectory, IdealDirectory, Quote};
+use grid_workload::Job;
+
+use crate::economy::{ChargingPolicy, GridBank};
+use crate::gfa::Gfa;
+use crate::messages::{FedMessage, MessageLedger};
+use crate::metrics::{FederationReport, JobRecord, ResourceMetrics};
+
+/// Which resource-sharing environment to simulate (the paper's three
+/// experiment families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingMode {
+    /// Experiment 1: every cluster schedules only its own workload.
+    Independent,
+    /// Experiment 2: federation without economy — local first, then the
+    /// remaining clusters in decreasing order of computational speed.
+    FederationNoEconomy,
+    /// Experiments 3–5: the full economy-driven DBC (OFC/OFT) algorithm.
+    Economy,
+}
+
+/// Which local scheduler each cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LrmsKind {
+    /// Space-shared FCFS, as in the paper (GridSim `SpaceShared`).
+    SpaceSharedFcfs,
+    /// EASY backfilling, used by the ablation benchmarks.
+    EasyBackfilling,
+}
+
+/// Federation-wide shared state accessible to every GFA during the run.
+#[derive(Debug)]
+pub struct SharedState {
+    /// The shared federation directory holding every quote.
+    pub directory: IdealDirectory,
+    /// The GridBank accumulating incentives.
+    pub bank: GridBank,
+    /// Message accounting.
+    pub ledger: MessageLedger,
+    /// Per-job records, pushed by origin GFAs as jobs conclude.
+    pub jobs: Vec<JobRecord>,
+    /// Per-resource end-of-run snapshots (utilization), indexed by resource.
+    pub resource_snapshots: Vec<Option<ResourceSnapshot>>,
+    /// Number of remote jobs each resource executed.
+    pub remote_processed: Vec<usize>,
+}
+
+/// End-of-run per-resource snapshot captured by each GFA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceSnapshot {
+    /// Busy processor-seconds accumulated by the LRMS.
+    pub busy_processor_seconds: f64,
+    /// Average utilization over the whole run.
+    pub utilization: f64,
+}
+
+/// Configuration knobs of a federation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationConfig {
+    /// Resource-sharing environment.
+    pub mode: SchedulingMode,
+    /// Local scheduler used by every cluster.
+    pub lrms: LrmsKind,
+    /// One-way network latency between two different GFAs, in seconds.
+    pub latency: f64,
+    /// Master seed of the simulation.
+    pub seed: u64,
+    /// How resource owners charge for executed jobs (see
+    /// [`ChargingPolicy`]); also used when fabricating budgets.
+    pub charging: ChargingPolicy,
+    /// Horizon (in seconds) over which per-resource utilization is reported.
+    /// `None` uses the final simulation time; the experiments pass the trace
+    /// duration (two days) so utilizations are comparable to the paper's
+    /// tables even when a few late jobs run past the trace window.
+    pub utilization_horizon: Option<f64>,
+    /// When `true` (the default), budgets and deadlines are (re-)fabricated
+    /// from Eq. 7–8 before the run; set to `false` to honour caller-supplied
+    /// QoS values.
+    pub fabricate_qos: bool,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            mode: SchedulingMode::Economy,
+            lrms: LrmsKind::SpaceSharedFcfs,
+            latency: 0.05,
+            seed: 42,
+            charging: ChargingPolicy::default(),
+            utilization_horizon: None,
+            fabricate_qos: true,
+        }
+    }
+}
+
+impl FederationConfig {
+    /// Convenience constructor for a given mode with all other defaults.
+    #[must_use]
+    pub fn with_mode(mode: SchedulingMode) -> Self {
+        FederationConfig {
+            mode,
+            ..FederationConfig::default()
+        }
+    }
+}
+
+/// Builder for a federation simulation.
+pub struct FederationBuilder {
+    resources: Vec<ResourceSpec>,
+    workloads: Vec<Vec<Job>>,
+    config: FederationConfig,
+}
+
+impl FederationBuilder {
+    /// Starts a builder from the participating resources.
+    #[must_use]
+    pub fn new(resources: Vec<ResourceSpec>) -> Self {
+        let n = resources.len();
+        FederationBuilder {
+            resources,
+            workloads: vec![Vec::new(); n],
+            config: FederationConfig::default(),
+        }
+    }
+
+    /// Sets the configuration.
+    #[must_use]
+    pub fn config(mut self, config: FederationConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the local workload (trace) of resource `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range or a job's origin does not match.
+    #[must_use]
+    pub fn workload(mut self, index: usize, jobs: Vec<Job>) -> Self {
+        assert!(index < self.resources.len(), "unknown resource index {index}");
+        assert!(
+            jobs.iter().all(|j| j.id.origin == index),
+            "every job's origin must equal the resource index it is attached to"
+        );
+        self.workloads[index] = jobs;
+        self
+    }
+
+    /// Sets all workloads at once (must be one vector per resource).
+    ///
+    /// # Panics
+    /// Panics if the number of workloads differs from the number of resources.
+    #[must_use]
+    pub fn workloads(mut self, workloads: Vec<Vec<Job>>) -> Self {
+        assert_eq!(
+            workloads.len(),
+            self.resources.len(),
+            "need exactly one workload per resource"
+        );
+        for (i, jobs) in workloads.iter().enumerate() {
+            assert!(
+                jobs.iter().all(|j| j.id.origin == i),
+                "every job's origin must equal the resource index it is attached to"
+            );
+        }
+        self.workloads = workloads;
+        self
+    }
+
+    /// Builds and runs the simulation, returning the federation report.
+    ///
+    /// # Panics
+    /// Panics if the federation has no resources.
+    #[must_use]
+    pub fn run(self) -> FederationReport {
+        let FederationBuilder {
+            resources,
+            mut workloads,
+            config,
+        } = self;
+        let n = resources.len();
+        assert!(n > 0, "a federation needs at least one resource");
+
+        if config.fabricate_qos {
+            for (i, jobs) in workloads.iter_mut().enumerate() {
+                config.charging.fabricate_qos_all(jobs, &resources[i]);
+            }
+        }
+
+        let mut directory = IdealDirectory::new();
+        for (i, spec) in resources.iter().enumerate() {
+            directory.subscribe(Quote::from_spec(i, spec));
+        }
+
+        let total_jobs: usize = workloads.iter().map(Vec::len).sum();
+        let shared = Rc::new(RefCell::new(SharedState {
+            directory,
+            bank: GridBank::new(n),
+            ledger: MessageLedger::new(n),
+            jobs: Vec::with_capacity(total_jobs),
+            resource_snapshots: vec![None; n],
+            remote_processed: vec![0; n],
+        }));
+
+        let mut sim: Simulation<FedMessage> = Simulation::new(config.seed);
+        for (i, spec) in resources.iter().enumerate() {
+            let lrms: Box<dyn LocalScheduler> = match config.lrms {
+                LrmsKind::SpaceSharedFcfs => Box::new(SpaceSharedFcfs::new(spec.processors)),
+                LrmsKind::EasyBackfilling => Box::new(EasyBackfilling::new(spec.processors)),
+            };
+            let gfa = Gfa::new(
+                i,
+                spec.clone(),
+                config.mode,
+                config.charging,
+                config.latency,
+                lrms,
+                std::mem::take(&mut workloads[i]),
+                Rc::clone(&shared),
+            );
+            let id = sim.add_entity(Box::new(gfa));
+            assert_eq!(id.index(), i, "GFA entity ids must equal resource indices");
+        }
+
+        let outcome = sim.run();
+        assert_eq!(
+            outcome,
+            RunOutcome::Exhausted,
+            "a federation run must drain all events"
+        );
+        let sim_end = sim.now().as_secs();
+        // The GFAs hold clones of the shared state; drop the simulation (and
+        // with it the entities) before unwrapping.
+        drop(sim);
+
+        let state = Rc::try_unwrap(shared)
+            .unwrap_or_else(|_| panic!("GFAs must not outlive the simulation"))
+            .into_inner();
+        assemble_report(&resources, state, sim_end, config.utilization_horizon)
+    }
+}
+
+fn assemble_report(
+    resources: &[ResourceSpec],
+    state: SharedState,
+    sim_end: f64,
+    utilization_horizon: Option<f64>,
+) -> FederationReport {
+    let SharedState {
+        directory: _,
+        bank,
+        ledger,
+        jobs,
+        resource_snapshots,
+        remote_processed,
+    } = state;
+
+    let mut metrics: Vec<ResourceMetrics> = resources
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let snapshot = resource_snapshots[i].unwrap_or(ResourceSnapshot {
+                busy_processor_seconds: 0.0,
+                utilization: 0.0,
+            });
+            let horizon = utilization_horizon.unwrap_or(sim_end).max(f64::EPSILON);
+            let utilization = (snapshot.busy_processor_seconds
+                / (f64::from(spec.processors) * horizon))
+                .min(1.0);
+            ResourceMetrics {
+                name: spec.name.clone(),
+                processors: spec.processors,
+                utilization,
+                busy_processor_seconds: snapshot.busy_processor_seconds,
+                total_local_jobs: 0,
+                accepted: 0,
+                rejected: 0,
+                processed_locally: 0,
+                migrated: 0,
+                remote_jobs_processed: remote_processed[i],
+                incentive: bank.earnings(i),
+            }
+        })
+        .collect();
+
+    for job in &jobs {
+        let m = &mut metrics[job.origin];
+        m.total_local_jobs += 1;
+        if job.was_accepted() {
+            m.accepted += 1;
+            if job.was_migrated() {
+                m.migrated += 1;
+            } else {
+                m.processed_locally += 1;
+            }
+        } else {
+            m.rejected += 1;
+        }
+    }
+
+    debug_assert!(bank.is_balanced(), "GridBank must conserve currency");
+
+    FederationReport {
+        resources: metrics,
+        jobs,
+        messages: ledger,
+        bank,
+        sim_end,
+    }
+}
+
+/// Convenience function: builds and runs a federation in one call.
+#[must_use]
+pub fn run_federation(
+    resources: Vec<ResourceSpec>,
+    workloads: Vec<Vec<Job>>,
+    config: FederationConfig,
+) -> FederationReport {
+    FederationBuilder::new(resources)
+        .workloads(workloads)
+        .config(config)
+        .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_workload::{JobId, Qos, Strategy, UserId};
+
+    fn two_resources() -> Vec<ResourceSpec> {
+        vec![
+            ResourceSpec::new("slow-cheap", 32, 500.0, 1.0, 2.0),
+            ResourceSpec::new("fast-pricey", 32, 1_000.0, 2.0, 4.0),
+        ]
+    }
+
+    fn job(origin: usize, seq: usize, submit: f64, procs: u32, runtime: f64, strategy: Strategy) -> Job {
+        let mips = if origin == 0 { 500.0 } else { 1_000.0 };
+        let mut j = Job::from_runtime(
+            JobId { origin, seq },
+            UserId { origin, local: seq % 4 },
+            submit,
+            procs,
+            runtime,
+            mips,
+            0.10,
+        );
+        j.qos = Qos {
+            budget: 0.0,
+            deadline: 0.0,
+            strategy,
+        };
+        j
+    }
+
+    #[test]
+    fn single_local_job_completes_on_its_origin() {
+        let resources = two_resources();
+        let workloads = vec![vec![job(0, 0, 10.0, 4, 100.0, Strategy::Ofc)], vec![]];
+        let report = run_federation(resources, workloads, FederationConfig::default());
+        assert_eq!(report.jobs.len(), 1);
+        let rec = &report.jobs[0];
+        assert!(rec.was_accepted());
+        // OFC: resource 0 is the cheapest, and it is the origin → local run.
+        assert!(!rec.was_migrated());
+        assert!(rec.qos_satisfied());
+        assert_eq!(rec.messages, 2); // self negotiate + reply
+        assert_eq!(report.resources[0].processed_locally, 1);
+        assert_eq!(report.resources[0].accepted, 1);
+        assert_eq!(report.resources[1].remote_jobs_processed, 0);
+        assert!(report.resources[0].incentive > 0.0);
+        assert!(report.bank.is_balanced());
+    }
+
+    #[test]
+    fn oft_job_migrates_to_the_faster_resource() {
+        let resources = two_resources();
+        let workloads = vec![vec![job(0, 0, 0.0, 4, 100.0, Strategy::Oft)], vec![]];
+        let report = run_federation(resources, workloads, FederationConfig::default());
+        let rec = &report.jobs[0];
+        assert!(rec.was_accepted());
+        assert!(rec.was_migrated(), "OFT should pick the fast resource");
+        // 4 messages: negotiate, reply, job submission, job completion.
+        assert_eq!(rec.messages, 4);
+        assert_eq!(report.resources[1].remote_jobs_processed, 1);
+        assert_eq!(report.resources[0].migrated, 1);
+        assert!(report.resources[1].incentive > 0.0);
+        assert!((report.total_incentive() - report.bank.total_volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_mode_never_migrates_and_counts_no_messages() {
+        let resources = two_resources();
+        let workloads = vec![
+            vec![
+                job(0, 0, 0.0, 4, 100.0, Strategy::Oft),
+                job(0, 1, 5.0, 8, 200.0, Strategy::Ofc),
+            ],
+            vec![job(1, 0, 0.0, 4, 50.0, Strategy::Ofc)],
+        ];
+        let report = run_federation(
+            resources,
+            workloads,
+            FederationConfig::with_mode(SchedulingMode::Independent),
+        );
+        assert_eq!(report.jobs.len(), 3);
+        assert!(report.jobs.iter().all(|j| !j.was_migrated()));
+        assert!(report.jobs.iter().all(|j| j.messages == 0));
+        assert_eq!(report.messages.total_messages(), 0);
+        assert_eq!(report.resources[0].remote_jobs_processed, 0);
+        assert_eq!(report.resources[1].remote_jobs_processed, 0);
+    }
+
+    #[test]
+    fn overloaded_origin_spills_into_the_federation() {
+        // Resource 0 has only 4 processors; flood it with simultaneous jobs so
+        // some must either migrate (federation) or be rejected (independent).
+        let resources = vec![
+            ResourceSpec::new("tiny", 4, 500.0, 1.0, 2.0),
+            ResourceSpec::new("big", 64, 1_000.0, 2.0, 4.0),
+        ];
+        let make_workloads = || {
+            vec![
+                (0..8)
+                    .map(|i| {
+                        let mut j = Job::from_runtime(
+                            JobId { origin: 0, seq: i },
+                            UserId { origin: 0, local: i },
+                            0.0,
+                            4,
+                            500.0,
+                            500.0,
+                            0.10,
+                        );
+                        j.qos.strategy = Strategy::Ofc;
+                        j
+                    })
+                    .collect::<Vec<_>>(),
+                vec![],
+            ]
+        };
+        let fed = run_federation(
+            resources.clone(),
+            make_workloads(),
+            FederationConfig::with_mode(SchedulingMode::Economy),
+        );
+        let ind = run_federation(
+            resources,
+            make_workloads(),
+            FederationConfig::with_mode(SchedulingMode::Independent),
+        );
+        let fed_accepted = fed.resources[0].accepted;
+        let ind_accepted = ind.resources[0].accepted;
+        assert!(
+            fed_accepted > ind_accepted,
+            "federation should accept more jobs ({fed_accepted} vs {ind_accepted})"
+        );
+        assert!(fed.resources[0].migrated > 0);
+        assert_eq!(fed.resources[1].remote_jobs_processed, fed.resources[0].migrated);
+        // Deadlines of accepted jobs are honoured.
+        assert!(fed.jobs.iter().filter(|j| j.was_accepted()).all(|j| j.qos_satisfied()));
+    }
+
+    #[test]
+    fn no_economy_mode_prefers_local_then_fastest() {
+        let resources = two_resources();
+        let workloads = vec![
+            vec![job(0, 0, 0.0, 4, 100.0, Strategy::Ofc)],
+            vec![job(1, 0, 0.0, 4, 100.0, Strategy::Ofc)],
+        ];
+        let report = run_federation(
+            resources,
+            workloads,
+            FederationConfig::with_mode(SchedulingMode::FederationNoEconomy),
+        );
+        // Both resources are idle, so both jobs stay local.
+        assert!(report.jobs.iter().all(|j| !j.was_migrated()));
+        assert_eq!(report.resources[0].processed_locally, 1);
+        assert_eq!(report.resources[1].processed_locally, 1);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let resources = two_resources();
+        let workloads = || {
+            vec![
+                (0..10)
+                    .map(|i| job(0, i, i as f64 * 50.0, 2 + (i as u32 % 4), 200.0, if i % 3 == 0 { Strategy::Oft } else { Strategy::Ofc }))
+                    .collect::<Vec<_>>(),
+                (0..5)
+                    .map(|i| job(1, i, i as f64 * 80.0, 4, 150.0, Strategy::Ofc))
+                    .collect::<Vec<_>>(),
+            ]
+        };
+        let a = run_federation(two_resources(), workloads(), FederationConfig::default());
+        let b = run_federation(resources, workloads(), FederationConfig::default());
+        assert_eq!(a.jobs.len(), b.jobs.len());
+        assert_eq!(a.messages.total_messages(), b.messages.total_messages());
+        assert!((a.total_incentive() - b.total_incentive()).abs() < 1e-9);
+        assert_eq!(a.sim_end, b.sim_end);
+    }
+
+    #[test]
+    #[should_panic(expected = "origin must equal the resource index")]
+    fn mismatched_workload_origin_panics() {
+        let _ = FederationBuilder::new(two_resources())
+            .workload(0, vec![job(1, 0, 0.0, 1, 10.0, Strategy::Ofc)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn empty_federation_panics() {
+        let _ = FederationBuilder::new(vec![]).run();
+    }
+}

@@ -1,0 +1,695 @@
+//! The Grid Federation Agent (GFA).
+//!
+//! A GFA is the paper's two-layer resource-management system: a *distributed
+//! information manager* (the interface to the shared federation directory)
+//! plus a *resource manager* (admission control and execution on the local
+//! LRMS).  One GFA entity is instantiated per cluster; its entity id in the
+//! simulation equals its resource index.
+//!
+//! ## Scheduling algorithm (paper §2.2)
+//!
+//! For every job submitted by its local users the GFA runs the deadline- and
+//! budget-constrained (DBC) loop:
+//!
+//! 1. `r ← 1`.
+//! 2. Query the federation directory for the `r`-th cheapest (OFC) or `r`-th
+//!    fastest (OFT) quote.
+//! 3. Skip candidates that are statically infeasible: fewer processors than
+//!    the job needs, an unloaded execution time already past the deadline, or
+//!    (OFT only) a cost above the job's budget.  The paper lets the GFA make
+//!    these checks locally from the quote ("using R_i and c_i, a GFA can
+//!    determine the cost … and the time taken, assuming that cluster i has no
+//!    load"), so they cost no messages.
+//! 4. Send a *negotiate* message to the candidate asking for a guarantee that
+//!    the job finishes before its absolute deadline.  The candidate consults
+//!    its LRMS queue estimate and answers with a *reply*.
+//! 5. On acceptance the origin sends the *job-submission* message; on
+//!    completion the executor sends the *job-completion* message back.  On
+//!    refusal, `r ← r + 1` and the loop repeats; when the quotes are
+//!    exhausted the job is dropped.
+//!
+//! Admission control doubles as a reservation: when a candidate accepts, it
+//! immediately enters the job into its LRMS queue so that the guarantee it
+//! just gave cannot be invalidated by a concurrent negotiation — this is the
+//! coordination property the paper's one-to-one negotiation scheme is
+//! designed to provide.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use grid_cluster::{completion_time, ClusterJob, LocalScheduler, ResourceSpec, StartedJob};
+use grid_des::{Context, Entity, EntityId, Event, SimTime};
+use grid_directory::FederationDirectory;
+use grid_workload::{Job, JobId, Strategy};
+
+use crate::economy::ChargingPolicy;
+use crate::federation::{SchedulingMode, SharedState};
+use crate::messages::{FedMessage, MessageType};
+use crate::metrics::{ExecutionOutcome, JobRecord};
+
+/// A job this GFA is still trying to place (it is the origin).
+#[derive(Debug, Clone)]
+struct PendingJob {
+    job: Job,
+    /// Next rank `r` to query (1-based).
+    next_rank: usize,
+    /// Accountable messages exchanged so far for this job.
+    messages: u32,
+    /// Service time and cost on the candidate currently being negotiated
+    /// with, so they need not be recomputed when the reply arrives.
+    candidate_service: f64,
+    candidate_cost: f64,
+    expected_local_response: f64,
+    expected_local_cost: f64,
+}
+
+/// A job dispatched to a remote executor, awaiting its completion message.
+#[derive(Debug, Clone)]
+struct AwaitingRemote {
+    job: Job,
+    messages: u32,
+    service_time: f64,
+    expected_local_response: f64,
+    expected_local_cost: f64,
+}
+
+/// A job reserved/executing on this GFA's own LRMS.
+#[derive(Debug, Clone)]
+struct ExecutingJob {
+    origin: usize,
+    cost: f64,
+    start: Option<f64>,
+    /// Populated only when the origin is this GFA itself: the information
+    /// needed to emit the job record at completion.
+    local_seed: Option<LocalSeed>,
+}
+
+#[derive(Debug, Clone)]
+struct LocalSeed {
+    job: Job,
+    messages: u32,
+    expected_local_response: f64,
+    expected_local_cost: f64,
+}
+
+/// The Grid Federation Agent entity.
+pub struct Gfa {
+    index: usize,
+    name: String,
+    spec: ResourceSpec,
+    mode: SchedulingMode,
+    charging: ChargingPolicy,
+    latency: f64,
+    lrms: Box<dyn LocalScheduler>,
+    local_jobs: Vec<Job>,
+    shared: Rc<RefCell<SharedState>>,
+    pending: HashMap<JobId, PendingJob>,
+    awaiting_remote: HashMap<JobId, AwaitingRemote>,
+    executing: HashMap<JobId, ExecutingJob>,
+}
+
+impl Gfa {
+    /// Creates a GFA for resource `index`.
+    ///
+    /// `local_jobs` is the trace of jobs submitted by this cluster's local
+    /// user population (QoS already fabricated); `lrms` is the local
+    /// scheduler; `shared` is the federation-wide shared state (directory,
+    /// bank, ledger, collected records).
+    #[must_use]
+    pub fn new(
+        index: usize,
+        spec: ResourceSpec,
+        mode: SchedulingMode,
+        charging: ChargingPolicy,
+        latency: f64,
+        lrms: Box<dyn LocalScheduler>,
+        local_jobs: Vec<Job>,
+        shared: Rc<RefCell<SharedState>>,
+    ) -> Self {
+        let name = format!("gfa-{index}-{}", spec.name);
+        Gfa {
+            index,
+            name,
+            spec,
+            mode,
+            charging,
+            latency,
+            lrms,
+            local_jobs,
+            shared,
+            pending: HashMap::new(),
+            awaiting_remote: HashMap::new(),
+            executing: HashMap::new(),
+        }
+    }
+
+    /// The resource this GFA manages.
+    #[must_use]
+    pub fn spec(&self) -> &ResourceSpec {
+        &self.spec
+    }
+
+    fn entity_of(&self, gfa_index: usize) -> EntityId {
+        // The federation builder registers GFAs in resource order, so the
+        // entity id equals the resource index.
+        EntityId::new(gfa_index)
+    }
+
+    fn message_delay(&self, to: usize) -> f64 {
+        if to == self.index {
+            0.0
+        } else {
+            self.latency
+        }
+    }
+
+    /// Registers newly started LRMS jobs: remembers their start times and
+    /// schedules their completion timers.
+    fn handle_started(&mut self, started: Vec<StartedJob>, ctx: &mut Context<'_, FedMessage>) {
+        for s in started {
+            if let Some(entry) = self.executing.get_mut(&s.id) {
+                entry.start = Some(s.start);
+            }
+            ctx.timer_at(
+                SimTime::new(s.finish.max(ctx.now().as_secs())),
+                FedMessage::LocalJobFinished { job: s.id },
+            );
+        }
+    }
+
+    /// Handles a job arriving from the local user population.
+    fn on_job_arrival(&mut self, job: Job, ctx: &mut Context<'_, FedMessage>) {
+        let expected_local_response = completion_time(&job, &self.spec, &self.spec);
+        let expected_local_cost = self.charging.charge(&job, &self.spec);
+
+        match self.mode {
+            SchedulingMode::Independent => {
+                self.schedule_independent(job, expected_local_response, expected_local_cost, ctx);
+            }
+            SchedulingMode::FederationNoEconomy | SchedulingMode::Economy => {
+                // Try candidates through the federation loop.  In the
+                // no-economy mode the local resource is always the first
+                // candidate (the paper processes locally whenever possible);
+                // in economy mode the ranking alone decides.
+                let pending = PendingJob {
+                    job,
+                    next_rank: 1,
+                    messages: 0,
+                    candidate_service: 0.0,
+                    candidate_cost: 0.0,
+                    expected_local_response,
+                    expected_local_cost,
+                };
+                self.try_candidates(pending, ctx);
+            }
+        }
+    }
+
+    /// Experiment 1 behaviour: accept iff the local LRMS can finish the job
+    /// before its deadline; no federation, no messages.
+    fn schedule_independent(
+        &mut self,
+        job: Job,
+        expected_local_response: f64,
+        expected_local_cost: f64,
+        ctx: &mut Context<'_, FedMessage>,
+    ) {
+        let now = ctx.now().as_secs();
+        let service = completion_time(&job, &self.spec, &self.spec);
+        let fits = job.processors <= self.spec.processors;
+        let estimate = if fits {
+            self.lrms.estimate_completion(job.processors, service, now)
+        } else {
+            f64::INFINITY
+        };
+        if fits && estimate <= job.absolute_deadline() + 1e-9 {
+            let cost = self.charging.charge(&job, &self.spec);
+            self.accept_locally(job, service, cost, 0, expected_local_response, expected_local_cost, ctx);
+        } else {
+            self.record_rejection(&job, 0, expected_local_response, expected_local_cost);
+        }
+    }
+
+    /// Runs the DBC candidate loop until a negotiation is launched, the job
+    /// is accepted locally, or the quotes are exhausted (rejection).
+    fn try_candidates(&mut self, mut pending: PendingJob, ctx: &mut Context<'_, FedMessage>) {
+        let now = ctx.now().as_secs();
+        let directory_len = self.shared.borrow().directory.len();
+        let job = pending.job.clone();
+        let strategy = job.qos.strategy;
+        let absolute_deadline = job.absolute_deadline();
+
+        loop {
+            // In the no-economy federation the local cluster is implicitly
+            // rank 0: always examined first, then the remaining resources in
+            // decreasing speed order.
+            let candidate = if self.mode == SchedulingMode::FederationNoEconomy {
+                if pending.next_rank == 1 {
+                    Some(grid_directory::Quote::from_spec(self.index, &self.spec))
+                } else {
+                    let r = pending.next_rank - 1;
+                    if r > directory_len {
+                        None
+                    } else {
+                        self.shared.borrow().directory.kth_fastest(r)
+                    }
+                }
+            } else {
+                let r = pending.next_rank;
+                if r > directory_len {
+                    None
+                } else {
+                    let shared = self.shared.borrow();
+                    match strategy {
+                        Strategy::Ofc => shared.directory.kth_cheapest(r),
+                        Strategy::Oft => shared.directory.kth_fastest(r),
+                    }
+                }
+            };
+            pending.next_rank += 1;
+
+            let Some(quote) = candidate else {
+                // Quotes exhausted: the job is dropped.
+                self.record_rejection(
+                    &job,
+                    pending.messages,
+                    pending.expected_local_response,
+                    pending.expected_local_cost,
+                );
+                return;
+            };
+
+            // No-economy mode already examined the local resource at rank 0;
+            // skip it when it reappears in the speed ranking.
+            if self.mode == SchedulingMode::FederationNoEconomy
+                && pending.next_rank > 2
+                && quote.gfa == self.index
+            {
+                continue;
+            }
+
+            // Static feasibility checks from the quote (no messages).
+            if quote.processors < job.processors {
+                continue;
+            }
+            let candidate_spec = quote.to_spec();
+            let service = completion_time(&job, &candidate_spec, &self.spec);
+            let cost = self.charging.charge(&job, &candidate_spec);
+            if now + service > absolute_deadline + 1e-9 {
+                // Even an unloaded cluster of this speed cannot meet the
+                // deadline; the paper's GFA would not negotiate with it.
+                continue;
+            }
+            if self.mode == SchedulingMode::Economy
+                && strategy == Strategy::Oft
+                && cost > job.qos.budget + 1e-9
+            {
+                // OFT users never select resources they cannot afford.
+                continue;
+            }
+
+            if quote.gfa == self.index {
+                // Self-negotiation: the admission-control enquiry and answer
+                // still count as two (local) messages, per the paper's
+                // per-job message model.
+                {
+                    let mut shared = self.shared.borrow_mut();
+                    shared.ledger.record(MessageType::Negotiate, self.index, self.index);
+                    shared.ledger.record(MessageType::Reply, self.index, self.index);
+                }
+                pending.messages += 2;
+                let estimate = self.lrms.estimate_completion(job.processors, service, now);
+                if estimate <= absolute_deadline + 1e-9 {
+                    self.accept_locally(
+                        job,
+                        service,
+                        cost,
+                        pending.messages,
+                        pending.expected_local_response,
+                        pending.expected_local_cost,
+                        ctx,
+                    );
+                    return;
+                }
+                continue;
+            }
+
+            // Remote candidate: launch the admission-control negotiation and
+            // wait for the reply event.
+            {
+                let mut shared = self.shared.borrow_mut();
+                shared.ledger.record(MessageType::Negotiate, self.index, quote.gfa);
+            }
+            pending.messages += 1;
+            pending.candidate_service = service;
+            pending.candidate_cost = cost;
+            let attempt = u32::try_from(pending.next_rank - 1).unwrap_or(u32::MAX);
+            ctx.send(
+                self.entity_of(quote.gfa),
+                self.message_delay(quote.gfa),
+                FedMessage::Negotiate {
+                    job: job.id,
+                    origin: self.index,
+                    processors: job.processors,
+                    service_time: service,
+                    cost,
+                    absolute_deadline,
+                    attempt,
+                },
+            );
+            self.pending.insert(job.id, pending);
+            return;
+        }
+    }
+
+    /// Accepts a job onto the local LRMS (the origin is this GFA itself).
+    #[allow(clippy::too_many_arguments)]
+    fn accept_locally(
+        &mut self,
+        job: Job,
+        service: f64,
+        cost: f64,
+        messages: u32,
+        expected_local_response: f64,
+        expected_local_cost: f64,
+        ctx: &mut Context<'_, FedMessage>,
+    ) {
+        let now = ctx.now().as_secs();
+        let cluster_job = ClusterJob {
+            id: job.id,
+            processors: job.processors,
+            service_time: service,
+        };
+        self.executing.insert(
+            job.id,
+            ExecutingJob {
+                origin: self.index,
+                cost,
+                start: None,
+                local_seed: Some(LocalSeed {
+                    job: job.clone(),
+                    messages,
+                    expected_local_response,
+                    expected_local_cost,
+                }),
+            },
+        );
+        let started = self.lrms.submit(cluster_job, now);
+        self.handle_started(started, ctx);
+        self.shared.borrow_mut().ledger.finish_job(job.id, messages);
+    }
+
+    /// Records a rejected job.
+    fn record_rejection(
+        &mut self,
+        job: &Job,
+        messages: u32,
+        expected_local_response: f64,
+        expected_local_cost: f64,
+    ) {
+        let mut shared = self.shared.borrow_mut();
+        shared.ledger.finish_job(job.id, messages);
+        shared.jobs.push(JobRecord {
+            id: job.id,
+            origin: self.index,
+            strategy: job.qos.strategy,
+            submit: job.submit,
+            processors: job.processors,
+            deadline: job.qos.deadline,
+            budget: job.qos.budget,
+            expected_local_response,
+            expected_local_cost,
+            messages,
+            outcome: ExecutionOutcome::Rejected,
+        });
+    }
+
+    /// Handles an incoming admission-control enquiry from another GFA.
+    fn on_negotiate(
+        &mut self,
+        job: JobId,
+        origin: usize,
+        processors: u32,
+        service_time: f64,
+        cost: f64,
+        absolute_deadline: f64,
+        attempt: u32,
+        ctx: &mut Context<'_, FedMessage>,
+    ) {
+        let now = ctx.now().as_secs();
+        let fits = processors <= self.spec.processors;
+        let estimate = if fits {
+            self.lrms.estimate_completion(processors, service_time, now)
+        } else {
+            f64::INFINITY
+        };
+        let accept = fits && estimate <= absolute_deadline + 1e-9;
+        if accept {
+            // Reserve immediately so the guarantee cannot be invalidated by a
+            // concurrent negotiation with another GFA.
+            self.executing.insert(
+                job,
+                ExecutingJob {
+                    origin,
+                    cost,
+                    start: None,
+                    local_seed: None,
+                },
+            );
+            let started = self.lrms.submit(
+                ClusterJob {
+                    id: job,
+                    processors,
+                    service_time,
+                },
+                now,
+            );
+            self.handle_started(started, ctx);
+        }
+        self.shared
+            .borrow_mut()
+            .ledger
+            .record(MessageType::Reply, origin, self.index);
+        ctx.send(
+            self.entity_of(origin),
+            self.message_delay(origin),
+            FedMessage::NegotiateReply {
+                job,
+                accept,
+                candidate: self.index,
+                attempt,
+            },
+        );
+    }
+
+    /// Handles the reply to one of our own negotiations.
+    fn on_negotiate_reply(
+        &mut self,
+        job: JobId,
+        accept: bool,
+        candidate: usize,
+        ctx: &mut Context<'_, FedMessage>,
+    ) {
+        let Some(mut pending) = self.pending.remove(&job) else {
+            panic!("negotiate reply for unknown pending job {job}");
+        };
+        pending.messages += 1;
+        if accept {
+            let service = pending.candidate_service;
+            let cost = pending.candidate_cost;
+            {
+                let mut shared = self.shared.borrow_mut();
+                shared
+                    .ledger
+                    .record(MessageType::JobSubmission, self.index, candidate);
+            }
+            pending.messages += 1;
+            ctx.send(
+                self.entity_of(candidate),
+                self.message_delay(candidate),
+                FedMessage::JobDispatch {
+                    job: pending.job.clone(),
+                    service_time: service,
+                    cost,
+                },
+            );
+            self.awaiting_remote.insert(
+                job,
+                AwaitingRemote {
+                    job: pending.job,
+                    messages: pending.messages,
+                    service_time: service,
+                    expected_local_response: pending.expected_local_response,
+                    expected_local_cost: pending.expected_local_cost,
+                },
+            );
+        } else {
+            self.try_candidates(pending, ctx);
+        }
+    }
+
+    /// Handles the arrival of an actual job we previously accepted.
+    fn on_job_dispatch(&mut self, job: Job, _service_time: f64, _cost: f64) {
+        assert!(
+            self.executing.contains_key(&job.id),
+            "job {} dispatched to {} without a prior reservation",
+            job.id,
+            self.name
+        );
+    }
+
+    /// Handles the completion of a job running on the local LRMS.
+    fn on_local_job_finished(&mut self, job: JobId, ctx: &mut Context<'_, FedMessage>) {
+        let now = ctx.now().as_secs();
+        let started = self.lrms.on_finished(job, now);
+        self.handle_started(started, ctx);
+        let entry = self
+            .executing
+            .remove(&job)
+            .unwrap_or_else(|| panic!("finished job {job} has no executing entry"));
+
+        {
+            let mut shared = self.shared.borrow_mut();
+            shared.bank.pay(entry.origin, self.index, entry.cost);
+            if entry.origin != self.index {
+                shared.remote_processed[self.index] += 1;
+            }
+        }
+
+        if entry.origin == self.index {
+            let seed = entry
+                .local_seed
+                .expect("locally originated jobs carry their record seed");
+            let start = entry.start.unwrap_or(seed.job.submit);
+            let record = JobRecord {
+                id: job,
+                origin: self.index,
+                strategy: seed.job.qos.strategy,
+                submit: seed.job.submit,
+                processors: seed.job.processors,
+                deadline: seed.job.qos.deadline,
+                budget: seed.job.qos.budget,
+                expected_local_response: seed.expected_local_response,
+                expected_local_cost: seed.expected_local_cost,
+                messages: seed.messages,
+                outcome: ExecutionOutcome::Completed {
+                    executed_on: self.index,
+                    start,
+                    finish: now,
+                    cost: entry.cost,
+                },
+            };
+            self.shared.borrow_mut().jobs.push(record);
+        } else {
+            self.shared
+                .borrow_mut()
+                .ledger
+                .record(MessageType::JobCompletion, entry.origin, self.index);
+            ctx.send(
+                self.entity_of(entry.origin),
+                self.message_delay(entry.origin),
+                FedMessage::JobCompletion {
+                    job,
+                    executed_on: self.index,
+                    finish: now,
+                    cost: entry.cost,
+                },
+            );
+        }
+    }
+
+    /// Handles the completion notification of one of our jobs that executed
+    /// remotely.
+    fn on_job_completion(&mut self, job: JobId, executed_on: usize, finish: f64, cost: f64) {
+        let Some(mut awaiting) = self.awaiting_remote.remove(&job) else {
+            panic!("completion message for unknown job {job}");
+        };
+        awaiting.messages += 1;
+        let record = JobRecord {
+            id: job,
+            origin: self.index,
+            strategy: awaiting.job.qos.strategy,
+            submit: awaiting.job.submit,
+            processors: awaiting.job.processors,
+            deadline: awaiting.job.qos.deadline,
+            budget: awaiting.job.qos.budget,
+            expected_local_response: awaiting.expected_local_response,
+            expected_local_cost: awaiting.expected_local_cost,
+            messages: awaiting.messages,
+            outcome: ExecutionOutcome::Completed {
+                executed_on,
+                start: finish - awaiting.service_time,
+                finish,
+                cost,
+            },
+        };
+        let mut shared = self.shared.borrow_mut();
+        shared.ledger.finish_job(job, awaiting.messages);
+        shared.jobs.push(record);
+    }
+}
+
+impl Entity<FedMessage> for Gfa {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, FedMessage>) {
+        let jobs = std::mem::take(&mut self.local_jobs);
+        for job in jobs {
+            ctx.timer_at(SimTime::new(job.submit), FedMessage::JobArrival(job));
+        }
+    }
+
+    fn on_event(&mut self, event: Event<FedMessage>, ctx: &mut Context<'_, FedMessage>) {
+        match event.payload {
+            FedMessage::JobArrival(job) => self.on_job_arrival(job, ctx),
+            FedMessage::Negotiate {
+                job,
+                origin,
+                processors,
+                service_time,
+                cost,
+                absolute_deadline,
+                attempt,
+            } => self.on_negotiate(
+                job,
+                origin,
+                processors,
+                service_time,
+                cost,
+                absolute_deadline,
+                attempt,
+                ctx,
+            ),
+            FedMessage::NegotiateReply {
+                job,
+                accept,
+                candidate,
+                attempt: _,
+            } => self.on_negotiate_reply(job, accept, candidate, ctx),
+            FedMessage::JobDispatch {
+                job,
+                service_time,
+                cost,
+            } => self.on_job_dispatch(job, service_time, cost),
+            FedMessage::JobCompletion {
+                job,
+                executed_on,
+                finish,
+                cost,
+            } => self.on_job_completion(job, executed_on, finish, cost),
+            FedMessage::LocalJobFinished { job } => self.on_local_job_finished(job, ctx),
+        }
+    }
+
+    fn on_finish(&mut self, ctx: &mut Context<'_, FedMessage>) {
+        let now = ctx.now().as_secs();
+        let mut shared = self.shared.borrow_mut();
+        shared.resource_snapshots[self.index] = Some(crate::federation::ResourceSnapshot {
+            busy_processor_seconds: self.lrms.busy_processor_seconds(now),
+            utilization: self.lrms.utilization(now),
+        });
+    }
+}

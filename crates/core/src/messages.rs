@@ -1,0 +1,304 @@
+//! The federation's message vocabulary and the message accounting used by
+//! Experiments 4 and 5.
+//!
+//! The paper counts four message types — *negotiate*, *reply*,
+//! *job-submission* and *job-completion* — and classifies them, per GFA, as
+//! **local** (traffic a GFA generates to schedule its own users' jobs) or
+//! **remote** (traffic a GFA handles on behalf of other GFAs' jobs).
+//! Directory queries are modelled separately (`O(log n)` each) and excluded
+//! from these counts, exactly as in the paper.
+
+use grid_workload::{Job, JobId};
+
+/// Message and timer payloads exchanged between federation entities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FedMessage {
+    /// Self-timer: one of this GFA's local users submits a job.
+    JobArrival(Job),
+    /// Admission-control enquiry sent to a candidate GFA: "can you finish
+    /// this job before its deadline?"
+    Negotiate {
+        /// Job being negotiated.
+        job: JobId,
+        /// GFA the job originates from (where the reply must go).
+        origin: usize,
+        /// Processors the job needs.
+        processors: u32,
+        /// Service time of the job on the *candidate* resource (computed by
+        /// the origin from the candidate's quote, Eq. 2).
+        service_time: f64,
+        /// Cost of the job on the candidate resource (Eq. 4), carried so the
+        /// candidate can account its incentive on completion.
+        cost: f64,
+        /// Absolute deadline (`submit + d`).
+        absolute_deadline: f64,
+        /// 1-based iteration counter `r` of the scheduling loop.
+        attempt: u32,
+    },
+    /// Admission-control answer.
+    NegotiateReply {
+        /// Job the reply refers to.
+        job: JobId,
+        /// Whether the candidate guarantees completion before the deadline.
+        accept: bool,
+        /// Candidate GFA replying.
+        candidate: usize,
+        /// Echo of the attempt counter.
+        attempt: u32,
+    },
+    /// The actual job, sent after an accepted negotiation.
+    JobDispatch {
+        /// The job itself.
+        job: Job,
+        /// Service time on the executing resource.
+        service_time: f64,
+        /// Cost on the executing resource.
+        cost: f64,
+    },
+    /// Completion notification (with "output") sent back to the origin GFA.
+    JobCompletion {
+        /// Job that finished.
+        job: JobId,
+        /// GFA that executed it.
+        executed_on: usize,
+        /// Time the job finished executing.
+        finish: f64,
+        /// Amount charged.
+        cost: f64,
+    },
+    /// Self-timer: a job running on the local LRMS reached its finish time.
+    LocalJobFinished {
+        /// Job that finished locally.
+        job: JobId,
+    },
+}
+
+/// The four accountable message types of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageType {
+    /// Admission-control enquiry.
+    Negotiate,
+    /// Admission-control answer.
+    Reply,
+    /// Message containing the actual job.
+    JobSubmission,
+    /// Message containing the job output.
+    JobCompletion,
+}
+
+impl MessageType {
+    /// All four types, in a stable order (useful for table headers).
+    pub const ALL: [MessageType; 4] = [
+        MessageType::Negotiate,
+        MessageType::Reply,
+        MessageType::JobSubmission,
+        MessageType::JobCompletion,
+    ];
+}
+
+/// Per-GFA message counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GfaMessageCounters {
+    /// Messages this GFA sent or received for its **own** users' jobs.
+    pub local: u64,
+    /// Messages this GFA sent or received for **other** GFAs' jobs.
+    pub remote: u64,
+    /// Breakdown by message type (sum of local + remote contributions
+    /// counted at this GFA).
+    pub by_type: [u64; 4],
+}
+
+impl GfaMessageCounters {
+    /// Total messages seen at this GFA.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.local + self.remote
+    }
+}
+
+/// Federation-wide message ledger.
+///
+/// For every accountable message exchanged between the origin GFA `k` and a
+/// candidate/executing GFA `m`:
+///
+/// * the per-job counter of the job is incremented once (a message is one
+///   message, no matter how many parties look at it),
+/// * GFA `k` records one **local** message,
+/// * GFA `m` (if different from `k`) records one **remote** message.
+///
+/// Self-negotiation (the scheduling loop picking the origin itself) still
+/// exchanges a negotiate/reply pair in the paper's accounting (`n = 2`
+/// messages for an immediately-local job, "n/2 entries traversed"), so those
+/// count as local messages at the origin with no remote counterpart.
+#[derive(Debug, Clone, Default)]
+pub struct MessageLedger {
+    per_gfa: Vec<GfaMessageCounters>,
+    per_job_messages: Vec<(JobId, u32)>,
+    total: u64,
+}
+
+impl MessageLedger {
+    /// Creates a ledger for `n` GFAs.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        MessageLedger {
+            per_gfa: vec![GfaMessageCounters::default(); n],
+            per_job_messages: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Records one message of `mtype` concerning a job originating at
+    /// `origin`, whose counterpart GFA is `counterpart` (equal to `origin`
+    /// for self-negotiation).
+    ///
+    /// # Panics
+    /// Panics if either GFA index is out of range.
+    pub fn record(&mut self, mtype: MessageType, origin: usize, counterpart: usize) {
+        assert!(
+            origin < self.per_gfa.len() && counterpart < self.per_gfa.len(),
+            "unknown GFA in message record ({origin}, {counterpart})"
+        );
+        let type_idx = MessageType::ALL
+            .iter()
+            .position(|t| *t == mtype)
+            .expect("type present in ALL");
+        self.per_gfa[origin].local += 1;
+        self.per_gfa[origin].by_type[type_idx] += 1;
+        if counterpart != origin {
+            self.per_gfa[counterpart].remote += 1;
+            self.per_gfa[counterpart].by_type[type_idx] += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Records the final per-job message count once the job's scheduling
+    /// concluded (accepted somewhere or dropped).
+    pub fn finish_job(&mut self, job: JobId, messages: u32) {
+        self.per_job_messages.push((job, messages));
+    }
+
+    /// Counters of one GFA.
+    #[must_use]
+    pub fn gfa(&self, idx: usize) -> &GfaMessageCounters {
+        &self.per_gfa[idx]
+    }
+
+    /// Counters of all GFAs.
+    #[must_use]
+    pub fn all_gfas(&self) -> &[GfaMessageCounters] {
+        &self.per_gfa
+    }
+
+    /// Per-job message counts, in completion order.
+    #[must_use]
+    pub fn per_job(&self) -> &[(JobId, u32)] {
+        &self.per_job_messages
+    }
+
+    /// Total number of accountable messages exchanged in the federation.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.total
+    }
+
+    /// (min, mean, max) messages per job, or zeros if no job finished.
+    #[must_use]
+    pub fn per_job_summary(&self) -> (u32, f64, u32) {
+        if self.per_job_messages.is_empty() {
+            return (0, 0.0, 0);
+        }
+        let min = self.per_job_messages.iter().map(|(_, m)| *m).min().unwrap_or(0);
+        let max = self.per_job_messages.iter().map(|(_, m)| *m).max().unwrap_or(0);
+        let sum: u64 = self.per_job_messages.iter().map(|(_, m)| u64::from(*m)).sum();
+        (min, sum as f64 / self.per_job_messages.len() as f64, max)
+    }
+
+    /// (min, mean, max) of per-GFA total (local + remote) message counts.
+    #[must_use]
+    pub fn per_gfa_summary(&self) -> (u64, f64, u64) {
+        if self.per_gfa.is_empty() {
+            return (0, 0.0, 0);
+        }
+        let totals: Vec<u64> = self.per_gfa.iter().map(GfaMessageCounters::total).collect();
+        let min = *totals.iter().min().expect("non-empty");
+        let max = *totals.iter().max().expect("non-empty");
+        let sum: u64 = totals.iter().sum();
+        (min, sum as f64 / totals.len() as f64, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jid(origin: usize, seq: usize) -> JobId {
+        JobId { origin, seq }
+    }
+
+    #[test]
+    fn remote_messages_count_at_both_sides() {
+        let mut ledger = MessageLedger::new(3);
+        // Origin 0 negotiates with candidate 2: negotiate + reply.
+        ledger.record(MessageType::Negotiate, 0, 2);
+        ledger.record(MessageType::Reply, 0, 2);
+        // Accepted: dispatch + completion.
+        ledger.record(MessageType::JobSubmission, 0, 2);
+        ledger.record(MessageType::JobCompletion, 0, 2);
+        ledger.finish_job(jid(0, 0), 4);
+
+        assert_eq!(ledger.gfa(0).local, 4);
+        assert_eq!(ledger.gfa(0).remote, 0);
+        assert_eq!(ledger.gfa(2).remote, 4);
+        assert_eq!(ledger.gfa(2).local, 0);
+        assert_eq!(ledger.gfa(1).total(), 0);
+        assert_eq!(ledger.total_messages(), 4);
+        assert_eq!(ledger.per_job_summary(), (4, 4.0, 4));
+        assert_eq!(ledger.per_gfa_summary(), (0, 8.0 / 3.0, 4));
+    }
+
+    #[test]
+    fn self_negotiation_counts_as_local_only() {
+        let mut ledger = MessageLedger::new(2);
+        ledger.record(MessageType::Negotiate, 1, 1);
+        ledger.record(MessageType::Reply, 1, 1);
+        ledger.finish_job(jid(1, 0), 2);
+        assert_eq!(ledger.gfa(1).local, 2);
+        assert_eq!(ledger.gfa(1).remote, 0);
+        assert_eq!(ledger.total_messages(), 2);
+    }
+
+    #[test]
+    fn per_job_and_per_gfa_summaries() {
+        let mut ledger = MessageLedger::new(2);
+        ledger.finish_job(jid(0, 0), 2);
+        ledger.finish_job(jid(0, 1), 6);
+        ledger.finish_job(jid(1, 0), 4);
+        let (min, mean, max) = ledger.per_job_summary();
+        assert_eq!((min, max), (2, 6));
+        assert!((mean - 4.0).abs() < 1e-12);
+        // Empty ledger edge cases.
+        let empty = MessageLedger::new(0);
+        assert_eq!(empty.per_gfa_summary(), (0, 0.0, 0));
+        assert_eq!(MessageLedger::new(1).per_job_summary(), (0, 0.0, 0));
+    }
+
+    #[test]
+    fn type_breakdown_is_tracked() {
+        let mut ledger = MessageLedger::new(2);
+        ledger.record(MessageType::Negotiate, 0, 1);
+        ledger.record(MessageType::Negotiate, 0, 1);
+        ledger.record(MessageType::Reply, 0, 1);
+        assert_eq!(ledger.gfa(0).by_type[0], 2);
+        assert_eq!(ledger.gfa(0).by_type[1], 1);
+        assert_eq!(ledger.gfa(1).by_type[0], 2);
+        assert_eq!(MessageType::ALL.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown GFA")]
+    fn out_of_range_gfa_panics() {
+        let mut ledger = MessageLedger::new(1);
+        ledger.record(MessageType::Negotiate, 0, 5);
+    }
+}

@@ -1,0 +1,85 @@
+//! # grid-des — deterministic discrete-event simulation engine
+//!
+//! This crate is the simulation substrate of the Grid-Federation reproduction.
+//! The original paper evaluated its super-scheduling system inside the Java
+//! [GridSim] toolkit; `grid-des` provides the equivalent facilities in Rust:
+//!
+//! * a global simulation clock measured in *simulation seconds* ([`SimTime`]),
+//! * a priority event queue with **deterministic** tie-breaking
+//!   ([`queue::EventQueue`]),
+//! * addressable [`Entity`] objects (GFAs, clusters, user populations, …) that
+//!   exchange timestamped messages through a [`Context`] handle,
+//! * per-simulation seeded random number streams so every run is exactly
+//!   reproducible,
+//! * lightweight engine statistics ([`stats::SimStats`]) and an optional event
+//!   trace for debugging.
+//!
+//! The engine is single-threaded by design: reproducing the paper's figures
+//! requires bitwise-identical event ordering across runs.  Parallelism in this
+//! workspace happens *across* simulation runs (parameter sweeps in
+//! `grid-experiments` fan out one run per thread), which follows the usual
+//! HPC guidance of parallelising at the outermost independent level.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use grid_des::{Simulation, Entity, Context, Event, EntityId, SimTime};
+//!
+//! #[derive(Debug, Clone, PartialEq)]
+//! enum Msg { Ping(u32), Pong(u32) }
+//!
+//! struct Pinger { peer: EntityId, received: u32 }
+//! struct Ponger;
+//!
+//! impl Entity<Msg> for Pinger {
+//!     fn name(&self) -> &str { "pinger" }
+//!     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+//!         ctx.send(self.peer, 1.0, Msg::Ping(0));
+//!     }
+//!     fn on_event(&mut self, ev: Event<Msg>, ctx: &mut Context<'_, Msg>) {
+//!         if let Msg::Pong(n) = ev.payload {
+//!             self.received = n;
+//!             if n < 3 { ctx.send(self.peer, 1.0, Msg::Ping(n)); }
+//!         }
+//!     }
+//! }
+//! impl Entity<Msg> for Ponger {
+//!     fn name(&self) -> &str { "ponger" }
+//!     fn on_event(&mut self, ev: Event<Msg>, ctx: &mut Context<'_, Msg>) {
+//!         if let Msg::Ping(n) = ev.payload {
+//!             ctx.send(ev.src, 0.5, Msg::Pong(n + 1));
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(42);
+//! let ponger = sim.add_entity(Box::new(Ponger));
+//! let pinger = sim.add_entity(Box::new(Pinger { peer: ponger, received: 0 }));
+//! sim.run();
+//! assert!(sim.now() > SimTime::ZERO);
+//! assert_eq!(sim.stats().events_delivered, 6);
+//! let _ = pinger;
+//! ```
+//!
+//! [GridSim]: https://doi.org/10.1002/cpe.710
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod entity;
+pub mod event;
+pub mod queue;
+pub mod rng;
+pub mod simulation;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use entity::{Context, Entity, EntityId};
+pub use event::{Event, EventKind};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use simulation::{RunOutcome, Simulation};
+pub use stats::SimStats;
+pub use time::SimTime;
+pub use trace::{TraceRecord, TraceSink};

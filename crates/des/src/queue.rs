@@ -1,0 +1,191 @@
+//! The future-event list.
+//!
+//! A binary min-heap keyed on `(time, seq)`.  Two events scheduled for the
+//! same instant are delivered in the order they were scheduled, which makes
+//! every simulation run fully deterministic — a property the Grid-Federation
+//! experiments rely on (identical seeds must reproduce identical figures).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::event::Event;
+use crate::time::SimTime;
+
+/// Internal heap entry; reversed ordering turns `BinaryHeap` (a max-heap)
+/// into a min-heap on `(time, seq)`.
+struct HeapEntry<M> {
+    event: Event<M>,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.event.time == other.event.time && self.event.seq == other.event.seq
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: earliest time (then lowest seq) is the "greatest" entry so
+        // that BinaryHeap::pop returns it first.
+        other
+            .event
+            .time
+            .cmp(&self.event.time)
+            .then_with(|| other.event.seq.cmp(&self.event.seq))
+    }
+}
+
+/// Future-event list with deterministic ordering.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<HeapEntry<M>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity, useful when the
+    /// approximate number of in-flight events is known (e.g. one per queued
+    /// job).
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules an event.  The event's `seq` field is overwritten with the
+    /// next sequence number so callers never need to manage it.
+    pub fn push(&mut self, mut event: Event<M>) {
+        event.seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(HeapEntry { event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop().map(|e| e.event)
+    }
+
+    /// Returns the timestamp of the earliest pending event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.event.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled through this queue.
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drops every pending event, e.g. when a run is aborted at its horizon.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityId;
+    use crate::event::EventKind;
+
+    fn event(t: f64, payload: u32) -> Event<u32> {
+        Event {
+            time: SimTime::new(t),
+            seq: 0,
+            src: EntityId::new(0),
+            dst: EntityId::new(0),
+            kind: EventKind::Message,
+            payload,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(event(5.0, 1));
+        q.push(event(1.0, 2));
+        q.push(event(3.0, 3));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(event(7.0, i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(event(2.0, 0));
+        q.push(event(1.0, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::new(1.0)));
+        assert_eq!(q.scheduled_total(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        // scheduled_total is cumulative and unaffected by clear().
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn sequence_numbers_are_assigned_by_queue() {
+        let mut q = EventQueue::new();
+        let mut e = event(1.0, 9);
+        e.seq = 999; // should be overwritten
+        q.push(e);
+        q.push(event(1.0, 10));
+        let first = q.pop().unwrap();
+        let second = q.pop().unwrap();
+        assert_eq!(first.seq, 0);
+        assert_eq!(second.seq, 1);
+        assert_eq!(first.payload, 9);
+    }
+}

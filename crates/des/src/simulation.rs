@@ -1,0 +1,446 @@
+//! The simulation driver.
+
+use crate::entity::{Context, Entity, EntityId};
+use crate::event::EventKind;
+use crate::queue::EventQueue;
+use crate::rng::SimRng;
+use crate::stats::SimStats;
+use crate::time::SimTime;
+use crate::trace::{truncate_label, NullTrace, TraceRecord, TraceSink};
+
+/// Why a [`Simulation::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The future-event list drained completely.
+    Exhausted,
+    /// The configured horizon was reached with events still pending.
+    HorizonReached,
+    /// An entity called [`Context::stop`].
+    Stopped,
+    /// The configured maximum number of delivered events was reached
+    /// (safety valve against non-terminating models).
+    EventLimit,
+}
+
+/// A single deterministic discrete-event simulation run.
+///
+/// The type parameter `M` is the model's message/payload type.
+pub struct Simulation<M> {
+    entities: Vec<Option<Box<dyn Entity<M>>>>,
+    names: Vec<String>,
+    queue: EventQueue<M>,
+    clock: SimTime,
+    stats: SimStats,
+    rng: SimRng,
+    horizon: Option<SimTime>,
+    max_events: u64,
+    trace: Box<dyn TraceSink>,
+    tracing: bool,
+    started: bool,
+}
+
+impl<M: std::fmt::Debug> Simulation<M> {
+    /// Creates a simulation with the given master seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            entities: Vec::new(),
+            names: Vec::new(),
+            queue: EventQueue::new(),
+            clock: SimTime::ZERO,
+            stats: SimStats::default(),
+            rng: SimRng::derive(seed, u64::MAX),
+            horizon: None,
+            max_events: u64::MAX,
+            trace: Box::new(NullTrace),
+            tracing: false,
+            started: false,
+        }
+    }
+
+    /// Sets a horizon: events with a timestamp strictly greater than `t` are
+    /// never delivered and `run` returns [`RunOutcome::HorizonReached`] when
+    /// the first such event is encountered.
+    pub fn set_horizon(&mut self, t: SimTime) {
+        self.horizon = Some(t);
+    }
+
+    /// Caps the total number of delivered events (default: unlimited).
+    pub fn set_max_events(&mut self, limit: u64) {
+        self.max_events = limit;
+    }
+
+    /// Installs a trace sink that receives every delivered event.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = sink;
+        self.tracing = true;
+    }
+
+    /// Registers an entity and returns its id.
+    ///
+    /// # Panics
+    /// Panics if called after the simulation has started.
+    pub fn add_entity(&mut self, entity: Box<dyn Entity<M>>) -> EntityId {
+        assert!(
+            !self.started,
+            "entities must be registered before the simulation starts"
+        );
+        let id = EntityId::new(self.entities.len());
+        self.names.push(entity.name().to_string());
+        self.entities.push(Some(entity));
+        id
+    }
+
+    /// Number of registered entities.
+    #[must_use]
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// The name an entity registered with.
+    ///
+    /// # Panics
+    /// Panics if the id is unknown.
+    #[must_use]
+    pub fn entity_name(&self, id: EntityId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Engine statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Immutable access to a registered entity, downcast by the caller.
+    ///
+    /// Returns `None` while that entity is being invoked (i.e. from within
+    /// its own `on_event`) — model code normally only calls this after the
+    /// run has finished to collect results.
+    #[must_use]
+    pub fn entity(&self, id: EntityId) -> Option<&dyn Entity<M>> {
+        self.entities
+            .get(id.index())
+            .and_then(|slot| slot.as_deref())
+    }
+
+    /// Removes an entity from the simulation after a run, returning ownership
+    /// to the caller so results can be extracted without borrowing games.
+    ///
+    /// # Panics
+    /// Panics if the id is unknown or the entity was already taken.
+    pub fn take_entity(&mut self, id: EntityId) -> Box<dyn Entity<M>> {
+        self.entities[id.index()]
+            .take()
+            .expect("entity already taken or currently executing")
+    }
+
+    /// Runs until the event list drains, the horizon or event limit is hit,
+    /// or an entity stops the simulation.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(None)
+    }
+
+    /// Runs up to the given time (inclusive); equivalent to setting a horizon
+    /// for this call only.
+    pub fn run_to(&mut self, until: SimTime) -> RunOutcome {
+        self.run_until(Some(until))
+    }
+
+    fn effective_horizon(&self, until: Option<SimTime>) -> Option<SimTime> {
+        match (self.horizon, until) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    fn run_until(&mut self, until: Option<SimTime>) -> RunOutcome {
+        let horizon = self.effective_horizon(until);
+        let mut stop_requested = false;
+
+        if !self.started {
+            self.started = true;
+            // Deliver on_start in registration order for determinism.
+            for idx in 0..self.entities.len() {
+                let mut entity = self.entities[idx]
+                    .take()
+                    .expect("entity missing during start-up");
+                let mut ctx = Context {
+                    now: self.clock,
+                    self_id: EntityId::new(idx),
+                    queue: &mut self.queue,
+                    rng: &mut self.rng,
+                    stop_requested: &mut stop_requested,
+                };
+                entity.on_start(&mut ctx);
+                self.entities[idx] = Some(entity);
+            }
+        }
+
+        let outcome = loop {
+            if stop_requested {
+                break RunOutcome::Stopped;
+            }
+            if self.stats.events_delivered >= self.max_events {
+                break RunOutcome::EventLimit;
+            }
+            let Some(next_time) = self.queue.peek_time() else {
+                break RunOutcome::Exhausted;
+            };
+            if let Some(h) = horizon {
+                if next_time > h {
+                    self.clock = h;
+                    break RunOutcome::HorizonReached;
+                }
+            }
+            let event = self.queue.pop().expect("peeked event must exist");
+            debug_assert!(
+                event.time >= self.clock,
+                "event queue returned an event from the past"
+            );
+            self.clock = event.time;
+
+            self.stats.events_delivered += 1;
+            match event.kind {
+                EventKind::Message if event.src != event.dst => {
+                    self.stats.messages_delivered += 1;
+                }
+                EventKind::Timer => self.stats.timers_delivered += 1,
+                EventKind::Message => {}
+            }
+
+            if self.tracing {
+                let label = truncate_label(format!("{:?}", event.payload), 96);
+                self.trace.record(TraceRecord {
+                    time: event.time,
+                    seq: event.seq,
+                    src: event.src,
+                    dst: event.dst,
+                    kind: event.kind,
+                    label,
+                });
+            }
+
+            let dst = event.dst.index();
+            let mut entity = self.entities[dst]
+                .take()
+                .unwrap_or_else(|| panic!("event addressed to unknown entity E{dst}"));
+            let mut ctx = Context {
+                now: self.clock,
+                self_id: event.dst,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                stop_requested: &mut stop_requested,
+            };
+            entity.on_event(event, &mut ctx);
+            self.entities[dst] = Some(entity);
+        };
+
+        self.stats.events_scheduled = self.queue.scheduled_total();
+        self.stats.events_dropped_at_stop = self.queue.len() as u64;
+        self.stats.end_time = self.clock;
+
+        // Deliver on_finish exactly once, after the final outcome is known.
+        let mut finish_stop = false;
+        for idx in 0..self.entities.len() {
+            if let Some(mut entity) = self.entities[idx].take() {
+                let mut ctx = Context {
+                    now: self.clock,
+                    self_id: EntityId::new(idx),
+                    queue: &mut self.queue,
+                    rng: &mut self.rng,
+                    stop_requested: &mut finish_stop,
+                };
+                entity.on_finish(&mut ctx);
+                self.entities[idx] = Some(entity);
+            }
+        }
+
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Tick,
+        Payload(u64),
+    }
+
+    /// Entity that re-schedules itself `remaining` times at a fixed period.
+    struct Clocker {
+        period: f64,
+        remaining: u32,
+        fired: u32,
+        finished: bool,
+    }
+
+    impl Entity<Msg> for Clocker {
+        fn name(&self) -> &str {
+            "clocker"
+        }
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if self.remaining > 0 {
+                ctx.timer(self.period, Msg::Tick);
+            }
+        }
+        fn on_event(&mut self, _event: Event<Msg>, ctx: &mut Context<'_, Msg>) {
+            self.fired += 1;
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                ctx.timer(self.period, Msg::Tick);
+            }
+        }
+        fn on_finish(&mut self, _ctx: &mut Context<'_, Msg>) {
+            self.finished = true;
+        }
+    }
+
+    struct Forwarder {
+        next: Option<EntityId>,
+        seen: Vec<u64>,
+    }
+
+    impl Entity<Msg> for Forwarder {
+        fn name(&self) -> &str {
+            "forwarder"
+        }
+        fn on_event(&mut self, event: Event<Msg>, ctx: &mut Context<'_, Msg>) {
+            if let Msg::Payload(v) = event.payload {
+                self.seen.push(v);
+                if let Some(next) = self.next {
+                    ctx.send(next, 1.0, Msg::Payload(v + 1));
+                }
+            }
+        }
+    }
+
+    struct Kickoff {
+        target: EntityId,
+    }
+    impl Entity<Msg> for Kickoff {
+        fn name(&self) -> &str {
+            "kickoff"
+        }
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.send(self.target, 0.0, Msg::Payload(0));
+        }
+        fn on_event(&mut self, _event: Event<Msg>, _ctx: &mut Context<'_, Msg>) {}
+    }
+
+    #[test]
+    fn periodic_timer_runs_to_exhaustion() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_entity(Box::new(Clocker {
+            period: 2.0,
+            remaining: 5,
+            fired: 0,
+            finished: false,
+        }));
+        let outcome = sim.run();
+        assert_eq!(outcome, RunOutcome::Exhausted);
+        assert_eq!(sim.now(), SimTime::new(10.0));
+        assert_eq!(sim.stats().timers_delivered, 5);
+        assert_eq!(sim.entity_name(id), "clocker");
+        let entity = sim.take_entity(id);
+        // Downcasting is not provided by the engine; the model keeps its own
+        // handles.  Here we just confirm the entity survived the run.
+        assert_eq!(entity.name(), "clocker");
+    }
+
+    #[test]
+    fn horizon_stops_delivery() {
+        let mut sim = Simulation::new(1);
+        sim.add_entity(Box::new(Clocker {
+            period: 2.0,
+            remaining: 100,
+            fired: 0,
+            finished: false,
+        }));
+        sim.set_horizon(SimTime::new(9.0));
+        let outcome = sim.run();
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(sim.now(), SimTime::new(9.0));
+        assert_eq!(sim.stats().timers_delivered, 4); // t = 2,4,6,8
+        assert_eq!(sim.stats().events_dropped_at_stop, 1);
+    }
+
+    #[test]
+    fn event_limit_is_a_safety_valve() {
+        let mut sim = Simulation::new(1);
+        sim.add_entity(Box::new(Clocker {
+            period: 1.0,
+            remaining: 1_000_000,
+            fired: 0,
+            finished: false,
+        }));
+        sim.set_max_events(10);
+        assert_eq!(sim.run(), RunOutcome::EventLimit);
+        assert_eq!(sim.stats().events_delivered, 10);
+    }
+
+    #[test]
+    fn chain_of_messages_is_delivered_in_order() {
+        let mut sim = Simulation::new(7);
+        let c = sim.add_entity(Box::new(Forwarder { next: None, seen: vec![] }));
+        let b = sim.add_entity(Box::new(Forwarder { next: Some(c), seen: vec![] }));
+        let a = sim.add_entity(Box::new(Forwarder { next: Some(b), seen: vec![] }));
+        sim.add_entity(Box::new(Kickoff { target: a }));
+        assert_eq!(sim.run(), RunOutcome::Exhausted);
+        assert_eq!(sim.stats().messages_delivered, 3);
+        assert_eq!(sim.now(), SimTime::new(2.0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn run_once() -> (u64, f64) {
+            let mut sim = Simulation::new(99);
+            let c = sim.add_entity(Box::new(Forwarder { next: None, seen: vec![] }));
+            let b = sim.add_entity(Box::new(Forwarder { next: Some(c), seen: vec![] }));
+            sim.add_entity(Box::new(Kickoff { target: b }));
+            sim.add_entity(Box::new(Clocker {
+                period: 0.7,
+                remaining: 20,
+                fired: 0,
+                finished: false,
+            }));
+            sim.run();
+            (sim.stats().events_delivered, sim.now().as_secs())
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "before the simulation starts")]
+    fn adding_entity_after_start_panics() {
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        sim.add_entity(Box::new(Kickoff { target: EntityId::new(0) }));
+        sim.run();
+        sim.add_entity(Box::new(Kickoff { target: EntityId::new(0) }));
+    }
+
+    #[test]
+    fn trace_captures_event_ordering() {
+        use crate::trace::VecTrace;
+        // Indirect check: install a VecTrace, run, then confirm counters via
+        // stats (the sink itself is consumed by the simulation).
+        let mut sim = Simulation::new(3);
+        let c = sim.add_entity(Box::new(Forwarder { next: None, seen: vec![] }));
+        sim.add_entity(Box::new(Kickoff { target: c }));
+        sim.set_trace(Box::new(VecTrace::new()));
+        sim.run();
+        assert_eq!(sim.stats().messages_delivered, 1);
+    }
+}

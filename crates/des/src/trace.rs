@@ -1,0 +1,131 @@
+//! Optional event tracing.
+//!
+//! A [`TraceSink`] receives one [`TraceRecord`] per delivered event.  The
+//! default simulation uses [`NullTrace`] (zero overhead); tests and debugging
+//! sessions can install [`VecTrace`] or a custom sink to inspect the exact
+//! event ordering of a run.
+
+use crate::entity::EntityId;
+use crate::event::EventKind;
+use crate::time::SimTime;
+
+/// A single delivered-event record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Delivery time.
+    pub time: SimTime,
+    /// Sequence number assigned by the event queue.
+    pub seq: u64,
+    /// Sender entity.
+    pub src: EntityId,
+    /// Receiver entity.
+    pub dst: EntityId,
+    /// Message or timer.
+    pub kind: EventKind,
+    /// Short human-readable description of the payload (produced by the
+    /// model's `Debug` impl, truncated).
+    pub label: String,
+}
+
+/// Receives trace records while the simulation runs.
+pub trait TraceSink {
+    /// Called once per delivered event.
+    fn record(&mut self, record: TraceRecord);
+}
+
+/// Discards all records (the default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTrace;
+
+impl TraceSink for NullTrace {
+    fn record(&mut self, _record: TraceRecord) {}
+}
+
+/// Stores all records in memory for later inspection.
+#[derive(Debug, Default)]
+pub struct VecTrace {
+    records: Vec<TraceRecord>,
+}
+
+impl VecTrace {
+    /// Creates an empty in-memory trace.
+    #[must_use]
+    pub fn new() -> Self {
+        VecTrace { records: Vec::new() }
+    }
+
+    /// The records captured so far.
+    #[must_use]
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consumes the trace and returns the records.
+    #[must_use]
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+}
+
+impl TraceSink for VecTrace {
+    fn record(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+}
+
+/// Truncates a debug label to a bounded length so traces of large payloads
+/// (whole jobs) stay readable.
+#[must_use]
+pub fn truncate_label(mut label: String, max_len: usize) -> String {
+    if label.len() > max_len {
+        // Avoid splitting a UTF-8 code point.
+        let mut cut = max_len;
+        while !label.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        label.truncate(cut);
+        label.push('…');
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: f64) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::new(t),
+            seq: 0,
+            src: EntityId::new(0),
+            dst: EntityId::new(1),
+            kind: EventKind::Message,
+            label: "x".into(),
+        }
+    }
+
+    #[test]
+    fn vec_trace_collects() {
+        let mut t = VecTrace::new();
+        t.record(rec(1.0));
+        t.record(rec(2.0));
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.into_records().len(), 2);
+    }
+
+    #[test]
+    fn null_trace_is_silent() {
+        let mut t = NullTrace;
+        t.record(rec(1.0)); // must not panic, does nothing
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let s = "αβγδεζηθ".to_string(); // 2 bytes per char
+        let out = truncate_label(s, 5);
+        assert!(out.ends_with('…'));
+        assert!(out.chars().count() <= 4);
+        let short = truncate_label("ab".into(), 5);
+        assert_eq!(short, "ab");
+    }
+}

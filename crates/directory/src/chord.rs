@@ -1,0 +1,369 @@
+//! A Chord-style structured overlay used to validate the paper's `O(log n)`
+//! directory assumption.
+//!
+//! The paper assumes an efficient P2P directory (it cites MAAN-style
+//! multi-attribute DHTs) and models each ranking query as `O(log n)`
+//! messages.  [`ChordOverlay`] implements real Chord routing state — node
+//! identifiers on a 2⁶⁴ ring and per-node finger tables — and counts the hops
+//! taken by greedy closest-preceding-finger routing.  [`ChordDirectory`]
+//! layers the federation-directory interface on top: every ranking query is
+//! routed through the overlay from a rotating origin node so that the *hop
+//! count is measured*, while the query result itself is resolved exactly
+//! (rank data placement is idealised — the point of this module is to check
+//! the message-cost model, not to re-implement MAAN's range trees).
+
+use crate::ideal::IdealDirectory;
+use crate::quote::{FederationDirectory, Quote};
+
+/// SplitMix64 hash used to place nodes and keys on the ring.
+fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Is `x` in the half-open ring interval `(from, to]`?
+fn in_interval(x: u64, from: u64, to: u64) -> bool {
+    if from < to {
+        x > from && x <= to
+    } else if from > to {
+        x > from || x <= to
+    } else {
+        // from == to: the interval covers the whole ring.
+        true
+    }
+}
+
+/// One overlay node: its ring identifier and finger table.
+#[derive(Debug, Clone)]
+struct ChordNode {
+    /// Index of the GFA this node represents.
+    gfa: usize,
+    /// Ring identifier.
+    id: u64,
+    /// `fingers[j]` = index (into the overlay's node vector) of the successor
+    /// of `id + 2^j`.
+    fingers: Vec<usize>,
+}
+
+/// A Chord ring over the federation's GFAs.
+#[derive(Debug, Clone)]
+pub struct ChordOverlay {
+    nodes: Vec<ChordNode>,
+    /// Node vector indices sorted by ring id, for successor lookups.
+    ring_order: Vec<usize>,
+}
+
+impl ChordOverlay {
+    /// Number of finger-table entries (bits of the identifier space).
+    pub const ID_BITS: usize = 64;
+
+    /// Builds an overlay of `n` nodes (GFA indices `0..n`), placing each node
+    /// at `hash64(seed ⊕ gfa)` on the ring.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "an overlay needs at least one node");
+        let mut nodes: Vec<ChordNode> = (0..n)
+            .map(|gfa| ChordNode {
+                gfa,
+                id: hash64(seed ^ (gfa as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)),
+                fingers: Vec::new(),
+            })
+            .collect();
+        let mut ring_order: Vec<usize> = (0..n).collect();
+        ring_order.sort_by_key(|&i| nodes[i].id);
+
+        // Successor of an arbitrary key, as an index into `nodes`.
+        let successor_of = |key: u64, nodes: &[ChordNode], ring: &[usize]| -> usize {
+            match ring.binary_search_by(|&i| nodes[i].id.cmp(&key)) {
+                Ok(pos) => ring[pos],
+                Err(pos) => ring[pos % ring.len()],
+            }
+        };
+
+        for i in 0..n {
+            let id = nodes[i].id;
+            let fingers: Vec<usize> = (0..Self::ID_BITS)
+                .map(|j| {
+                    let target = id.wrapping_add(1u64.wrapping_shl(j as u32));
+                    successor_of(target, &nodes, &ring_order)
+                })
+                .collect();
+            nodes[i].fingers = fingers;
+        }
+        ChordOverlay { nodes, ring_order }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the overlay is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The GFA index owning `key` (its successor on the ring).
+    #[must_use]
+    pub fn owner_of(&self, key: u64) -> usize {
+        let idx = match self
+            .ring_order
+            .binary_search_by(|&i| self.nodes[i].id.cmp(&key))
+        {
+            Ok(pos) => self.ring_order[pos],
+            Err(pos) => self.ring_order[pos % self.ring_order.len()],
+        };
+        self.nodes[idx].gfa
+    }
+
+    /// Routes from the node representing `from_gfa` towards `key` using
+    /// closest-preceding-finger forwarding.  Returns `(owner_gfa, hops)`
+    /// where `hops` is the number of overlay messages used.
+    ///
+    /// # Panics
+    /// Panics if `from_gfa` is not part of the overlay.
+    #[must_use]
+    pub fn lookup(&self, from_gfa: usize, key: u64) -> (usize, u32) {
+        let mut current = self
+            .nodes
+            .iter()
+            .position(|n| n.gfa == from_gfa)
+            .unwrap_or_else(|| panic!("GFA {from_gfa} is not in the overlay"));
+        let mut hops = 0u32;
+        // Hard bound to guarantee termination even if the finger tables were
+        // corrupted; 4·bits is far beyond any legitimate route length.
+        let max_hops = (Self::ID_BITS as u32) * 4;
+        loop {
+            let node = &self.nodes[current];
+            let successor = node.fingers[0];
+            if in_interval(key, node.id, self.nodes[successor].id) {
+                return (self.nodes[successor].gfa, hops + 1);
+            }
+            // Closest preceding finger.
+            let mut next = successor;
+            for &f in node.fingers.iter().rev() {
+                if in_interval(self.nodes[f].id, node.id, key.wrapping_sub(1)) {
+                    next = f;
+                    break;
+                }
+            }
+            if next == current {
+                return (node.gfa, hops);
+            }
+            current = next;
+            hops += 1;
+            if hops >= max_hops {
+                return (self.nodes[current].gfa, hops);
+            }
+        }
+    }
+
+    /// Average hops over a deterministic sample of `samples` random lookups,
+    /// used by tests and the directory ablation bench.
+    #[must_use]
+    pub fn average_lookup_hops(&self, samples: usize, seed: u64) -> f64 {
+        if samples == 0 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        for s in 0..samples {
+            let key = hash64(seed ^ (s as u64).wrapping_mul(0x9E37_79B9));
+            let from = (hash64(seed.wrapping_add(s as u64)) % self.nodes.len() as u64) as usize;
+            let (_, hops) = self.lookup(from, key);
+            total += u64::from(hops);
+        }
+        total as f64 / samples as f64
+    }
+}
+
+/// A federation directory whose ranking queries are routed through a
+/// [`ChordOverlay`], so that each query's message cost is a *measured* hop
+/// count rather than the idealised `⌈log₂ n⌉`.
+#[derive(Debug)]
+pub struct ChordDirectory {
+    overlay: ChordOverlay,
+    exact: IdealDirectory,
+    /// Rotates the query origin so hops are averaged over all entry points.
+    next_origin: std::cell::Cell<usize>,
+    hops_total: std::cell::Cell<u64>,
+    seed: u64,
+}
+
+impl ChordDirectory {
+    /// Builds the directory for `n` GFAs.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> Self {
+        ChordDirectory {
+            overlay: ChordOverlay::new(n, seed),
+            exact: IdealDirectory::new(),
+            next_origin: std::cell::Cell::new(0),
+            hops_total: std::cell::Cell::new(0),
+            seed,
+        }
+    }
+
+    /// The underlying overlay (for inspection in benches and tests).
+    #[must_use]
+    pub fn overlay(&self) -> &ChordOverlay {
+        &self.overlay
+    }
+
+    /// Total overlay hops spent on ranking queries so far.
+    #[must_use]
+    pub fn hops_total(&self) -> u64 {
+        self.hops_total.get()
+    }
+
+    /// Average hops per ranking query served so far.
+    #[must_use]
+    pub fn average_hops_per_query(&self) -> f64 {
+        let served = self.exact.queries_served();
+        if served == 0 {
+            0.0
+        } else {
+            self.hops_total.get() as f64 / served as f64
+        }
+    }
+
+    fn route_query(&self, dimension: u64, rank: usize) {
+        let key = hash64(self.seed ^ dimension.wrapping_mul(31) ^ (rank as u64).wrapping_mul(0x517C_C1B7));
+        let origin = self.next_origin.get() % self.overlay.len();
+        self.next_origin.set(origin + 1);
+        let (_, hops) = self.overlay.lookup(origin, key);
+        self.hops_total.set(self.hops_total.get() + u64::from(hops));
+    }
+}
+
+impl FederationDirectory for ChordDirectory {
+    fn subscribe(&mut self, quote: Quote) {
+        self.exact.subscribe(quote);
+    }
+    fn unsubscribe(&mut self, gfa: usize) {
+        self.exact.unsubscribe(gfa);
+    }
+    fn update_price(&mut self, gfa: usize, price: f64) {
+        self.exact.update_price(gfa, price);
+    }
+    fn kth_cheapest(&self, r: usize) -> Option<Quote> {
+        if r == 0 {
+            return None;
+        }
+        self.route_query(1, r);
+        self.exact.kth_cheapest(r)
+    }
+    fn kth_fastest(&self, r: usize) -> Option<Quote> {
+        if r == 0 {
+            return None;
+        }
+        self.route_query(2, r);
+        self.exact.kth_fastest(r)
+    }
+    fn len(&self) -> usize {
+        self.exact.len()
+    }
+    fn query_message_cost(&self) -> u64 {
+        // Report the measured average, falling back to the model before any
+        // query has been served.
+        let avg = self.average_hops_per_query();
+        if avg > 0.0 {
+            avg.round() as u64
+        } else {
+            self.exact.query_message_cost()
+        }
+    }
+    fn queries_served(&self) -> u64 {
+        self.exact.queries_served()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_cluster::paper_resources;
+
+    #[test]
+    fn ring_interval_logic() {
+        assert!(in_interval(5, 3, 8));
+        assert!(!in_interval(9, 3, 8));
+        assert!(in_interval(8, 3, 8));
+        assert!(!in_interval(3, 3, 8));
+        // Wrapping interval (from > to).
+        assert!(in_interval(1, 60, 5));
+        assert!(in_interval(62, 60, 5));
+        assert!(!in_interval(30, 60, 5));
+        // Degenerate single-node ring.
+        assert!(in_interval(42, 7, 7));
+    }
+
+    #[test]
+    fn lookup_agrees_with_ring_successor() {
+        let overlay = ChordOverlay::new(32, 99);
+        for probe in 0..200u64 {
+            let key = hash64(probe.wrapping_mul(0xABCD_EF12_3456));
+            let expected = overlay.owner_of(key);
+            for from in [0usize, 7, 15, 31] {
+                let (owner, hops) = overlay.lookup(from, key);
+                assert_eq!(owner, expected, "key {key} from {from}");
+                assert!(hops >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_terminate_in_logarithmic_hops() {
+        for &n in &[8usize, 16, 32, 64, 128] {
+            let overlay = ChordOverlay::new(n, 7);
+            let bound = 2.0 * (n as f64).log2() + 4.0;
+            let avg = overlay.average_lookup_hops(500, 123);
+            assert!(
+                avg <= bound,
+                "n = {n}: average hops {avg} exceeds 2·log2(n)+4 = {bound}"
+            );
+            assert!(avg >= 1.0);
+        }
+    }
+
+    #[test]
+    fn bigger_rings_need_more_hops_on_average() {
+        let small = ChordOverlay::new(8, 5).average_lookup_hops(800, 9);
+        let large = ChordOverlay::new(256, 5).average_lookup_hops(800, 9);
+        assert!(
+            large > small,
+            "expected more hops on the larger ring ({large} vs {small})"
+        );
+    }
+
+    #[test]
+    fn chord_directory_returns_exact_results_with_measured_cost() {
+        let mut dir = ChordDirectory::new(8, 11);
+        for (i, r) in paper_resources().iter().enumerate() {
+            dir.subscribe(Quote::from_spec(i, &r.spec));
+        }
+        assert_eq!(dir.len(), 8);
+        assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 3); // LANL Origin
+        assert_eq!(dir.kth_fastest(1).unwrap().gfa, 4); // NASA iPSC
+        assert!(dir.kth_cheapest(0).is_none());
+        assert!(dir.kth_fastest(100).is_none());
+        assert!(dir.queries_served() >= 3);
+        assert!(dir.hops_total() >= 1);
+        assert!(dir.average_hops_per_query() >= 1.0);
+        assert!(dir.query_message_cost() >= 1);
+        assert!(!dir.overlay().is_empty());
+    }
+
+    #[test]
+    fn single_node_overlay_works() {
+        let overlay = ChordOverlay::new(1, 0);
+        let (owner, hops) = overlay.lookup(0, 12345);
+        assert_eq!(owner, 0);
+        assert!(hops <= 1);
+    }
+}

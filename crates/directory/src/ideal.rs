@@ -1,0 +1,244 @@
+//! The idealised federation directory used by the experiments.
+//!
+//! Quotes are kept in two rank orders (by price and by speed) that are
+//! rebuilt lazily after mutations.  Queries are exact and deterministic; the
+//! *modelled* message cost of a query is `⌈log₂ n⌉`, matching the paper's
+//! assumption of an efficient P2P directory ("we assume the query process is
+//! optimal, i.e. that it takes O(log n) messages to query the directory").
+
+use std::cell::Cell;
+
+use crate::quote::{FederationDirectory, Quote};
+
+/// Exact, centrally-computed directory with an `O(log n)` message-cost model.
+#[derive(Debug, Default)]
+pub struct IdealDirectory {
+    quotes: Vec<Quote>,
+    by_price: Vec<usize>,
+    by_speed: Vec<usize>,
+    dirty: bool,
+    queries: Cell<u64>,
+}
+
+impl IdealDirectory {
+    /// Creates an empty directory.
+    #[must_use]
+    pub fn new() -> Self {
+        IdealDirectory::default()
+    }
+
+    /// Creates a directory pre-populated with quotes.
+    #[must_use]
+    pub fn with_quotes(quotes: impl IntoIterator<Item = Quote>) -> Self {
+        let mut dir = IdealDirectory::new();
+        for q in quotes {
+            dir.subscribe(q);
+        }
+        dir
+    }
+
+    fn rebuild_if_dirty(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.by_price = (0..self.quotes.len()).collect();
+        self.by_price.sort_by(|&a, &b| {
+            self.quotes[a]
+                .price
+                .total_cmp(&self.quotes[b].price)
+                .then_with(|| self.quotes[a].gfa.cmp(&self.quotes[b].gfa))
+        });
+        self.by_speed = (0..self.quotes.len()).collect();
+        self.by_speed.sort_by(|&a, &b| {
+            self.quotes[b]
+                .mips
+                .total_cmp(&self.quotes[a].mips)
+                .then_with(|| self.quotes[a].gfa.cmp(&self.quotes[b].gfa))
+        });
+        self.dirty = false;
+    }
+
+    /// Immutable variant of the rank lookup.  The index vectors are rebuilt
+    /// eagerly on mutation, so by the time queries arrive the directory is
+    /// clean; the assertion documents that invariant.
+    fn ranked(&self, order: &[usize], r: usize) -> Option<Quote> {
+        assert!(!self.dirty, "directory indices must be rebuilt before querying");
+        if r == 0 {
+            return None;
+        }
+        self.queries.set(self.queries.get() + 1);
+        order.get(r - 1).map(|&i| self.quotes[i])
+    }
+
+    /// All quotes currently subscribed, in subscription order.
+    #[must_use]
+    pub fn quotes(&self) -> &[Quote] {
+        &self.quotes
+    }
+}
+
+impl FederationDirectory for IdealDirectory {
+    fn subscribe(&mut self, quote: Quote) {
+        if let Some(existing) = self.quotes.iter_mut().find(|q| q.gfa == quote.gfa) {
+            *existing = quote;
+        } else {
+            self.quotes.push(quote);
+        }
+        self.dirty = true;
+        self.rebuild_if_dirty();
+    }
+
+    fn unsubscribe(&mut self, gfa: usize) {
+        self.quotes.retain(|q| q.gfa != gfa);
+        self.dirty = true;
+        self.rebuild_if_dirty();
+    }
+
+    fn update_price(&mut self, gfa: usize, price: f64) {
+        if let Some(q) = self.quotes.iter_mut().find(|q| q.gfa == gfa) {
+            q.price = price;
+            self.dirty = true;
+            self.rebuild_if_dirty();
+        }
+    }
+
+    fn kth_cheapest(&self, r: usize) -> Option<Quote> {
+        self.ranked(&self.by_price, r)
+    }
+
+    fn kth_fastest(&self, r: usize) -> Option<Quote> {
+        self.ranked(&self.by_speed, r)
+    }
+
+    fn len(&self) -> usize {
+        self.quotes.len()
+    }
+
+    fn query_message_cost(&self) -> u64 {
+        let n = self.quotes.len().max(1) as f64;
+        n.log2().ceil().max(1.0) as u64
+    }
+
+    fn queries_served(&self) -> u64 {
+        self.queries.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_cluster::paper_resources;
+
+    fn paper_directory() -> IdealDirectory {
+        IdealDirectory::with_quotes(
+            paper_resources()
+                .iter()
+                .enumerate()
+                .map(|(i, r)| Quote::from_spec(i, &r.spec)),
+        )
+    }
+
+    #[test]
+    fn cheapest_and_fastest_rankings_match_table1() {
+        let dir = paper_directory();
+        assert_eq!(dir.len(), 8);
+        assert!(!dir.is_empty());
+        // Cheapest: LANL Origin (3.59), then LANL CM5 (3.98).
+        assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 3);
+        assert_eq!(dir.kth_cheapest(2).unwrap().gfa, 2);
+        // Fastest: NASA iPSC (930), then SDSC SP2 (920), then KTH SP2 (900).
+        assert_eq!(dir.kth_fastest(1).unwrap().gfa, 4);
+        assert_eq!(dir.kth_fastest(2).unwrap().gfa, 7);
+        assert_eq!(dir.kth_fastest(3).unwrap().gfa, 1);
+        // Rank past the end → None; rank 0 is invalid → None.
+        assert!(dir.kth_cheapest(9).is_none());
+        assert!(dir.kth_cheapest(0).is_none());
+    }
+
+    #[test]
+    fn rankings_agree_with_a_sorted_oracle() {
+        let dir = paper_directory();
+        let mut prices: Vec<f64> = dir.quotes().iter().map(|q| q.price).collect();
+        prices.sort_by(f64::total_cmp);
+        for (i, price) in prices.iter().enumerate() {
+            assert_eq!(dir.kth_cheapest(i + 1).unwrap().price, *price);
+        }
+        let mut speeds: Vec<f64> = dir.quotes().iter().map(|q| q.mips).collect();
+        speeds.sort_by(|a, b| b.total_cmp(a));
+        for (i, mips) in speeds.iter().enumerate() {
+            assert_eq!(dir.kth_fastest(i + 1).unwrap().mips, *mips);
+        }
+    }
+
+    #[test]
+    fn resubscription_overwrites_and_unsubscribe_removes() {
+        let mut dir = paper_directory();
+        // Make GFA 0 the cheapest by republishing with a lower price.
+        let mut q = *dir.quotes().iter().find(|q| q.gfa == 0).unwrap();
+        q.price = 1.0;
+        dir.subscribe(q);
+        assert_eq!(dir.len(), 8);
+        assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 0);
+        dir.unsubscribe(0);
+        assert_eq!(dir.len(), 7);
+        assert_ne!(dir.kth_cheapest(1).unwrap().gfa, 0);
+    }
+
+    #[test]
+    fn update_price_rebuilds_ranking() {
+        let mut dir = paper_directory();
+        dir.update_price(1, 0.5);
+        assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 1);
+        // Updating an unknown GFA is a no-op.
+        dir.update_price(99, 0.1);
+        assert_eq!(dir.len(), 8);
+    }
+
+    #[test]
+    fn query_cost_is_log2_of_size() {
+        let dir = paper_directory();
+        assert_eq!(dir.query_message_cost(), 3); // ceil(log2(8))
+        let mut small = IdealDirectory::new();
+        small.subscribe(Quote {
+            gfa: 0,
+            processors: 1,
+            mips: 1.0,
+            bandwidth: 1.0,
+            price: 1.0,
+        });
+        assert_eq!(small.query_message_cost(), 1);
+        let big = IdealDirectory::with_quotes((0..50).map(|i| Quote {
+            gfa: i,
+            processors: 1,
+            mips: 1.0 + i as f64,
+            bandwidth: 1.0,
+            price: 1.0 + i as f64,
+        }));
+        assert_eq!(big.query_message_cost(), 6); // ceil(log2(50))
+    }
+
+    #[test]
+    fn queries_are_counted() {
+        let dir = paper_directory();
+        assert_eq!(dir.queries_served(), 0);
+        let _ = dir.kth_cheapest(1);
+        let _ = dir.kth_fastest(2);
+        let _ = dir.kth_fastest(0); // invalid rank: not counted
+        assert_eq!(dir.queries_served(), 2);
+    }
+
+    #[test]
+    fn ties_are_broken_by_gfa_index() {
+        let dir = IdealDirectory::with_quotes((0..4).map(|i| Quote {
+            gfa: 3 - i, // subscribe in reverse order
+            processors: 8,
+            mips: 500.0,
+            bandwidth: 1.0,
+            price: 2.5,
+        }));
+        let order: Vec<usize> = (1..=4).map(|r| dir.kth_cheapest(r).unwrap().gfa).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        let order: Vec<usize> = (1..=4).map(|r| dir.kth_fastest(r).unwrap().gfa).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+}

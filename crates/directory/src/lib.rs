@@ -1,0 +1,32 @@
+//! # grid-directory — the shared federation directory
+//!
+//! The Grid-Federation paper *assumes* the existence of a decentralised,
+//! P2P-style directory with efficient updates and range queries: every GFA
+//! publishes a quote (its resource description `R_i` and access price `c_i`)
+//! and can ask for the *r*-th cheapest or *r*-th fastest cluster, at a cost of
+//! `O(log n)` messages per query.  The paper deliberately excludes these
+//! directory messages from its message-complexity figures and only counts the
+//! negotiation traffic.
+//!
+//! This crate supplies both the assumed abstraction and a concrete check of
+//! it:
+//!
+//! * [`ideal::IdealDirectory`] — the model the experiments use: a consistent
+//!   quote store with exact `k`-th cheapest / fastest queries whose *modelled*
+//!   cost is `⌈log₂ n⌉` messages, matching the paper's assumption.
+//! * [`chord::ChordOverlay`] / [`chord::ChordDirectory`] — a Chord-style
+//!   structured overlay in which quotes are indexed by price-rank and
+//!   speed-rank keys; lookups route through actual finger tables and report
+//!   real hop counts, which the `ablation_directory` benchmark compares
+//!   against the idealised `⌈log₂ n⌉` model.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chord;
+pub mod ideal;
+pub mod quote;
+
+pub use chord::{ChordDirectory, ChordOverlay};
+pub use ideal::IdealDirectory;
+pub use quote::{FederationDirectory, Quote};

@@ -1,0 +1,111 @@
+//! Quotes and the directory interface.
+
+use grid_cluster::ResourceSpec;
+
+/// A quote published into the federation directory by a GFA: the resource
+/// description `R_i` plus the access price `c_i` configured by the owner.
+///
+/// Quotes are small `Copy` values so that query results can be handed around
+/// without allocation; the human-readable resource name stays with the GFA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quote {
+    /// Index of the GFA (and therefore the cluster) that published the quote.
+    pub gfa: usize,
+    /// Number of processors `p_i`.
+    pub processors: u32,
+    /// Per-processor speed `µ_i` in MIPS.
+    pub mips: f64,
+    /// Interconnect bandwidth `γ_i` in Gb/s.
+    pub bandwidth: f64,
+    /// Access price `c_i` in Grid Dollars.
+    pub price: f64,
+}
+
+impl Quote {
+    /// Builds a quote from a GFA index and its resource description.
+    #[must_use]
+    pub fn from_spec(gfa: usize, spec: &ResourceSpec) -> Self {
+        Quote {
+            gfa,
+            processors: spec.processors,
+            mips: spec.mips,
+            bandwidth: spec.bandwidth,
+            price: spec.price,
+        }
+    }
+
+    /// Reconstructs a [`ResourceSpec`] (with a synthetic name) from the quote,
+    /// for callers that want to reuse the cost-model functions directly.
+    #[must_use]
+    pub fn to_spec(&self) -> ResourceSpec {
+        ResourceSpec::new(
+            &format!("gfa-{}", self.gfa),
+            self.processors,
+            self.mips,
+            self.bandwidth,
+            self.price,
+        )
+    }
+}
+
+/// The interface every federation-directory implementation provides.
+///
+/// The ranking queries use 1-based ranks to match the paper's description of
+/// the algorithm ("query the federation directory for the r-th fastest
+/// cluster", r = 1, 2, …).
+pub trait FederationDirectory {
+    /// Publishes (or republishes) a quote.  A GFA republishing overwrites its
+    /// previous quote.
+    fn subscribe(&mut self, quote: Quote);
+
+    /// Removes a GFA's quote from the directory.
+    fn unsubscribe(&mut self, gfa: usize);
+
+    /// Updates just the price of an existing quote (the paper's
+    /// "quote" primitive).  Does nothing if the GFA is not subscribed.
+    fn update_price(&mut self, gfa: usize, price: f64);
+
+    /// The `r`-th cheapest quote (1-based).  Ties are broken by GFA index so
+    /// that results are deterministic.
+    fn kth_cheapest(&self, r: usize) -> Option<Quote>;
+
+    /// The `r`-th fastest quote (1-based, by per-processor MIPS).  Ties are
+    /// broken by GFA index.
+    fn kth_fastest(&self, r: usize) -> Option<Quote>;
+
+    /// Number of subscribed GFAs.
+    fn len(&self) -> usize;
+
+    /// Whether the directory is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The number of messages one ranking query costs in this directory
+    /// implementation.  The experiments use this to model (but separately
+    /// account) directory traffic, exactly as the paper assumes `O(log n)`.
+    fn query_message_cost(&self) -> u64;
+
+    /// Total ranking queries served since construction.
+    fn queries_served(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_roundtrips_through_spec() {
+        let spec = ResourceSpec::new("CTC SP2", 512, 850.0, 2.0, 4.84);
+        let q = Quote::from_spec(3, &spec);
+        assert_eq!(q.gfa, 3);
+        assert_eq!(q.processors, 512);
+        assert_eq!(q.mips, 850.0);
+        let back = q.to_spec();
+        assert_eq!(back.processors, spec.processors);
+        assert_eq!(back.mips, spec.mips);
+        assert_eq!(back.bandwidth, spec.bandwidth);
+        assert_eq!(back.price, spec.price);
+        assert_eq!(back.name, "gfa-3");
+    }
+}

@@ -1,0 +1,47 @@
+//! Experiment 1 binary: independent resources (regenerates Table 2).
+//!
+//! Usage: `exp1_independent [--quick] [--out DIR]`
+
+use std::path::PathBuf;
+
+use grid_experiments::exp1;
+use grid_experiments::workloads::WorkloadOptions;
+
+fn parse_args() -> (WorkloadOptions, PathBuf) {
+    let mut options = WorkloadOptions::default();
+    let mut out = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options = WorkloadOptions::quick(),
+            "--out" => {
+                out = PathBuf::from(args.next().expect("--out needs a directory"));
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    (options, out)
+}
+
+fn main() {
+    let (options, out) = parse_args();
+    eprintln!("running experiment 1 (independent resources)…");
+    let result = exp1::run(&options);
+    let table = exp1::table2(&result);
+    println!("{}", table.to_ascii());
+    println!(
+        "mean acceptance rate: {:.2} %   mean utilization: {:.2} %",
+        result.report.mean_acceptance_rate(),
+        result.report.mean_utilization_percent()
+    );
+    let path = out.join("table2_independent.csv");
+    table.write_csv(&path).expect("failed to write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,54 @@
+//! Experiment 5 binary: message complexity as the federation scales from 10
+//! to 50 clusters (regenerates Figures 10 and 11).
+//!
+//! Usage: `exp5_scalability [--quick] [--out DIR]`
+
+use std::path::PathBuf;
+
+use grid_experiments::exp5::{self, Stat};
+use grid_experiments::workloads::WorkloadOptions;
+
+fn parse_args() -> (WorkloadOptions, PathBuf) {
+    let mut options = WorkloadOptions::default();
+    let mut out = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options = WorkloadOptions::quick(),
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a directory")),
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    (options, out)
+}
+
+fn main() {
+    let (options, out) = parse_args();
+    eprintln!("running experiment 5 (system size 10–50)… this is the largest sweep");
+    let sweep = exp5::run(&options);
+
+    let mut outputs = Vec::new();
+    for stat in Stat::ALL {
+        outputs.push((
+            format!("fig10_{}_msgs_per_job.csv", stat.label()),
+            exp5::figure10(&sweep, stat),
+        ));
+        outputs.push((
+            format!("fig11_{}_msgs_per_gfa.csv", stat.label()),
+            exp5::figure11(&sweep, stat),
+        ));
+    }
+    for (name, table) in &outputs {
+        println!("{}", table.to_ascii());
+        let path = out.join(name);
+        table.write_csv(&path).expect("failed to write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,66 @@
+//! Prints the static tables of the paper: Table 1 (resource configuration,
+//! with prices recomputed from the pricing function) and Table 4 (the
+//! qualitative superscheduler comparison).
+//!
+//! Usage: `exp_tables [--table 1|4]`
+
+use grid_baselines::comparison;
+use grid_cluster::paper_resources;
+use grid_experiments::report::{f2, DataTable};
+use grid_federation_core::{quote_price, PAPER_ACCESS_PRICE};
+
+fn table1() -> DataTable {
+    let resources = paper_resources();
+    let max_mips = resources
+        .iter()
+        .map(|r| r.spec.mips)
+        .fold(f64::MIN, f64::max);
+    let mut t = DataTable::new(
+        "Table 1: Workload and Resource Configuration",
+        &[
+            "Index",
+            "Resource / Cluster Name",
+            "Trace",
+            "Processors",
+            "MIPS (rating)",
+            "Jobs (2 days)",
+            "Quote (Table 1)",
+            "Quote (Eq. 6)",
+            "NIC Bandwidth (Gb/s)",
+        ],
+    );
+    for (i, r) in resources.iter().enumerate() {
+        t.push_row(vec![
+            (i + 1).to_string(),
+            r.spec.name.clone(),
+            r.trace_name.to_string(),
+            r.spec.processors.to_string(),
+            f2(r.spec.mips),
+            r.jobs_two_days.to_string(),
+            f2(r.spec.price),
+            f2(quote_price(PAPER_ACCESS_PRICE, max_mips, r.spec.mips)),
+            f2(r.spec.bandwidth),
+        ]);
+    }
+    t
+}
+
+fn main() {
+    let mut which: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--table" => which = Some(args.next().expect("--table needs a number")),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    match which.as_deref() {
+        Some("1") => println!("{}", table1().to_ascii()),
+        Some("4") => println!("{}", comparison::table4_ascii()),
+        Some(other) => panic!("only tables 1 and 4 are static; got {other}"),
+        None => {
+            println!("{}", table1().to_ascii());
+            println!("{}", comparison::table4_ascii());
+        }
+    }
+}

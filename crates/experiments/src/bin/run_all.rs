@@ -1,0 +1,124 @@
+//! Regenerates every table and figure of the paper in one run and writes the
+//! CSVs plus a markdown summary (paper vs. measured) under `results/`.
+//!
+//! Usage: `run_all [--quick] [--out DIR]`
+//!
+//! `--quick` uses 1/8 of the paper's job counts and a reduced Experiment 5
+//! grid; the full run takes a few minutes in release mode.
+
+use std::fs;
+use std::path::PathBuf;
+
+use grid_experiments::exp5::Stat;
+use grid_experiments::summary::HeadlineClaims;
+use grid_experiments::workloads::WorkloadOptions;
+use grid_experiments::{exp1, exp2, exp3, exp4, exp5};
+use grid_workload::PopulationProfile;
+
+fn parse_args() -> (WorkloadOptions, PathBuf, bool) {
+    let mut options = WorkloadOptions::default();
+    let mut out = PathBuf::from("results");
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                options = WorkloadOptions::quick();
+                quick = true;
+            }
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a directory")),
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    (options, out, quick)
+}
+
+fn main() {
+    let (options, out, quick) = parse_args();
+    fs::create_dir_all(&out).expect("failed to create output directory");
+
+    eprintln!("[1/5] experiment 1: independent resources");
+    let e1 = exp1::run(&options);
+    exp1::table2(&e1)
+        .write_csv(&out.join("table2_independent.csv"))
+        .expect("write table2");
+
+    eprintln!("[2/5] experiment 2: federation without economy");
+    let e2 = exp2::run(&options);
+    exp2::table3(&e2)
+        .write_csv(&out.join("table3_federation.csv"))
+        .expect("write table3");
+    exp2::figure2a(&e2)
+        .write_csv(&out.join("fig2a_utilization.csv"))
+        .expect("write fig2a");
+    exp2::figure2b(&e2)
+        .write_csv(&out.join("fig2b_job_migration.csv"))
+        .expect("write fig2b");
+
+    eprintln!("[3/5] experiment 3: economy, 11 population profiles");
+    let sweep = exp3::run(&options);
+    for (name, table) in [
+        ("fig3a_incentive.csv", exp3::figure3a(&sweep)),
+        ("fig3b_remote_jobs.csv", exp3::figure3b(&sweep)),
+        ("fig4_utilization.csv", exp3::figure4(&sweep)),
+        ("fig5_job_processing.csv", exp3::figure5(&sweep)),
+        ("fig6_rejected.csv", exp3::figure6(&sweep)),
+        ("fig7a_response_excl.csv", exp3::figure7a(&sweep)),
+        ("fig7b_budget_excl.csv", exp3::figure7b(&sweep)),
+        ("fig8a_response_incl.csv", exp3::figure8a(&sweep)),
+        ("fig8b_budget_incl.csv", exp3::figure8b(&sweep)),
+    ] {
+        table.write_csv(&out.join(name)).expect("write exp3 figure");
+    }
+
+    eprintln!("[4/5] experiment 4: message complexity per GFA");
+    for (name, table) in [
+        ("fig9a_remote_messages.csv", exp4::figure9a(&sweep)),
+        ("fig9b_local_messages.csv", exp4::figure9b(&sweep)),
+        ("fig9c_total_messages.csv", exp4::figure9c(&sweep)),
+    ] {
+        table.write_csv(&out.join(name)).expect("write exp4 figure");
+    }
+
+    eprintln!("[5/5] experiment 5: system size 10–50");
+    let scal = if quick {
+        exp5::run_sweep(
+            &options,
+            &[10, 20, 30],
+            &[PopulationProfile::new(0), PopulationProfile::new(100)],
+        )
+    } else {
+        exp5::run(&options)
+    };
+    for stat in Stat::ALL {
+        exp5::figure10(&scal, stat)
+            .write_csv(&out.join(format!("fig10_{}_msgs_per_job.csv", stat.label())))
+            .expect("write fig10");
+        exp5::figure11(&scal, stat)
+            .write_csv(&out.join(format!("fig11_{}_msgs_per_gfa.csv", stat.label())))
+            .expect("write fig11");
+    }
+
+    let claims = HeadlineClaims::extract(&e2, &sweep);
+    let claims_table = claims.to_table();
+    println!("{}", claims_table.to_ascii());
+    claims_table
+        .write_csv(&out.join("headline_claims.csv"))
+        .expect("write headline claims");
+    let mut md = String::from("# Measured headline results\n\n```\n");
+    md.push_str(&claims_table.to_ascii());
+    md.push_str("```\n");
+    md.push_str(&format!(
+        "\nDirectional claims hold: {}\n",
+        claims.directional_claims_hold()
+    ));
+    fs::write(out.join("summary.md"), md).expect("write summary.md");
+    eprintln!("done: results written to {}", out.display());
+}

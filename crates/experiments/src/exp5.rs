@@ -1,0 +1,261 @@
+//! Experiment 5 — message complexity with respect to system size
+//! (Fig. 10 and Fig. 11).
+//!
+//! The Table 1 resources are replicated to build federations of 10–50
+//! clusters and the economy scheduler is run for a set of population
+//! profiles.  For every (size, profile) pair the per-job and per-GFA message
+//! counts are summarised as min / average / max, matching the six panels of
+//! Fig. 10 and Fig. 11.
+
+use std::thread;
+
+use grid_federation_core::federation::{run_federation, FederationConfig, SchedulingMode};
+use grid_federation_core::FederationReport;
+use grid_workload::PopulationProfile;
+
+use crate::report::{f2, DataTable};
+use crate::workloads::{replicated_workloads, WorkloadOptions};
+
+/// Which summary statistic a panel shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stat {
+    /// Minimum.
+    Min,
+    /// Average.
+    Avg,
+    /// Maximum.
+    Max,
+}
+
+impl Stat {
+    /// The three statistics in panel order (a), (b), (c) of Fig. 10/11.
+    pub const ALL: [Stat; 3] = [Stat::Min, Stat::Avg, Stat::Max];
+
+    /// Short label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Stat::Min => "min",
+            Stat::Avg => "average",
+            Stat::Max => "max",
+        }
+    }
+}
+
+/// The sweep over system sizes and population profiles.
+#[derive(Debug, Clone)]
+pub struct ScalabilitySweep {
+    /// Federation sizes, e.g. `[10, 20, 30, 40, 50]`.
+    pub sizes: Vec<usize>,
+    /// Population profiles evaluated at every size.
+    pub profiles: Vec<PopulationProfile>,
+    /// `reports[size_index][profile_index]`.
+    pub reports: Vec<Vec<FederationReport>>,
+}
+
+impl ScalabilitySweep {
+    /// The report for a given size and OFT percentage.
+    #[must_use]
+    pub fn report_for(&self, size: usize, oft_percent: u32) -> Option<&FederationReport> {
+        let si = self.sizes.iter().position(|s| *s == size)?;
+        let pi = self
+            .profiles
+            .iter()
+            .position(|p| p.oft_percent == oft_percent)?;
+        Some(&self.reports[si][pi])
+    }
+}
+
+/// Runs the scalability sweep.  Runs are independent, so each (size, profile)
+/// pair executes on its own thread.
+#[must_use]
+pub fn run_sweep(
+    options: &WorkloadOptions,
+    sizes: &[usize],
+    profiles: &[PopulationProfile],
+) -> ScalabilitySweep {
+    let reports: Vec<Vec<FederationReport>> = thread::scope(|scope| {
+        let handles: Vec<Vec<_>> = sizes
+            .iter()
+            .map(|&size| {
+                profiles
+                    .iter()
+                    .map(|&profile| {
+                        scope.spawn(move || {
+                            let setup = replicated_workloads(size, profile, options);
+                            run_federation(
+                                setup.resources,
+                                setup.workloads,
+                                FederationConfig {
+                                    mode: SchedulingMode::Economy,
+                                    seed: options.seed,
+                                    utilization_horizon: Some(options.duration),
+                                    ..FederationConfig::default()
+                                },
+                            )
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|h| h.join().expect("scalability run must not panic"))
+                    .collect()
+            })
+            .collect()
+    });
+    ScalabilitySweep {
+        sizes: sizes.to_vec(),
+        profiles: profiles.to_vec(),
+        reports,
+    }
+}
+
+/// Runs the paper's configuration: sizes 10–50 in steps of 10, with the
+/// population profiles of Experiment 3 (a reduced default set keeps the run
+/// time reasonable; pass a custom profile list through [`run_sweep`] for the
+/// full grid).
+#[must_use]
+pub fn run(options: &WorkloadOptions) -> ScalabilitySweep {
+    let profiles: Vec<PopulationProfile> = [0u32, 30, 50, 70, 100]
+        .iter()
+        .map(|p| PopulationProfile::new(*p))
+        .collect();
+    run_sweep(options, &[10, 20, 30, 40, 50], &profiles)
+}
+
+fn extract(report: &FederationReport, per_job: bool, stat: Stat) -> f64 {
+    if per_job {
+        let (min, avg, max) = report.messages.per_job_summary();
+        match stat {
+            Stat::Min => f64::from(min),
+            Stat::Avg => avg,
+            Stat::Max => f64::from(max),
+        }
+    } else {
+        let (min, avg, max) = report.messages.per_gfa_summary();
+        match stat {
+            Stat::Min => min as f64,
+            Stat::Avg => avg,
+            Stat::Max => max as f64,
+        }
+    }
+}
+
+fn panel(sweep: &ScalabilitySweep, per_job: bool, stat: Stat, title: &str) -> DataTable {
+    let mut columns = vec!["System size".to_string()];
+    columns.extend(sweep.profiles.iter().map(PopulationProfile::label));
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = DataTable::new(title, &column_refs);
+    for (si, size) in sweep.sizes.iter().enumerate() {
+        let mut row = vec![size.to_string()];
+        for pi in 0..sweep.profiles.len() {
+            row.push(f2(extract(&sweep.reports[si][pi], per_job, stat)));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Fig. 10 panels: min/average/max messages **per job** vs. system size.
+#[must_use]
+pub fn figure10(sweep: &ScalabilitySweep, stat: Stat) -> DataTable {
+    panel(
+        sweep,
+        true,
+        stat,
+        &format!(
+            "Figure 10 ({}): {} messages per job vs. system size",
+            match stat {
+                Stat::Min => "a",
+                Stat::Avg => "b",
+                Stat::Max => "c",
+            },
+            stat.label()
+        ),
+    )
+}
+
+/// Fig. 11 panels: min/average/max messages **per GFA** vs. system size.
+#[must_use]
+pub fn figure11(sweep: &ScalabilitySweep, stat: Stat) -> DataTable {
+    panel(
+        sweep,
+        false,
+        stat,
+        &format!(
+            "Figure 11 ({}): {} messages per GFA vs. system size",
+            match stat {
+                Stat::Min => "a",
+                Stat::Avg => "b",
+                Stat::Max => "c",
+            },
+            stat.label()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep() -> ScalabilitySweep {
+        run_sweep(
+            &WorkloadOptions::quick(),
+            &[10, 20],
+            &[PopulationProfile::new(0), PopulationProfile::new(100)],
+        )
+    }
+
+    #[test]
+    fn sweep_shape_and_lookup() {
+        let sweep = small_sweep();
+        assert_eq!(sweep.reports.len(), 2);
+        assert_eq!(sweep.reports[0].len(), 2);
+        assert!(sweep.report_for(10, 0).is_some());
+        assert!(sweep.report_for(30, 0).is_none());
+        assert!(sweep.report_for(10, 40).is_none());
+        // The size-20 federation indeed has 20 resources.
+        assert_eq!(sweep.report_for(20, 0).unwrap().resources.len(), 20);
+    }
+
+    #[test]
+    fn average_messages_per_job_grow_with_system_size() {
+        let sweep = small_sweep();
+        for oft in [0u32, 100] {
+            let small = extract(sweep.report_for(10, oft).unwrap(), true, Stat::Avg);
+            let large = extract(sweep.report_for(20, oft).unwrap(), true, Stat::Avg);
+            assert!(
+                large >= small * 0.8,
+                "per-job messages should not collapse as the system grows (OFT {oft}%: {small:.2} -> {large:.2})"
+            );
+            assert!(small >= 2.0, "every job needs at least a negotiate/reply pair");
+        }
+    }
+
+    #[test]
+    fn oft_needs_more_messages_per_job_than_ofc() {
+        // The paper: OFC scheduling requires fewer messages than OFT.
+        let sweep = small_sweep();
+        let ofc = extract(sweep.report_for(10, 0).unwrap(), true, Stat::Avg);
+        let oft = extract(sweep.report_for(10, 100).unwrap(), true, Stat::Avg);
+        assert!(
+            oft > ofc,
+            "per-job messages under OFT ({oft:.2}) should exceed OFC ({ofc:.2})"
+        );
+    }
+
+    #[test]
+    fn panels_have_one_row_per_size() {
+        let sweep = small_sweep();
+        for stat in Stat::ALL {
+            assert_eq!(figure10(&sweep, stat).len(), 2);
+            assert_eq!(figure11(&sweep, stat).len(), 2);
+            assert_eq!(figure10(&sweep, stat).columns.len(), 3);
+        }
+        assert_eq!(Stat::Min.label(), "min");
+    }
+}

@@ -1,0 +1,38 @@
+//! # grid-experiments — the experiment harness of the reproduction
+//!
+//! One module per experiment of the paper, each regenerating the
+//! corresponding tables/figures from the same substrate the other crates
+//! provide:
+//!
+//! | Module | Paper artefacts |
+//! |--------|-----------------|
+//! | [`exp1`] | Table 2 (independent resources) |
+//! | [`exp2`] | Table 3, Fig. 2(a), Fig. 2(b) (federation without economy) |
+//! | [`exp3`] | Fig. 3–8 (federation with economy, 11 population profiles) |
+//! | [`exp4`] | Fig. 9 (local/remote/total message complexity) |
+//! | [`exp5`] | Fig. 10–11 (message complexity vs. system size 10–50) |
+//! | [`summary`] | the headline claims checked in `EXPERIMENTS.md` |
+//!
+//! Shared infrastructure: [`workloads`] builds the calibrated synthetic
+//! traces for the Table 1 resources (and replicated federations for
+//! Experiment 5); [`report`] provides the [`report::DataTable`] type every
+//! figure is rendered into (ASCII for the terminal, CSV for plotting).
+//!
+//! The `exp*` binaries in `src/bin/` drive these modules from the command
+//! line; `run_all` regenerates every artefact in one go and writes them under
+//! `results/`.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod exp1;
+pub mod exp2;
+pub mod exp3;
+pub mod exp4;
+pub mod exp5;
+pub mod report;
+pub mod summary;
+pub mod workloads;
+
+pub use report::DataTable;
+pub use workloads::{paper_workloads, replicated_workloads, ExperimentSetup, WorkloadOptions};
