@@ -37,15 +37,12 @@ fn drive<S: LocalScheduler>(
     for (i, input) in inputs.iter().enumerate() {
         // Finish everything that ends before this arrival.
         let arrival = now + input.arrival_gap;
-        loop {
-            let Some(next) = running
-                .iter()
-                .filter(|s| s.finish <= arrival)
-                .min_by(|a, b| a.finish.total_cmp(&b.finish))
-                .copied()
-            else {
-                break;
-            };
+        while let Some(next) = running
+            .iter()
+            .filter(|s| s.finish <= arrival)
+            .min_by(|a, b| a.finish.total_cmp(&b.finish))
+            .copied()
+        {
             running.retain(|s| s.id != next.id);
             let newly = scheduler.on_finished(next.id, next.finish);
             completed += 1;

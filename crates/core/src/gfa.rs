@@ -117,6 +117,7 @@ impl Gfa {
     /// scheduler; `shared` is the federation-wide shared state (directory,
     /// bank, ledger, collected records).
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         index: usize,
         spec: ResourceSpec,
@@ -426,6 +427,7 @@ impl Gfa {
     }
 
     /// Handles an incoming admission-control enquiry from another GFA.
+    #[allow(clippy::too_many_arguments)]
     fn on_negotiate(
         &mut self,
         job: JobId,

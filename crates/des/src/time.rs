@@ -13,7 +13,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 ///
 /// `SimTime` is a thin wrapper around `f64` that guarantees the value is
 /// finite and non-negative, which in turn lets it implement [`Ord`].
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+#[derive(Clone, Copy, PartialEq, Default)]
 pub struct SimTime(f64);
 
 impl SimTime {
@@ -93,6 +93,12 @@ impl SimTime {
 }
 
 impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {

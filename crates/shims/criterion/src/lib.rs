@@ -1,0 +1,211 @@
+//! Offline API-subset shim of the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! Implements enough surface for the `grid-bench` harness to compile and
+//! run: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical sampling, each benchmark body is run a
+//! small fixed number of iterations (configurable per group via
+//! [`BenchmarkGroup::sample_size`], capped at 10 and overridable globally
+//! with the `CRITERION_SHIM_ITERS` environment variable) and the mean
+//! wall-clock time is printed.  Numbers are indicative, not statistical —
+//! the shim exists so `cargo bench --no-run` / `cargo bench` work offline.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+fn shim_iters(sample_size: usize) -> usize {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| sample_size.clamp(1, 10))
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"name/param"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    iters: usize,
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it [`Self::iters`] times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_nanos = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("[criterion-shim] group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one("", &id.into().label, 10, f);
+        self
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration budget (the shim caps this at 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().label, self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into().label;
+        let sample_size = self.sample_size;
+        run_one(&self.name, &label, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iters: shim_iters(sample_size),
+        mean_nanos: 0.0,
+    };
+    f(&mut bencher);
+    let qualified = if group.is_empty() {
+        label.to_owned()
+    } else {
+        format!("{group}/{label}")
+    };
+    eprintln!(
+        "[criterion-shim] {qualified}: {:.3} ms/iter ({} iters)",
+        bencher.mean_nanos / 1e6,
+        bencher.iters,
+    );
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bench_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.sample_size(3);
+            group.bench_function("count", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+            group.finish();
+        }
+        assert!(ran >= 1);
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}
