@@ -8,24 +8,37 @@ use grid_bench::tiny_options;
 use grid_experiments::exp5::{self, Stat};
 use grid_experiments::workloads::replicated_workloads;
 use grid_federation_core::federation::{run_federation, FederationConfig, SchedulingMode};
+use grid_federation_core::DirectoryBackend;
 use grid_workload::PopulationProfile;
 
 fn fig10_11_msgs_vs_system_size(c: &mut Criterion) {
     let options = tiny_options();
     let mut group = c.benchmark_group("fig10_fig11_msgs_vs_size");
     group.sample_size(10);
-    for size in [10usize, 30, 50] {
-        group.bench_with_input(BenchmarkId::new("economy_federation", size), &size, |b, &size| {
-            b.iter(|| {
-                let setup = replicated_workloads(size, PopulationProfile::new(50), &options);
-                let report = run_federation(
-                    setup.resources,
-                    setup.workloads,
-                    FederationConfig::with_mode(SchedulingMode::Economy),
-                );
-                black_box(report.messages.per_job_summary())
-            })
-        });
+    for backend in DirectoryBackend::ALL {
+        for size in [10usize, 30, 50] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("economy_federation_{}", backend.label()), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        let setup = replicated_workloads(size, PopulationProfile::new(50), &options);
+                        let report = run_federation(
+                            setup.resources,
+                            setup.workloads,
+                            FederationConfig {
+                                directory: backend,
+                                ..FederationConfig::with_mode(SchedulingMode::Economy)
+                            },
+                        );
+                        black_box((
+                            report.messages.per_job_summary(),
+                            report.messages.per_job_directory_summary(),
+                        ))
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -12,7 +12,7 @@ use std::rc::Rc;
 
 use grid_cluster::{EasyBackfilling, LocalScheduler, ResourceSpec, SpaceSharedFcfs};
 use grid_des::{RunOutcome, Simulation};
-use grid_directory::{FederationDirectory, IdealDirectory, Quote};
+use grid_directory::{AnyDirectory, DirectoryBackend, FederationDirectory, Quote};
 use grid_workload::Job;
 
 use crate::economy::{ChargingPolicy, GridBank};
@@ -45,8 +45,9 @@ pub enum LrmsKind {
 /// Federation-wide shared state accessible to every GFA during the run.
 #[derive(Debug)]
 pub struct SharedState {
-    /// The shared federation directory holding every quote.
-    pub directory: IdealDirectory,
+    /// The shared federation directory holding every quote, in whichever
+    /// backend the run's [`FederationConfig::directory`] selected.
+    pub directory: AnyDirectory,
     /// The GridBank accumulating incentives.
     pub bank: GridBank,
     /// Message accounting.
@@ -91,6 +92,20 @@ pub struct FederationConfig {
     /// from Eq. 7–8 before the run; set to `false` to honour caller-supplied
     /// QoS values.
     pub fabricate_qos: bool,
+    /// Which directory backend serves the GFAs' ranking queries.  Backends
+    /// resolve identical quotes and differ only in the directory-message
+    /// counts (and simulated lookup time) they account.
+    pub directory: DirectoryBackend,
+    /// Scripted departures `(gfa, time)`: at `time` the GFA withdraws its
+    /// quote from the directory (`unsubscribe`), refuses new negotiations
+    /// and stops self-accepting, while jobs already reserved on its LRMS run
+    /// to completion.  Empty by default.
+    pub departures: Vec<(usize, f64)>,
+    /// Scripted re-pricings `(gfa, time, new_price)`: at `time` the GFA
+    /// republishes its access price through the directory's `update_price`
+    /// primitive and charges the new price for subsequently accepted jobs.
+    /// Empty by default.
+    pub repricings: Vec<(usize, f64, f64)>,
 }
 
 impl Default for FederationConfig {
@@ -103,6 +118,9 @@ impl Default for FederationConfig {
             charging: ChargingPolicy::default(),
             utilization_horizon: None,
             fabricate_qos: true,
+            directory: DirectoryBackend::Ideal,
+            departures: Vec::new(),
+            repricings: Vec::new(),
         }
     }
 }
@@ -116,6 +134,26 @@ impl FederationConfig {
             ..FederationConfig::default()
         }
     }
+
+    /// Convenience constructor for a given directory backend with all other
+    /// defaults (economy mode).
+    #[must_use]
+    pub fn with_backend(directory: DirectoryBackend) -> Self {
+        FederationConfig {
+            directory,
+            ..FederationConfig::default()
+        }
+    }
+}
+
+/// Scripted directory actions of a single GFA, derived from
+/// [`FederationConfig::departures`] and [`FederationConfig::repricings`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GfaSchedule {
+    /// Time at which the GFA departs (withdraws its quote), if any.
+    pub departure: Option<f64>,
+    /// `(time, price)` re-pricings, in configuration order.
+    pub repricings: Vec<(f64, f64)>,
 }
 
 /// Builder for a federation simulation.
@@ -200,7 +238,15 @@ impl FederationBuilder {
             }
         }
 
-        let mut directory = IdealDirectory::new();
+        for (gfa, _) in &config.departures {
+            assert!(*gfa < n, "departure refers to unknown GFA {gfa}");
+        }
+        for (gfa, _, _) in &config.repricings {
+            assert!(*gfa < n, "repricing refers to unknown GFA {gfa}");
+        }
+
+        // Decorrelate the overlay's ring placement from the workload seed.
+        let mut directory = config.directory.build(n, config.seed ^ 0xD1EC_70B5_EED5_EED5);
         for (i, spec) in resources.iter().enumerate() {
             directory.subscribe(Quote::from_spec(i, spec));
         }
@@ -221,6 +267,20 @@ impl FederationBuilder {
                 LrmsKind::SpaceSharedFcfs => Box::new(SpaceSharedFcfs::new(spec.processors)),
                 LrmsKind::EasyBackfilling => Box::new(EasyBackfilling::new(spec.processors)),
             };
+            let schedule = GfaSchedule {
+                departure: config
+                    .departures
+                    .iter()
+                    .filter(|(gfa, _)| *gfa == i)
+                    .map(|(_, at)| *at)
+                    .reduce(f64::min),
+                repricings: config
+                    .repricings
+                    .iter()
+                    .filter(|(gfa, _, _)| *gfa == i)
+                    .map(|(_, at, price)| (*at, *price))
+                    .collect(),
+            };
             let gfa = Gfa::new(
                 i,
                 spec.clone(),
@@ -229,6 +289,7 @@ impl FederationBuilder {
                 config.latency,
                 lrms,
                 std::mem::take(&mut workloads[i]),
+                schedule,
                 Rc::clone(&shared),
             );
             let id = sim.add_entity(Box::new(gfa));
@@ -249,7 +310,13 @@ impl FederationBuilder {
         let state = Rc::try_unwrap(shared)
             .unwrap_or_else(|_| panic!("GFAs must not outlive the simulation"))
             .into_inner();
-        assemble_report(&resources, state, sim_end, config.utilization_horizon)
+        assemble_report(
+            &resources,
+            state,
+            sim_end,
+            config.utilization_horizon,
+            config.directory,
+        )
     }
 }
 
@@ -258,15 +325,18 @@ fn assemble_report(
     state: SharedState,
     sim_end: f64,
     utilization_horizon: Option<f64>,
+    backend: DirectoryBackend,
 ) -> FederationReport {
     let SharedState {
-        directory: _,
+        directory,
         bank,
         ledger,
         jobs,
         resource_snapshots,
         remote_processed,
     } = state;
+    let directory_queries = directory.queries_served();
+    let directory_avg_route_messages = directory.average_route_messages();
 
     let mut metrics: Vec<ResourceMetrics> = resources
         .iter()
@@ -319,6 +389,9 @@ fn assemble_report(
         messages: ledger,
         bank,
         sim_end,
+        backend,
+        directory_queries,
+        directory_avg_route_messages,
     }
 }
 
@@ -511,6 +584,148 @@ mod tests {
         assert_eq!(a.messages.total_messages(), b.messages.total_messages());
         assert!((a.total_incentive() - b.total_incentive()).abs() < 1e-9);
         assert_eq!(a.sim_end, b.sim_end);
+    }
+
+    #[test]
+    fn directory_queries_are_accounted_per_job_and_per_gfa() {
+        let resources = two_resources();
+        let workloads = vec![vec![job(0, 0, 10.0, 4, 100.0, Strategy::Ofc)], vec![]];
+        let report = run_federation(resources, workloads, FederationConfig::default());
+        assert_eq!(report.backend, DirectoryBackend::Ideal);
+        let rec = &report.jobs[0];
+        // One rank-1 query at ⌈log₂ 2⌉ = 1 modelled message.
+        assert_eq!(rec.directory_messages, 1);
+        assert_eq!(report.messages.directory_messages(), 1);
+        assert_eq!(report.messages.gfa(0).directory, 1);
+        assert_eq!(report.messages.gfa(1).directory, 0);
+        // Each directory message is charged the configured one-way latency.
+        assert!((report.messages.directory_seconds() - 0.05).abs() < 1e-12);
+        // Negotiation accounting is unchanged by the new traffic class.
+        assert_eq!(rec.messages, 2);
+        assert_eq!(report.messages.total_messages(), 2);
+        assert_eq!(report.messages.per_job_directory_summary(), (1, 1.0, 1));
+    }
+
+    #[test]
+    fn chord_backend_matches_ideal_outcomes_with_measured_costs() {
+        let resources = two_resources();
+        let make = || {
+            vec![
+                (0..6)
+                    .map(|i| job(0, i, i as f64 * 40.0, 4, 150.0, if i % 2 == 0 { Strategy::Oft } else { Strategy::Ofc }))
+                    .collect::<Vec<_>>(),
+                vec![job(1, 0, 0.0, 8, 120.0, Strategy::Ofc)],
+            ]
+        };
+        let ideal = run_federation(resources.clone(), make(), FederationConfig::default());
+        let chord = run_federation(
+            resources,
+            make(),
+            FederationConfig::with_backend(DirectoryBackend::Chord),
+        );
+        assert_eq!(chord.backend, DirectoryBackend::Chord);
+        // Identical job outcomes, negotiation traffic and bank balances…
+        assert_eq!(ideal.jobs.len(), chord.jobs.len());
+        for (a, b) in ideal.jobs.iter().zip(&chord.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.messages, b.messages);
+        }
+        assert_eq!(ideal.messages.total_messages(), chord.messages.total_messages());
+        for i in 0..2 {
+            assert!((ideal.bank.earnings(i) - chord.bank.earnings(i)).abs() < 1e-12);
+        }
+        // …while both account (generally different) directory traffic.
+        assert!(ideal.messages.directory_messages() > 0);
+        assert!(chord.messages.directory_messages() > 0);
+        assert!(chord.messages.directory_seconds() > 0.0);
+    }
+
+    #[test]
+    fn departed_resource_is_unsubscribed_end_to_end() {
+        // OFT jobs normally migrate to the fast resource (see
+        // `oft_job_migrates_to_the_faster_resource`); once it departs, the
+        // directory no longer offers it and the job runs at its origin.
+        let resources = two_resources();
+        let make = || vec![vec![job(0, 0, 100.0, 4, 100.0, Strategy::Oft)], vec![]];
+        let baseline = run_federation(resources.clone(), make(), FederationConfig::default());
+        assert!(baseline.jobs[0].was_migrated());
+
+        for backend in DirectoryBackend::ALL {
+            let config = FederationConfig {
+                departures: vec![(1, 50.0)],
+                ..FederationConfig::with_backend(backend)
+            };
+            let report = run_federation(resources.clone(), make(), config);
+            let rec = &report.jobs[0];
+            assert!(rec.was_accepted());
+            assert!(
+                !rec.was_migrated(),
+                "{backend:?}: job must stay local after the fast resource departed"
+            );
+            assert_eq!(report.resources[1].remote_jobs_processed, 0);
+            assert!(report.bank.is_balanced());
+        }
+    }
+
+    #[test]
+    fn departed_resource_still_finishes_reserved_work() {
+        // The job is dispatched at t≈0 and runs for ~50 s on the remote
+        // executor, which departs mid-execution: the reservation is honoured.
+        let resources = two_resources();
+        let workloads = vec![vec![job(0, 0, 0.0, 4, 100.0, Strategy::Oft)], vec![]];
+        let config = FederationConfig {
+            departures: vec![(1, 10.0)],
+            ..FederationConfig::default()
+        };
+        let report = run_federation(resources, workloads, config);
+        let rec = &report.jobs[0];
+        assert!(rec.was_accepted());
+        assert!(rec.was_migrated(), "dispatch preceded the departure");
+        assert_eq!(report.resources[1].remote_jobs_processed, 1);
+        assert!(report.bank.is_balanced());
+    }
+
+    #[test]
+    fn repricing_updates_the_directory_end_to_end() {
+        // Resource 1 (price 4.0) undercuts resource 0 (price 2.0) at t = 50;
+        // an OFC job arriving later must now rank resource 1 first and
+        // migrate, paying the *new* price.
+        let resources = two_resources();
+        let make = || vec![vec![job(0, 0, 100.0, 4, 100.0, Strategy::Ofc)], vec![]];
+        let baseline = run_federation(resources.clone(), make(), FederationConfig::default());
+        assert!(!baseline.jobs[0].was_migrated(), "origin starts out cheapest");
+
+        for backend in DirectoryBackend::ALL {
+            let config = FederationConfig {
+                repricings: vec![(1, 50.0, 0.5)],
+                ..FederationConfig::with_backend(backend)
+            };
+            let report = run_federation(resources.clone(), make(), config);
+            let rec = &report.jobs[0];
+            assert!(
+                rec.was_migrated(),
+                "{backend:?}: OFC job must follow the re-priced cheapest resource"
+            );
+            let baseline_cost = baseline.jobs[0].cost_paid().unwrap();
+            let repriced_cost = rec.cost_paid().unwrap();
+            assert!(
+                repriced_cost < baseline_cost,
+                "{backend:?}: new price must be cheaper ({repriced_cost} vs {baseline_cost})"
+            );
+            assert!((report.resources[1].incentive - repriced_cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "departure refers to unknown GFA")]
+    fn departure_for_unknown_gfa_panics() {
+        let _ = FederationBuilder::new(two_resources())
+            .config(FederationConfig {
+                departures: vec![(7, 0.0)],
+                ..FederationConfig::default()
+            })
+            .run();
     }
 
     #[test]

@@ -40,11 +40,11 @@ use std::rc::Rc;
 
 use grid_cluster::{completion_time, ClusterJob, LocalScheduler, ResourceSpec, StartedJob};
 use grid_des::{Context, Entity, EntityId, Event, SimTime};
-use grid_directory::FederationDirectory;
+use grid_directory::{FederationDirectory, TracedQuote};
 use grid_workload::{Job, JobId, Strategy};
 
 use crate::economy::ChargingPolicy;
-use crate::federation::{SchedulingMode, SharedState};
+use crate::federation::{GfaSchedule, SchedulingMode, SharedState};
 use crate::messages::{FedMessage, MessageType};
 use crate::metrics::{ExecutionOutcome, JobRecord};
 
@@ -54,8 +54,10 @@ struct PendingJob {
     job: Job,
     /// Next rank `r` to query (1-based).
     next_rank: usize,
-    /// Accountable messages exchanged so far for this job.
+    /// Accountable negotiation messages exchanged so far for this job.
     messages: u32,
+    /// Directory messages spent on this job's ranking queries so far.
+    directory_messages: u32,
     /// Service time and cost on the candidate currently being negotiated
     /// with, so they need not be recomputed when the reply arrives.
     candidate_service: f64,
@@ -69,6 +71,7 @@ struct PendingJob {
 struct AwaitingRemote {
     job: Job,
     messages: u32,
+    directory_messages: u32,
     service_time: f64,
     expected_local_response: f64,
     expected_local_cost: f64,
@@ -89,6 +92,7 @@ struct ExecutingJob {
 struct LocalSeed {
     job: Job,
     messages: u32,
+    directory_messages: u32,
     expected_local_response: f64,
     expected_local_cost: f64,
 }
@@ -103,6 +107,10 @@ pub struct Gfa {
     latency: f64,
     lrms: Box<dyn LocalScheduler>,
     local_jobs: Vec<Job>,
+    schedule: GfaSchedule,
+    /// Set once the departure timer fired: the quote is withdrawn and no new
+    /// work is admitted.
+    departed: bool,
     shared: Rc<RefCell<SharedState>>,
     pending: HashMap<JobId, PendingJob>,
     awaiting_remote: HashMap<JobId, AwaitingRemote>,
@@ -114,8 +122,9 @@ impl Gfa {
     ///
     /// `local_jobs` is the trace of jobs submitted by this cluster's local
     /// user population (QoS already fabricated); `lrms` is the local
-    /// scheduler; `shared` is the federation-wide shared state (directory,
-    /// bank, ledger, collected records).
+    /// scheduler; `schedule` holds the scripted departure/re-pricing times;
+    /// `shared` is the federation-wide shared state (directory, bank,
+    /// ledger, collected records).
     #[must_use]
     #[allow(clippy::too_many_arguments)]
     pub fn new(
@@ -126,6 +135,7 @@ impl Gfa {
         latency: f64,
         lrms: Box<dyn LocalScheduler>,
         local_jobs: Vec<Job>,
+        schedule: GfaSchedule,
         shared: Rc<RefCell<SharedState>>,
     ) -> Self {
         let name = format!("gfa-{index}-{}", spec.name);
@@ -138,6 +148,8 @@ impl Gfa {
             latency,
             lrms,
             local_jobs,
+            schedule,
+            departed: false,
             shared,
             pending: HashMap::new(),
             awaiting_remote: HashMap::new(),
@@ -197,6 +209,7 @@ impl Gfa {
                     job,
                     next_rank: 1,
                     messages: 0,
+                    directory_messages: 0,
                     candidate_service: 0.0,
                     candidate_cost: 0.0,
                     expected_local_response,
@@ -226,10 +239,32 @@ impl Gfa {
         };
         if fits && estimate <= job.absolute_deadline() + 1e-9 {
             let cost = self.charging.charge(&job, &self.spec);
-            self.accept_locally(job, service, cost, 0, expected_local_response, expected_local_cost, ctx);
+            self.accept_locally(job, service, cost, 0, 0, expected_local_response, expected_local_cost, ctx);
         } else {
-            self.record_rejection(&job, 0, expected_local_response, expected_local_cost);
+            self.record_rejection(&job, 0, 0, expected_local_response, expected_local_cost);
         }
+    }
+
+    /// Issues one traced ranking query from this GFA, accounting its
+    /// directory messages (and the simulated network time they represent,
+    /// hops × latency) into the ledger.
+    fn traced_query(&self, fastest: bool, r: usize) -> TracedQuote {
+        let traced = {
+            let shared = self.shared.borrow();
+            if fastest {
+                shared.directory.query_fastest(self.index, r)
+            } else {
+                shared.directory.query_cheapest(self.index, r)
+            }
+        };
+        if traced.messages > 0 {
+            self.shared.borrow_mut().ledger.record_directory(
+                self.index,
+                traced.messages,
+                traced.messages as f64 * self.latency,
+            );
+        }
+        traced
     }
 
     /// Runs the DBC candidate loop until a negotiation is launched, the job
@@ -244,16 +279,21 @@ impl Gfa {
         loop {
             // In the no-economy federation the local cluster is implicitly
             // rank 0: always examined first, then the remaining resources in
-            // decreasing speed order.
+            // decreasing speed order.  Directory queries are traced: their
+            // message cost (modelled or measured, depending on the backend)
+            // is accounted per job and per GFA, separately from negotiation.
             let candidate = if self.mode == SchedulingMode::FederationNoEconomy {
                 if pending.next_rank == 1 {
+                    // The local quote is known without touching the directory.
                     Some(grid_directory::Quote::from_spec(self.index, &self.spec))
                 } else {
                     let r = pending.next_rank - 1;
                     if r > directory_len {
                         None
                     } else {
-                        self.shared.borrow().directory.kth_fastest(r)
+                        let traced = self.traced_query(true, r);
+                        pending.directory_messages += u32::try_from(traced.messages).unwrap_or(u32::MAX);
+                        traced.quote
                     }
                 }
             } else {
@@ -261,11 +301,9 @@ impl Gfa {
                 if r > directory_len {
                     None
                 } else {
-                    let shared = self.shared.borrow();
-                    match strategy {
-                        Strategy::Ofc => shared.directory.kth_cheapest(r),
-                        Strategy::Oft => shared.directory.kth_fastest(r),
-                    }
+                    let traced = self.traced_query(strategy == Strategy::Oft, r);
+                    pending.directory_messages += u32::try_from(traced.messages).unwrap_or(u32::MAX);
+                    traced.quote
                 }
             };
             pending.next_rank += 1;
@@ -275,6 +313,7 @@ impl Gfa {
                 self.record_rejection(
                     &job,
                     pending.messages,
+                    pending.directory_messages,
                     pending.expected_local_response,
                     pending.expected_local_cost,
                 );
@@ -321,12 +360,13 @@ impl Gfa {
                 }
                 pending.messages += 2;
                 let estimate = self.lrms.estimate_completion(job.processors, service, now);
-                if estimate <= absolute_deadline + 1e-9 {
+                if !self.departed && estimate <= absolute_deadline + 1e-9 {
                     self.accept_locally(
                         job,
                         service,
                         cost,
                         pending.messages,
+                        pending.directory_messages,
                         pending.expected_local_response,
                         pending.expected_local_cost,
                         ctx,
@@ -372,6 +412,7 @@ impl Gfa {
         service: f64,
         cost: f64,
         messages: u32,
+        directory_messages: u32,
         expected_local_response: f64,
         expected_local_cost: f64,
         ctx: &mut Context<'_, FedMessage>,
@@ -391,6 +432,7 @@ impl Gfa {
                 local_seed: Some(LocalSeed {
                     job: job.clone(),
                     messages,
+                    directory_messages,
                     expected_local_response,
                     expected_local_cost,
                 }),
@@ -398,7 +440,10 @@ impl Gfa {
         );
         let started = self.lrms.submit(cluster_job, now);
         self.handle_started(started, ctx);
-        self.shared.borrow_mut().ledger.finish_job(job.id, messages);
+        self.shared
+            .borrow_mut()
+            .ledger
+            .finish_job(job.id, messages, directory_messages);
     }
 
     /// Records a rejected job.
@@ -406,11 +451,12 @@ impl Gfa {
         &mut self,
         job: &Job,
         messages: u32,
+        directory_messages: u32,
         expected_local_response: f64,
         expected_local_cost: f64,
     ) {
         let mut shared = self.shared.borrow_mut();
-        shared.ledger.finish_job(job.id, messages);
+        shared.ledger.finish_job(job.id, messages, directory_messages);
         shared.jobs.push(JobRecord {
             id: job.id,
             origin: self.index,
@@ -422,6 +468,7 @@ impl Gfa {
             expected_local_response,
             expected_local_cost,
             messages,
+            directory_messages,
             outcome: ExecutionOutcome::Rejected,
         });
     }
@@ -446,7 +493,10 @@ impl Gfa {
         } else {
             f64::INFINITY
         };
-        let accept = fits && estimate <= absolute_deadline + 1e-9;
+        // A departed GFA refuses every new enquiry (its quote is already
+        // withdrawn, but negotiations launched before the departure can still
+        // be in flight).
+        let accept = !self.departed && fits && estimate <= absolute_deadline + 1e-9;
         if accept {
             // Reserve immediately so the guarantee cannot be invalidated by a
             // concurrent negotiation with another GFA.
@@ -521,6 +571,7 @@ impl Gfa {
                 AwaitingRemote {
                     job: pending.job,
                     messages: pending.messages,
+                    directory_messages: pending.directory_messages,
                     service_time: service,
                     expected_local_response: pending.expected_local_response,
                     expected_local_cost: pending.expected_local_cost,
@@ -575,6 +626,7 @@ impl Gfa {
                 expected_local_response: seed.expected_local_response,
                 expected_local_cost: seed.expected_local_cost,
                 messages: seed.messages,
+                directory_messages: seed.directory_messages,
                 outcome: ExecutionOutcome::Completed {
                     executed_on: self.index,
                     start,
@@ -619,6 +671,7 @@ impl Gfa {
             expected_local_response: awaiting.expected_local_response,
             expected_local_cost: awaiting.expected_local_cost,
             messages: awaiting.messages,
+            directory_messages: awaiting.directory_messages,
             outcome: ExecutionOutcome::Completed {
                 executed_on,
                 start: finish - awaiting.service_time,
@@ -627,8 +680,28 @@ impl Gfa {
             },
         };
         let mut shared = self.shared.borrow_mut();
-        shared.ledger.finish_job(job, awaiting.messages);
+        shared
+            .ledger
+            .finish_job(job, awaiting.messages, awaiting.directory_messages);
         shared.jobs.push(record);
+    }
+
+    /// Handles this GFA's scripted departure: withdraws the quote via the
+    /// directory's `unsubscribe` primitive and stops admitting new work.
+    fn on_depart(&mut self) {
+        self.departed = true;
+        self.shared.borrow_mut().directory.unsubscribe(self.index);
+    }
+
+    /// Handles a scripted re-pricing: republishes the access price through
+    /// the directory's `update_price` primitive and charges the new price
+    /// for subsequently accepted jobs.
+    fn on_reprice(&mut self, price: f64) {
+        if self.departed {
+            return;
+        }
+        self.spec.price = price;
+        self.shared.borrow_mut().directory.update_price(self.index, price);
     }
 }
 
@@ -641,6 +714,13 @@ impl Entity<FedMessage> for Gfa {
         let jobs = std::mem::take(&mut self.local_jobs);
         for job in jobs {
             ctx.timer_at(SimTime::new(job.submit), FedMessage::JobArrival(job));
+        }
+        if let Some(at) = self.schedule.departure {
+            ctx.timer_at(SimTime::new(at), FedMessage::Depart);
+        }
+        let repricings = std::mem::take(&mut self.schedule.repricings);
+        for (at, price) in repricings {
+            ctx.timer_at(SimTime::new(at), FedMessage::Reprice { price });
         }
     }
 
@@ -683,6 +763,8 @@ impl Entity<FedMessage> for Gfa {
                 cost,
             } => self.on_job_completion(job, executed_on, finish, cost),
             FedMessage::LocalJobFinished { job } => self.on_local_job_finished(job, ctx),
+            FedMessage::Depart => self.on_depart(),
+            FedMessage::Reprice { price } => self.on_reprice(price),
         }
     }
 

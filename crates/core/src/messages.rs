@@ -5,8 +5,14 @@
 //! *job-submission* and *job-completion* — and classifies them, per GFA, as
 //! **local** (traffic a GFA generates to schedule its own users' jobs) or
 //! **remote** (traffic a GFA handles on behalf of other GFAs' jobs).
-//! Directory queries are modelled separately (`O(log n)` each) and excluded
-//! from these counts, exactly as in the paper.
+//! Directory queries are accounted as a **separate** message class
+//! (`directory`): every ranking query reports the number of overlay messages
+//! it cost — a routed rank-1 lookup (modelled `⌈log₂ n⌉` for the ideal
+//! backend, measured Chord hops for the overlay backend) plus one
+//! cursor-advance message per further rank, the `O(log n + k)` complexity of
+//! DHT range queries — and the ledger tracks those counts, plus the
+//! simulated network time they represent, without ever mixing them into the
+//! four negotiation counters, so the paper's Fig. 9–11 stay comparable.
 
 use grid_workload::{Job, JobId};
 
@@ -71,6 +77,16 @@ pub enum FedMessage {
         /// Job that finished locally.
         job: JobId,
     },
+    /// Self-timer: this GFA departs the federation, withdrawing its quote
+    /// from the directory.  Work already reserved on its LRMS still runs to
+    /// completion; new negotiations are refused.
+    Depart,
+    /// Self-timer: this GFA republishes its access price through the
+    /// directory's `update_price` primitive.
+    Reprice {
+        /// The new access price in Grid Dollars.
+        price: f64,
+    },
 }
 
 /// The four accountable message types of the paper.
@@ -106,6 +122,9 @@ pub struct GfaMessageCounters {
     /// Breakdown by message type (sum of local + remote contributions
     /// counted at this GFA).
     pub by_type: [u64; 4],
+    /// Directory messages this GFA's ranking queries cost.  Kept out of
+    /// `local`/`remote` so the negotiation panels remain comparable.
+    pub directory: u64,
 }
 
 impl GfaMessageCounters {
@@ -134,7 +153,10 @@ impl GfaMessageCounters {
 pub struct MessageLedger {
     per_gfa: Vec<GfaMessageCounters>,
     per_job_messages: Vec<(JobId, u32)>,
+    per_job_directory: Vec<(JobId, u32)>,
     total: u64,
+    directory_total: u64,
+    directory_seconds: f64,
 }
 
 impl MessageLedger {
@@ -144,7 +166,10 @@ impl MessageLedger {
         MessageLedger {
             per_gfa: vec![GfaMessageCounters::default(); n],
             per_job_messages: Vec::new(),
+            per_job_directory: Vec::new(),
             total: 0,
+            directory_total: 0,
+            directory_seconds: 0.0,
         }
     }
 
@@ -172,10 +197,29 @@ impl MessageLedger {
         self.total += 1;
     }
 
-    /// Records the final per-job message count once the job's scheduling
-    /// concluded (accepted somewhere or dropped).
-    pub fn finish_job(&mut self, job: JobId, messages: u32) {
+    /// Records directory traffic: a ranking query issued by `origin` that
+    /// cost `messages` overlay messages and `seconds` of simulated network
+    /// time (hops × latency).  Directory traffic is accounted separately
+    /// from the four negotiation message types.
+    ///
+    /// # Panics
+    /// Panics if the GFA index is out of range.
+    pub fn record_directory(&mut self, origin: usize, messages: u64, seconds: f64) {
+        assert!(
+            origin < self.per_gfa.len(),
+            "unknown GFA in directory record ({origin})"
+        );
+        self.per_gfa[origin].directory += messages;
+        self.directory_total += messages;
+        self.directory_seconds += seconds;
+    }
+
+    /// Records the final per-job message counts once the job's scheduling
+    /// concluded (accepted somewhere or dropped): `messages` negotiation
+    /// messages and `directory_messages` directory messages.
+    pub fn finish_job(&mut self, job: JobId, messages: u32, directory_messages: u32) {
         self.per_job_messages.push((job, messages));
+        self.per_job_directory.push((job, directory_messages));
     }
 
     /// Counters of one GFA.
@@ -190,28 +234,64 @@ impl MessageLedger {
         &self.per_gfa
     }
 
-    /// Per-job message counts, in completion order.
+    /// Per-job negotiation message counts, in completion order.
     #[must_use]
     pub fn per_job(&self) -> &[(JobId, u32)] {
         &self.per_job_messages
     }
 
-    /// Total number of accountable messages exchanged in the federation.
+    /// Per-job directory message counts, in completion order (parallel to
+    /// [`Self::per_job`]).
+    #[must_use]
+    pub fn per_job_directory(&self) -> &[(JobId, u32)] {
+        &self.per_job_directory
+    }
+
+    /// Total number of accountable negotiation messages exchanged in the
+    /// federation (directory traffic excluded, as in the paper's figures).
     #[must_use]
     pub fn total_messages(&self) -> u64 {
         self.total
     }
 
-    /// (min, mean, max) messages per job, or zeros if no job finished.
+    /// Total directory messages spent on ranking queries.
     #[must_use]
-    pub fn per_job_summary(&self) -> (u32, f64, u32) {
-        if self.per_job_messages.is_empty() {
+    pub fn directory_messages(&self) -> u64 {
+        self.directory_total
+    }
+
+    /// Total simulated time (seconds) spent on directory lookups, i.e. the
+    /// sum of hops × latency over all ranking queries.  Accounted out-of-band
+    /// — lookups do not delay the negotiation timeline — so different
+    /// backends produce identical job outcomes and differ only in this
+    /// ledger.
+    #[must_use]
+    pub fn directory_seconds(&self) -> f64 {
+        self.directory_seconds
+    }
+
+    fn summary(entries: &[(JobId, u32)]) -> (u32, f64, u32) {
+        if entries.is_empty() {
             return (0, 0.0, 0);
         }
-        let min = self.per_job_messages.iter().map(|(_, m)| *m).min().unwrap_or(0);
-        let max = self.per_job_messages.iter().map(|(_, m)| *m).max().unwrap_or(0);
-        let sum: u64 = self.per_job_messages.iter().map(|(_, m)| u64::from(*m)).sum();
-        (min, sum as f64 / self.per_job_messages.len() as f64, max)
+        let min = entries.iter().map(|(_, m)| *m).min().unwrap_or(0);
+        let max = entries.iter().map(|(_, m)| *m).max().unwrap_or(0);
+        let sum: u64 = entries.iter().map(|(_, m)| u64::from(*m)).sum();
+        (min, sum as f64 / entries.len() as f64, max)
+    }
+
+    /// (min, mean, max) negotiation messages per job, or zeros if no job
+    /// finished.
+    #[must_use]
+    pub fn per_job_summary(&self) -> (u32, f64, u32) {
+        Self::summary(&self.per_job_messages)
+    }
+
+    /// (min, mean, max) directory messages per job, or zeros if no job
+    /// finished.
+    #[must_use]
+    pub fn per_job_directory_summary(&self) -> (u32, f64, u32) {
+        Self::summary(&self.per_job_directory)
     }
 
     /// (min, mean, max) of per-GFA total (local + remote) message counts.
@@ -245,7 +325,7 @@ mod tests {
         // Accepted: dispatch + completion.
         ledger.record(MessageType::JobSubmission, 0, 2);
         ledger.record(MessageType::JobCompletion, 0, 2);
-        ledger.finish_job(jid(0, 0), 4);
+        ledger.finish_job(jid(0, 0), 4, 0);
 
         assert_eq!(ledger.gfa(0).local, 4);
         assert_eq!(ledger.gfa(0).remote, 0);
@@ -262,7 +342,7 @@ mod tests {
         let mut ledger = MessageLedger::new(2);
         ledger.record(MessageType::Negotiate, 1, 1);
         ledger.record(MessageType::Reply, 1, 1);
-        ledger.finish_job(jid(1, 0), 2);
+        ledger.finish_job(jid(1, 0), 2, 0);
         assert_eq!(ledger.gfa(1).local, 2);
         assert_eq!(ledger.gfa(1).remote, 0);
         assert_eq!(ledger.total_messages(), 2);
@@ -271,9 +351,9 @@ mod tests {
     #[test]
     fn per_job_and_per_gfa_summaries() {
         let mut ledger = MessageLedger::new(2);
-        ledger.finish_job(jid(0, 0), 2);
-        ledger.finish_job(jid(0, 1), 6);
-        ledger.finish_job(jid(1, 0), 4);
+        ledger.finish_job(jid(0, 0), 2, 3);
+        ledger.finish_job(jid(0, 1), 6, 5);
+        ledger.finish_job(jid(1, 0), 4, 4);
         let (min, mean, max) = ledger.per_job_summary();
         assert_eq!((min, max), (2, 6));
         assert!((mean - 4.0).abs() < 1e-12);
@@ -296,9 +376,42 @@ mod tests {
     }
 
     #[test]
+    fn directory_traffic_is_accounted_separately() {
+        let mut ledger = MessageLedger::new(2);
+        ledger.record(MessageType::Negotiate, 0, 1);
+        ledger.record(MessageType::Reply, 0, 1);
+        ledger.record_directory(0, 3, 0.15);
+        ledger.record_directory(1, 5, 0.25);
+        ledger.finish_job(jid(0, 0), 2, 3);
+        ledger.finish_job(jid(1, 0), 0, 5);
+
+        // Negotiation counters are untouched by directory traffic.
+        assert_eq!(ledger.total_messages(), 2);
+        assert_eq!(ledger.gfa(0).local, 2);
+        assert_eq!(ledger.gfa(0).directory, 3);
+        assert_eq!(ledger.gfa(1).directory, 5);
+        assert_eq!(ledger.directory_messages(), 8);
+        assert!((ledger.directory_seconds() - 0.40).abs() < 1e-12);
+        // Per-job views are parallel and separately summarised.
+        assert_eq!(ledger.per_job().len(), ledger.per_job_directory().len());
+        assert_eq!(ledger.per_job_directory_summary(), (3, 4.0, 5));
+        assert_eq!(ledger.per_job_summary(), (0, 1.0, 2));
+        // Empty ledger edge case.
+        assert_eq!(MessageLedger::new(1).per_job_directory_summary(), (0, 0.0, 0));
+        assert_eq!(MessageLedger::new(1).directory_messages(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "unknown GFA")]
     fn out_of_range_gfa_panics() {
         let mut ledger = MessageLedger::new(1);
         ledger.record(MessageType::Negotiate, 0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown GFA in directory record")]
+    fn out_of_range_directory_record_panics() {
+        let mut ledger = MessageLedger::new(1);
+        ledger.record_directory(3, 1, 0.05);
     }
 }

@@ -7,6 +7,7 @@
 //! (Fig. 3), user response time and budget spent with and without rejected
 //! jobs (Fig. 7–8), and message counts (Fig. 9–11).
 
+use grid_directory::DirectoryBackend;
 use grid_workload::{JobId, Strategy};
 
 use crate::economy::GridBank;
@@ -52,8 +53,15 @@ pub struct JobRecord {
     pub expected_local_response: f64,
     /// Cost the job would have had on its originating resource, `B(J, R_k)`.
     pub expected_local_cost: f64,
-    /// Accountable messages exchanged to schedule this job.
+    /// Accountable negotiation messages exchanged to schedule this job.
     pub messages: u32,
+    /// Directory messages spent on this job's ranking queries, following
+    /// the DHT range-query model `O(log n + k)`: a routed rank-1 lookup
+    /// (modelled `⌈log₂ n⌉` under the ideal backend, measured overlay hops
+    /// under Chord) plus one cursor-advance message per further rank probed.
+    /// Accounted separately from `messages` so Fig. 10/11 remain comparable
+    /// across directory backends.
+    pub directory_messages: u32,
     /// Final outcome.
     pub outcome: ExecutionOutcome,
 }
@@ -166,6 +174,16 @@ pub struct FederationReport {
     pub bank: GridBank,
     /// Final simulation time.
     pub sim_end: f64,
+    /// Which directory backend served the run's ranking queries.
+    pub backend: DirectoryBackend,
+    /// Total ranking queries the directory served during the run.
+    pub directory_queries: u64,
+    /// Average messages of one *routed* ranking lookup (rank-1 cursor
+    /// establishment): the charged `⌈log₂ n⌉` average under the ideal
+    /// backend, measured overlay hops under Chord, zero if the run never
+    /// touched the directory.  This is the quantity the paper's `O(log n)`
+    /// assumption is about.
+    pub directory_avg_route_messages: f64,
 }
 
 impl FederationReport {
@@ -314,6 +332,18 @@ impl FederationReport {
         }
     }
 
+    /// Average directory messages per ranking query (routed lookups and
+    /// cursor advances combined).  See
+    /// [`Self::directory_avg_route_messages`] for the pure routing cost.
+    #[must_use]
+    pub fn avg_directory_messages_per_query(&self) -> f64 {
+        if self.directory_queries == 0 {
+            0.0
+        } else {
+            self.messages.directory_messages() as f64 / self.directory_queries as f64
+        }
+    }
+
     /// Fraction of accepted jobs whose QoS (budget **and** deadline) was met.
     #[must_use]
     pub fn qos_satisfaction_rate(&self) -> f64 {
@@ -341,6 +371,7 @@ mod tests {
             expected_local_response: 500.0,
             expected_local_cost: 40.0,
             messages: 4,
+            directory_messages: 2,
             outcome: ExecutionOutcome::Completed {
                 executed_on,
                 start: submit,
@@ -362,6 +393,7 @@ mod tests {
             expected_local_response: 800.0,
             expected_local_cost: 60.0,
             messages: 8,
+            directory_messages: 6,
             outcome: ExecutionOutcome::Rejected,
         }
     }
@@ -394,6 +426,9 @@ mod tests {
             messages: MessageLedger::new(2),
             bank: GridBank::new(2),
             sim_end: 10_000.0,
+            backend: DirectoryBackend::Ideal,
+            directory_queries: 0,
+            directory_avg_route_messages: 0.0,
         }
     }
 
@@ -460,6 +495,9 @@ mod tests {
             messages: MessageLedger::new(0),
             bank: GridBank::new(0),
             sim_end: 0.0,
+            backend: DirectoryBackend::Chord,
+            directory_queries: 0,
+            directory_avg_route_messages: 0.0,
         };
         assert_eq!(rep.mean_acceptance_rate(), 0.0);
         assert_eq!(rep.total_incentive(), 0.0);

@@ -1,0 +1,199 @@
+//! Pluggable directory backends.
+//!
+//! The federation is generic over where its ranking queries are answered:
+//! [`DirectoryBackend`] is the configuration knob (which implementation to
+//! build), [`AnyDirectory`] is the enum-dispatch wrapper the federation's
+//! shared state holds.  Enum dispatch keeps the hot ranking path monomorphic
+//! — every call is a two-arm `match` on a discriminant rather than a vtable
+//! indirection — while still letting experiments swap backends at run time.
+
+use crate::chord::ChordDirectory;
+use crate::ideal::IdealDirectory;
+use crate::quote::{FederationDirectory, Quote, TracedQuote};
+
+/// Which directory implementation a federation run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DirectoryBackend {
+    /// The idealised directory: exact rankings with a *modelled* message
+    /// cost of `⌈log₂ n⌉` per query (the paper's assumption).
+    #[default]
+    Ideal,
+    /// The Chord overlay: exact rankings whose message cost is the *measured*
+    /// hop count of routing the query through real finger tables.
+    Chord,
+}
+
+impl DirectoryBackend {
+    /// Both backends, in a stable order (useful for sweeps and table
+    /// headers).
+    pub const ALL: [DirectoryBackend; 2] = [DirectoryBackend::Ideal, DirectoryBackend::Chord];
+
+    /// Short lowercase label used in file names and table headers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DirectoryBackend::Ideal => "ideal",
+            DirectoryBackend::Chord => "chord",
+        }
+    }
+
+    /// Builds an empty directory of this backend for a federation of `n`
+    /// GFAs.  `seed` places the Chord overlay's nodes on the ring; the ideal
+    /// backend ignores both parameters.
+    #[must_use]
+    pub fn build(self, n: usize, seed: u64) -> AnyDirectory {
+        match self {
+            DirectoryBackend::Ideal => AnyDirectory::Ideal(IdealDirectory::new()),
+            DirectoryBackend::Chord => AnyDirectory::Chord(ChordDirectory::new(n.max(1), seed)),
+        }
+    }
+}
+
+impl std::str::FromStr for DirectoryBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ideal" => Ok(DirectoryBackend::Ideal),
+            "chord" => Ok(DirectoryBackend::Chord),
+            other => Err(format!("unknown directory backend '{other}' (expected 'ideal' or 'chord')")),
+        }
+    }
+}
+
+impl std::fmt::Display for DirectoryBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A directory of either backend, dispatching every [`FederationDirectory`]
+/// operation with a monomorphic `match`.
+#[derive(Debug)]
+pub enum AnyDirectory {
+    /// An [`IdealDirectory`].
+    Ideal(IdealDirectory),
+    /// A [`ChordDirectory`].
+    Chord(ChordDirectory),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $d:ident => $e:expr) => {
+        match $self {
+            AnyDirectory::Ideal($d) => $e,
+            AnyDirectory::Chord($d) => $e,
+        }
+    };
+}
+
+impl AnyDirectory {
+    /// Which backend this directory is.
+    #[must_use]
+    pub fn backend(&self) -> DirectoryBackend {
+        match self {
+            AnyDirectory::Ideal(_) => DirectoryBackend::Ideal,
+            AnyDirectory::Chord(_) => DirectoryBackend::Chord,
+        }
+    }
+
+    /// Average messages of one *routed* ranking lookup (rank-1 cursor
+    /// establishment) — the quantity the paper models as `O(log n)`: the
+    /// charged `⌈log₂ n⌉` average for the ideal backend, the measured hop
+    /// average for Chord.  Zero when no lookup was routed (nothing was
+    /// measured, so nothing is reported).
+    #[must_use]
+    pub fn average_route_messages(&self) -> f64 {
+        match self {
+            AnyDirectory::Ideal(d) => d.average_route_messages(),
+            AnyDirectory::Chord(d) => d.average_route_hops(),
+        }
+    }
+}
+
+impl FederationDirectory for AnyDirectory {
+    fn subscribe(&mut self, quote: Quote) {
+        dispatch!(self, d => d.subscribe(quote));
+    }
+    fn unsubscribe(&mut self, gfa: usize) {
+        dispatch!(self, d => d.unsubscribe(gfa));
+    }
+    fn update_price(&mut self, gfa: usize, price: f64) {
+        dispatch!(self, d => d.update_price(gfa, price));
+    }
+    fn query_cheapest(&self, origin: usize, r: usize) -> TracedQuote {
+        dispatch!(self, d => d.query_cheapest(origin, r))
+    }
+    fn query_fastest(&self, origin: usize, r: usize) -> TracedQuote {
+        dispatch!(self, d => d.query_fastest(origin, r))
+    }
+    fn len(&self) -> usize {
+        dispatch!(self, d => d.len())
+    }
+    fn query_message_cost(&self) -> u64 {
+        dispatch!(self, d => d.query_message_cost())
+    }
+    fn queries_served(&self) -> u64 {
+        dispatch!(self, d => d.queries_served())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quote(gfa: usize, mips: f64, price: f64) -> Quote {
+        Quote {
+            gfa,
+            processors: 64,
+            mips,
+            bandwidth: 1.0,
+            price,
+        }
+    }
+
+    #[test]
+    fn build_and_label_roundtrip() {
+        for backend in DirectoryBackend::ALL {
+            let dir = backend.build(8, 7);
+            assert_eq!(dir.backend(), backend);
+            assert_eq!(backend.label().parse::<DirectoryBackend>().unwrap(), backend);
+            assert_eq!(format!("{backend}"), backend.label());
+            assert!(dir.is_empty());
+        }
+        assert!("maan".parse::<DirectoryBackend>().is_err());
+        assert_eq!(DirectoryBackend::default(), DirectoryBackend::Ideal);
+    }
+
+    #[test]
+    fn dispatch_preserves_ranking_semantics() {
+        for backend in DirectoryBackend::ALL {
+            let mut dir = backend.build(4, 9);
+            for (i, (mips, price)) in [(500.0, 4.0), (900.0, 2.0), (700.0, 3.0), (600.0, 1.0)]
+                .iter()
+                .enumerate()
+            {
+                dir.subscribe(quote(i, *mips, *price));
+            }
+            assert_eq!(dir.len(), 4);
+            assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 3);
+            assert_eq!(dir.kth_fastest(1).unwrap().gfa, 1);
+            let traced = dir.query_cheapest(2, 1);
+            assert_eq!(traced.quote.unwrap().gfa, 3);
+            assert!(traced.messages >= 1);
+            assert!(dir.queries_served() >= 3);
+            assert!(dir.average_route_messages() >= 1.0);
+            dir.unsubscribe(3);
+            assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 1);
+            dir.update_price(0, 0.1);
+            assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 0);
+        }
+    }
+
+    #[test]
+    fn chord_build_survives_zero_sizing() {
+        // `build` clamps to one overlay node so stray callers can't panic the
+        // overlay constructor; the federation itself always has n ≥ 1.
+        let dir = DirectoryBackend::Chord.build(0, 3);
+        assert_eq!(dir.len(), 0);
+    }
+}

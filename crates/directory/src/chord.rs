@@ -6,14 +6,16 @@
 //! messages.  [`ChordOverlay`] implements real Chord routing state — node
 //! identifiers on a 2⁶⁴ ring and per-node finger tables — and counts the hops
 //! taken by greedy closest-preceding-finger routing.  [`ChordDirectory`]
-//! layers the federation-directory interface on top: every ranking query is
-//! routed through the overlay from a rotating origin node so that the *hop
-//! count is measured*, while the query result itself is resolved exactly
-//! (rank data placement is idealised — the point of this module is to check
-//! the message-cost model, not to re-implement MAAN's range trees).
+//! layers the federation-directory interface on top: rank-1 queries are
+//! routed through the overlay from the *querying GFA's own node* so that the
+//! hop count is measured, higher ranks advance a range cursor one hop each
+//! (the `O(log n + k)` complexity of DHT range queries), while the query
+//! result itself is resolved exactly (rank data placement is idealised — the
+//! point of this module is to check the message-cost model, not to
+//! re-implement MAAN's range trees).
 
 use crate::ideal::IdealDirectory;
-use crate::quote::{FederationDirectory, Quote};
+use crate::quote::{FederationDirectory, Quote, TracedQuote};
 
 /// SplitMix64 hash used to place nodes and keys on the ring.
 fn hash64(mut x: u64) -> u64 {
@@ -33,6 +35,28 @@ fn in_interval(x: u64, from: u64, to: u64) -> bool {
     } else {
         // from == to: the interval covers the whole ring.
         true
+    }
+}
+
+/// Is `x` in the open ring interval `(from, to)`?
+///
+/// Used by the closest-preceding-finger test, which must *exclude* the key
+/// itself.  The earlier formulation `in_interval(x, from, to.wrapping_sub(1))`
+/// flipped to the whole ring whenever `to == from + 1` (wrapping to
+/// `from` makes the half-open helper treat the interval as full), i.e. for
+/// `key == node.id + 1` every finger — including ones *past* the key — would
+/// have qualified as "preceding".  The hazard was masked because the
+/// successor check always catches `key == node.id + 1` first, but this helper
+/// makes the interval arithmetic correct on its own: `from == to` here means
+/// the key *is* the current node's id, for which every other ring position
+/// precedes the key (one full wrap), matching Chord's convention.
+fn in_open_interval(x: u64, from: u64, to: u64) -> bool {
+    if from < to {
+        x > from && x < to
+    } else if from > to {
+        x > from || x < to
+    } else {
+        x != from
     }
 }
 
@@ -147,10 +171,11 @@ impl ChordOverlay {
             if in_interval(key, node.id, self.nodes[successor].id) {
                 return (self.nodes[successor].gfa, hops + 1);
             }
-            // Closest preceding finger.
+            // Closest preceding finger: the furthest finger that lies
+            // strictly between this node and the key.
             let mut next = successor;
             for &f in node.fingers.iter().rev() {
-                if in_interval(self.nodes[f].id, node.id, key.wrapping_sub(1)) {
+                if in_open_interval(self.nodes[f].id, node.id, key) {
                     next = f;
                     break;
                 }
@@ -185,15 +210,27 @@ impl ChordOverlay {
 }
 
 /// A federation directory whose ranking queries are routed through a
-/// [`ChordOverlay`], so that each query's message cost is a *measured* hop
-/// count rather than the idealised `⌈log₂ n⌉`.
+/// [`ChordOverlay`], so that each query's message cost is *measured* rather
+/// than the idealised `⌈log₂ n⌉`.
+///
+/// Costs follow the DHT range-query model (`O(log n + k)`, as in MAAN-style
+/// multi-attribute overlays): a rank-1 query routes from the querying GFA's
+/// own overlay node to the head of the requested ranking (measured
+/// closest-preceding-finger hops), and each higher rank advances the range
+/// cursor one overlay hop.  Quote resolution itself is exact (rank data
+/// placement is idealised — the point of this type is to check the
+/// message-cost model, not to re-implement MAAN's range trees), so job
+/// outcomes are identical across backends.
 #[derive(Debug)]
 pub struct ChordDirectory {
     overlay: ChordOverlay,
     exact: IdealDirectory,
-    /// Rotates the query origin so hops are averaged over all entry points.
-    next_origin: std::cell::Cell<usize>,
+    /// All directory messages spent (routed lookups + cursor advances).
     hops_total: std::cell::Cell<u64>,
+    /// Routed (rank-1) lookups served, and the hops they took — the
+    /// measured counterpart of the paper's `O(log n)` per-query model.
+    routes: std::cell::Cell<u64>,
+    route_hops: std::cell::Cell<u64>,
     seed: u64,
 }
 
@@ -204,8 +241,9 @@ impl ChordDirectory {
         ChordDirectory {
             overlay: ChordOverlay::new(n, seed),
             exact: IdealDirectory::new(),
-            next_origin: std::cell::Cell::new(0),
             hops_total: std::cell::Cell::new(0),
+            routes: std::cell::Cell::new(0),
+            route_hops: std::cell::Cell::new(0),
             seed,
         }
     }
@@ -216,13 +254,14 @@ impl ChordDirectory {
         &self.overlay
     }
 
-    /// Total overlay hops spent on ranking queries so far.
+    /// Total directory messages spent on ranking queries so far (routed
+    /// lookups plus cursor advances).
     #[must_use]
     pub fn hops_total(&self) -> u64 {
         self.hops_total.get()
     }
 
-    /// Average hops per ranking query served so far.
+    /// Average directory messages per ranking query served so far.
     #[must_use]
     pub fn average_hops_per_query(&self) -> f64 {
         let served = self.exact.queries_served();
@@ -233,12 +272,40 @@ impl ChordDirectory {
         }
     }
 
-    fn route_query(&self, dimension: u64, rank: usize) {
-        let key = hash64(self.seed ^ dimension.wrapping_mul(31) ^ (rank as u64).wrapping_mul(0x517C_C1B7));
-        let origin = self.next_origin.get() % self.overlay.len();
-        self.next_origin.set(origin + 1);
-        let (_, hops) = self.overlay.lookup(origin, key);
-        self.hops_total.set(self.hops_total.get() + u64::from(hops));
+    /// Average hops of one *routed* lookup (rank-1 cursor establishment) —
+    /// the measured quantity the paper models as `O(log n)`.
+    #[must_use]
+    pub fn average_route_hops(&self) -> f64 {
+        let routes = self.routes.get();
+        if routes == 0 {
+            0.0
+        } else {
+            self.route_hops.get() as f64 / routes as f64
+        }
+    }
+
+    /// Charges one query following the DHT range-query model
+    /// (`O(log n + k)`): rank 1 routes through the overlay from the node
+    /// representing `origin` to the head of the `dimension` ranking; every
+    /// higher rank advances the range cursor one overlay hop, since
+    /// consecutive ranks are adjacent in the range index.  Returns the
+    /// messages charged.
+    ///
+    /// Unsubscribing a GFA removes its quote from the rank data but leaves
+    /// its overlay node in place (the ring is a routing substrate, not the
+    /// quote store), so origins stay valid across departures.
+    fn charge_query(&self, origin: usize, dimension: u64, rank: usize) -> u64 {
+        let messages = if rank == 1 {
+            let key = hash64(self.seed ^ dimension.wrapping_mul(31));
+            let (_, hops) = self.overlay.lookup(origin % self.overlay.len(), key);
+            self.routes.set(self.routes.get() + 1);
+            self.route_hops.set(self.route_hops.get() + u64::from(hops));
+            u64::from(hops)
+        } else {
+            1
+        };
+        self.hops_total.set(self.hops_total.get() + messages);
+        messages
     }
 }
 
@@ -252,19 +319,25 @@ impl FederationDirectory for ChordDirectory {
     fn update_price(&mut self, gfa: usize, price: f64) {
         self.exact.update_price(gfa, price);
     }
-    fn kth_cheapest(&self, r: usize) -> Option<Quote> {
+    fn query_cheapest(&self, origin: usize, r: usize) -> TracedQuote {
         if r == 0 {
-            return None;
+            return TracedQuote { quote: None, messages: 0 };
         }
-        self.route_query(1, r);
-        self.exact.kth_cheapest(r)
+        let messages = self.charge_query(origin, 1, r);
+        TracedQuote {
+            quote: self.exact.kth_cheapest(r),
+            messages,
+        }
     }
-    fn kth_fastest(&self, r: usize) -> Option<Quote> {
+    fn query_fastest(&self, origin: usize, r: usize) -> TracedQuote {
         if r == 0 {
-            return None;
+            return TracedQuote { quote: None, messages: 0 };
         }
-        self.route_query(2, r);
-        self.exact.kth_fastest(r)
+        let messages = self.charge_query(origin, 2, r);
+        TracedQuote {
+            quote: self.exact.kth_fastest(r),
+            messages,
+        }
     }
     fn len(&self) -> usize {
         self.exact.len()
@@ -301,6 +374,62 @@ mod tests {
         assert!(!in_interval(30, 60, 5));
         // Degenerate single-node ring.
         assert!(in_interval(42, 7, 7));
+    }
+
+    #[test]
+    fn open_interval_logic() {
+        assert!(in_open_interval(5, 3, 8));
+        assert!(!in_open_interval(8, 3, 8)); // endpoint excluded
+        assert!(!in_open_interval(3, 3, 8));
+        // Wrapping interval.
+        assert!(in_open_interval(1, 60, 5));
+        assert!(!in_open_interval(5, 60, 5));
+        assert!(in_open_interval(u64::MAX, 60, 5));
+        // The audited edge: `to == from + 1` must be EMPTY, not the whole
+        // ring (the old `to.wrapping_sub(1)` formulation got this wrong).
+        assert!(!in_open_interval(7, 6, 7));
+        assert!(!in_open_interval(6, 6, 7));
+        assert!(!in_open_interval(100, 6, 7));
+        assert!(!in_open_interval(0, u64::MAX, 0));
+        assert!(!in_open_interval(u64::MAX, u64::MAX, 0));
+        // `from == to`: the key is the node's own id — everything except the
+        // node itself precedes the key (one full wrap).
+        assert!(in_open_interval(42, 7, 7));
+        assert!(!in_open_interval(7, 7, 7));
+    }
+
+    #[test]
+    fn exhaustive_small_rings_route_to_the_true_successor() {
+        // Regression suite for the wraparound audit: on small rings, every
+        // (origin, key) pair — with keys probing each node id and its ±1
+        // wrapping neighbours plus the ring extremes — must reach the exact
+        // successor without ever tripping the `max_hops` bail-out.
+        let max_route = ChordOverlay::ID_BITS as u32 * 4;
+        for n in 1..=12usize {
+            for seed in [0u64, 1, 42, 0xBEEF] {
+                let overlay = ChordOverlay::new(n, seed);
+                let mut keys = vec![0u64, 1, u64::MAX, u64::MAX - 1, u64::MAX / 2];
+                for node in &overlay.nodes {
+                    keys.push(node.id);
+                    keys.push(node.id.wrapping_add(1));
+                    keys.push(node.id.wrapping_sub(1));
+                }
+                for origin in 0..n {
+                    for &key in &keys {
+                        let expected = overlay.owner_of(key);
+                        let (owner, hops) = overlay.lookup(origin, key);
+                        assert_eq!(
+                            owner, expected,
+                            "n={n} seed={seed}: key {key} from {origin} routed to {owner}, true successor is {expected}"
+                        );
+                        assert!(
+                            hops < max_route,
+                            "n={n} seed={seed}: key {key} from {origin} hit the max-hops bail-out"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -365,5 +494,57 @@ mod tests {
         let (owner, hops) = overlay.lookup(0, 12345);
         assert_eq!(owner, 0);
         assert!(hops <= 1);
+    }
+
+    #[test]
+    fn range_cursor_model_charges_log_plus_k() {
+        let mut dir = ChordDirectory::new(8, 11);
+        for (i, r) in paper_resources().iter().enumerate() {
+            dir.subscribe(Quote::from_spec(i, &r.spec));
+        }
+        // Rank 1 establishes the cursor: a routed lookup of ≥ 1 hop.
+        let head = dir.query_cheapest(2, 1);
+        assert!(head.messages >= 1);
+        assert_eq!(dir.routes.get(), 1);
+        assert_eq!(dir.route_hops.get(), head.messages);
+        // Every higher rank advances the cursor exactly one hop.
+        for r in 2..=8 {
+            assert_eq!(dir.query_cheapest(2, r).messages, 1, "rank {r}");
+        }
+        assert_eq!(dir.routes.get(), 1, "cursor advances are not routed lookups");
+        assert_eq!(dir.hops_total(), head.messages + 7);
+        assert!(dir.average_route_hops() >= 1.0);
+        // A fresh ranking dimension routes again.
+        let fast = dir.query_fastest(5, 1);
+        assert!(fast.messages >= 1);
+        assert_eq!(dir.routes.get(), 2);
+    }
+
+    #[test]
+    fn traced_queries_route_from_the_given_origin() {
+        let mut dir = ChordDirectory::new(8, 11);
+        for (i, r) in paper_resources().iter().enumerate() {
+            dir.subscribe(Quote::from_spec(i, &r.spec));
+        }
+        // The same (dimension, rank) key from different origins resolves the
+        // same quote; only the measured hop count may differ.
+        let mut costs = Vec::new();
+        for origin in 0..8 {
+            let traced = dir.query_cheapest(origin, 1);
+            assert_eq!(traced.quote.unwrap().gfa, 3); // LANL Origin
+            assert!(traced.messages >= 1);
+            costs.push(traced.messages);
+        }
+        assert!(
+            costs.iter().any(|c| *c != costs[0]) || costs.len() == 1,
+            "hop counts should depend on the query origin (got {costs:?})"
+        );
+        // Rank 0 is answered locally and costs nothing.
+        let invalid = dir.query_fastest(0, 0);
+        assert_eq!(invalid.quote, None);
+        assert_eq!(invalid.messages, 0);
+        // Out-of-overlay origins (e.g. benches) wrap around instead of
+        // panicking.
+        assert!(dir.query_fastest(8_000, 2).quote.is_some());
     }
 }

@@ -8,7 +8,7 @@
 
 use std::cell::Cell;
 
-use crate::quote::{FederationDirectory, Quote};
+use crate::quote::{FederationDirectory, Quote, TracedQuote};
 
 /// Exact, centrally-computed directory with an `O(log n)` message-cost model.
 #[derive(Debug, Default)]
@@ -18,6 +18,11 @@ pub struct IdealDirectory {
     by_speed: Vec<usize>,
     dirty: bool,
     queries: Cell<u64>,
+    /// Routed (rank-1) lookups served and the messages actually charged for
+    /// them — the modelled cost can change mid-run when (un)subscriptions
+    /// resize the directory, so the average must track what was charged.
+    routes: Cell<u64>,
+    route_messages: Cell<u64>,
 }
 
 impl IdealDirectory {
@@ -75,6 +80,35 @@ impl IdealDirectory {
     pub fn quotes(&self) -> &[Quote] {
         &self.quotes
     }
+
+    /// Charges one query under the modelled range-query costs: rank 1 routes
+    /// (`⌈log₂ n⌉` at the directory's *current* size), higher ranks advance
+    /// the cursor one message, rank 0 is answered locally for free.
+    fn charge_query(&self, r: usize) -> u64 {
+        match r {
+            0 => 0,
+            1 => {
+                let cost = self.query_message_cost();
+                self.routes.set(self.routes.get() + 1);
+                self.route_messages.set(self.route_messages.get() + cost);
+                cost
+            }
+            _ => 1,
+        }
+    }
+
+    /// Average messages charged per *routed* (rank-1) lookup so far.  Equals
+    /// `⌈log₂ n⌉` while the directory size is stable, and the charge-weighted
+    /// average when (un)subscriptions resized it mid-run.
+    #[must_use]
+    pub fn average_route_messages(&self) -> f64 {
+        let routes = self.routes.get();
+        if routes == 0 {
+            0.0
+        } else {
+            self.route_messages.get() as f64 / routes as f64
+        }
+    }
 }
 
 impl FederationDirectory for IdealDirectory {
@@ -102,12 +136,18 @@ impl FederationDirectory for IdealDirectory {
         }
     }
 
-    fn kth_cheapest(&self, r: usize) -> Option<Quote> {
-        self.ranked(&self.by_price, r)
+    fn query_cheapest(&self, _origin: usize, r: usize) -> TracedQuote {
+        TracedQuote {
+            quote: self.ranked(&self.by_price, r),
+            messages: self.charge_query(r),
+        }
     }
 
-    fn kth_fastest(&self, r: usize) -> Option<Quote> {
-        self.ranked(&self.by_speed, r)
+    fn query_fastest(&self, _origin: usize, r: usize) -> TracedQuote {
+        TracedQuote {
+            quote: self.ranked(&self.by_speed, r),
+            messages: self.charge_query(r),
+        }
     }
 
     fn len(&self) -> usize {
@@ -215,6 +255,26 @@ mod tests {
             price: 1.0 + i as f64,
         }));
         assert_eq!(big.query_message_cost(), 6); // ceil(log2(50))
+    }
+
+    #[test]
+    fn route_average_tracks_charges_across_resizes() {
+        let dir = paper_directory();
+        assert_eq!(dir.average_route_messages(), 0.0); // nothing routed yet
+        let head = dir.query_cheapest(0, 1);
+        assert_eq!(head.messages, 3); // ⌈log₂ 8⌉
+        assert_eq!(dir.query_cheapest(0, 2).messages, 1); // cursor advance
+        assert_eq!(dir.query_cheapest(0, 0).messages, 0);
+        assert_eq!(dir.average_route_messages(), 3.0);
+        // Shrinking the directory mid-run changes the cost of *future*
+        // routes; the average reflects what was actually charged.
+        let mut dir = dir;
+        for gfa in 4..8 {
+            dir.unsubscribe(gfa);
+        }
+        assert_eq!(dir.query_message_cost(), 2); // ⌈log₂ 4⌉
+        assert_eq!(dir.query_fastest(0, 1).messages, 2);
+        assert!((dir.average_route_messages() - 2.5).abs() < 1e-12); // (3+2)/2
     }
 
     #[test]

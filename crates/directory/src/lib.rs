@@ -19,14 +19,21 @@
 //!   speed-rank keys; lookups route through actual finger tables and report
 //!   real hop counts, which the `ablation_directory` benchmark compares
 //!   against the idealised `⌈log₂ n⌉` model.
+//! * [`backend::DirectoryBackend`] / [`backend::AnyDirectory`] — the
+//!   configuration enum and monomorphic enum-dispatch wrapper that let the
+//!   federation pick its backend at run time; traced queries
+//!   ([`quote::TracedQuote`]) report the message cost the federation accounts
+//!   as a separate `directory` traffic class.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod chord;
 pub mod ideal;
 pub mod quote;
 
+pub use backend::{AnyDirectory, DirectoryBackend};
 pub use chord::{ChordDirectory, ChordOverlay};
 pub use ideal::IdealDirectory;
-pub use quote::{FederationDirectory, Quote};
+pub use quote::{FederationDirectory, Quote, TracedQuote};

@@ -48,6 +48,22 @@ impl Quote {
     }
 }
 
+/// The answer to one traced ranking query: the quote at the requested rank
+/// (if it exists) plus the number of directory messages the query cost.
+///
+/// The message count is what the federation's accounting charges as
+/// *directory traffic* — kept separate from the four negotiation message
+/// types so the paper's Fig. 10/11 panels stay comparable across backends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracedQuote {
+    /// The quote at the requested rank, or `None` for rank 0 or a rank past
+    /// the end of the directory.
+    pub quote: Option<Quote>,
+    /// Directory messages the query cost.  Zero for rank 0, which every
+    /// implementation answers locally without touching the overlay.
+    pub messages: u64,
+}
+
 /// The interface every federation-directory implementation provides.
 ///
 /// The ranking queries use 1-based ranks to match the paper's description of
@@ -65,13 +81,40 @@ pub trait FederationDirectory {
     /// "quote" primitive).  Does nothing if the GFA is not subscribed.
     fn update_price(&mut self, gfa: usize, price: f64);
 
-    /// The `r`-th cheapest quote (1-based).  Ties are broken by GFA index so
-    /// that results are deterministic.
-    fn kth_cheapest(&self, r: usize) -> Option<Quote>;
+    /// The `r`-th cheapest quote (1-based), queried from GFA `origin`,
+    /// together with the number of directory messages the query cost.  Ties
+    /// are broken by GFA index so that results are deterministic.
+    ///
+    /// Message costs follow the DHT range-query model (MAAN-style,
+    /// `O(log n + k)`): a rank-1 query *routes* through the overlay to
+    /// establish the ranking cursor (`O(log n)` messages — the paper's
+    /// assumption), and every higher rank advances the cursor one overlay
+    /// hop (1 message), since consecutive ranks are adjacent in the range
+    /// index.  The DBC loop probes ranks sequentially, so a job examining
+    /// `k` candidates pays `O(log n) + (k − 1)` directory messages.
+    ///
+    /// Every backend must resolve the *same* quote for the same directory
+    /// contents — backends may only differ in the message cost (and therefore
+    /// the simulated lookup latency) they report.
+    fn query_cheapest(&self, origin: usize, r: usize) -> TracedQuote;
 
-    /// The `r`-th fastest quote (1-based, by per-processor MIPS).  Ties are
-    /// broken by GFA index.
-    fn kth_fastest(&self, r: usize) -> Option<Quote>;
+    /// The `r`-th fastest quote (1-based, by per-processor MIPS), queried
+    /// from GFA `origin`, with the query's message cost.
+    fn query_fastest(&self, origin: usize, r: usize) -> TracedQuote;
+
+    /// Convenience wrapper around [`Self::query_cheapest`] that discards the
+    /// message cost (for tests and benches).  The query is still *served* —
+    /// backends count it in `queries_served` and their internal hop/route
+    /// statistics, exactly like a traced call from origin 0.
+    fn kth_cheapest(&self, r: usize) -> Option<Quote> {
+        self.query_cheapest(0, r).quote
+    }
+
+    /// Convenience wrapper around [`Self::query_fastest`]; same accounting
+    /// behaviour as [`Self::kth_cheapest`].
+    fn kth_fastest(&self, r: usize) -> Option<Quote> {
+        self.query_fastest(0, r).quote
+    }
 
     /// Number of subscribed GFAs.
     fn len(&self) -> usize;
@@ -81,9 +124,10 @@ pub trait FederationDirectory {
         self.len() == 0
     }
 
-    /// The number of messages one ranking query costs in this directory
-    /// implementation.  The experiments use this to model (but separately
-    /// account) directory traffic, exactly as the paper assumes `O(log n)`.
+    /// The number of messages one *routed* ranking lookup (rank-1 cursor
+    /// establishment) is modelled to cost in this directory implementation
+    /// (the paper assumes `O(log n)`).  Traced queries report their actual
+    /// cost, which for measured backends may differ per query.
     fn query_message_cost(&self) -> u64;
 
     /// Total ranking queries served since construction.

@@ -1,0 +1,181 @@
+//! Trait-conformance suite for [`FederationDirectory`] implementations.
+//!
+//! Every check runs against **both** backends through the same generic
+//! harness, so the `Ideal` and `Chord` directories cannot drift apart in
+//! ranking semantics, mutation behaviour (`subscribe` / `unsubscribe` /
+//! `update_price`) or traced-query bookkeeping.  Backends are allowed to
+//! differ only in the *message cost* their queries report.
+
+use grid_directory::{AnyDirectory, DirectoryBackend, FederationDirectory, Quote};
+
+const N: usize = 8;
+
+fn quote(gfa: usize, mips: f64, price: f64) -> Quote {
+    Quote {
+        gfa,
+        processors: 32 + 16 * gfa as u32,
+        mips,
+        bandwidth: 1.0 + gfa as f64 * 0.1,
+        price,
+    }
+}
+
+/// A fixed population with distinct prices and speeds.
+fn population() -> Vec<Quote> {
+    (0..N)
+        .map(|i| quote(i, 500.0 + 37.0 * ((i * 5) % N) as f64, 1.0 + 0.7 * ((i * 3) % N) as f64))
+        .collect()
+}
+
+fn populated(backend: DirectoryBackend) -> AnyDirectory {
+    let mut dir = backend.build(N, 2_005);
+    for q in population() {
+        dir.subscribe(q);
+    }
+    dir
+}
+
+fn for_both(check: impl Fn(DirectoryBackend, AnyDirectory)) {
+    for backend in DirectoryBackend::ALL {
+        check(backend, populated(backend));
+    }
+}
+
+#[test]
+fn rankings_agree_with_sorted_oracles() {
+    for_both(|backend, dir| {
+        let mut by_price = population();
+        by_price.sort_by(|a, b| a.price.total_cmp(&b.price).then(a.gfa.cmp(&b.gfa)));
+        let mut by_speed = population();
+        by_speed.sort_by(|a, b| b.mips.total_cmp(&a.mips).then(a.gfa.cmp(&b.gfa)));
+        for r in 1..=N {
+            assert_eq!(
+                dir.kth_cheapest(r).unwrap().gfa,
+                by_price[r - 1].gfa,
+                "{backend:?}: rank {r} cheapest"
+            );
+            assert_eq!(
+                dir.kth_fastest(r).unwrap().gfa,
+                by_speed[r - 1].gfa,
+                "{backend:?}: rank {r} fastest"
+            );
+        }
+        assert!(dir.kth_cheapest(N + 1).is_none());
+        assert!(dir.kth_cheapest(0).is_none());
+        assert_eq!(dir.len(), N);
+        assert!(!dir.is_empty());
+    });
+}
+
+#[test]
+fn resubscription_overwrites_in_place() {
+    for_both(|backend, mut dir| {
+        let mut q = quote(5, 9_999.0, 0.01);
+        dir.subscribe(q);
+        assert_eq!(dir.len(), N, "{backend:?}: republish must not grow the directory");
+        assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 5);
+        assert_eq!(dir.kth_fastest(1).unwrap().gfa, 5);
+        // Republish again with mid-range values: the old extreme quote is gone.
+        q.mips = 1.0;
+        q.price = 1_000.0;
+        dir.subscribe(q);
+        assert_eq!(dir.kth_cheapest(N).unwrap().gfa, 5);
+        assert_eq!(dir.kth_fastest(N).unwrap().gfa, 5);
+    });
+}
+
+#[test]
+fn unsubscribe_removes_and_reranks() {
+    for_both(|backend, mut dir| {
+        let cheapest = dir.kth_cheapest(1).unwrap().gfa;
+        dir.unsubscribe(cheapest);
+        assert_eq!(dir.len(), N - 1, "{backend:?}");
+        assert_ne!(dir.kth_cheapest(1).unwrap().gfa, cheapest);
+        assert!(dir.kth_cheapest(N).is_none());
+        // Unsubscribing an unknown GFA is a no-op.
+        dir.unsubscribe(cheapest);
+        assert_eq!(dir.len(), N - 1);
+        // The departed GFA can rejoin.
+        dir.subscribe(quote(cheapest, 600.0, 0.5));
+        assert_eq!(dir.len(), N);
+        assert_eq!(dir.kth_cheapest(1).unwrap().gfa, cheapest);
+    });
+}
+
+#[test]
+fn update_price_reranks_without_touching_speed() {
+    for_both(|backend, mut dir| {
+        let fastest_before = dir.kth_fastest(1).unwrap().gfa;
+        let target = dir.kth_cheapest(N).unwrap().gfa; // most expensive
+        dir.update_price(target, 0.001);
+        assert_eq!(dir.kth_cheapest(1).unwrap().gfa, target, "{backend:?}");
+        assert_eq!(dir.kth_fastest(1).unwrap().gfa, fastest_before);
+        // Updating an unknown GFA is a no-op.
+        dir.update_price(999, 0.000_1);
+        assert_eq!(dir.len(), N);
+        assert_ne!(dir.kth_cheapest(1).unwrap().gfa, 999);
+    });
+}
+
+#[test]
+fn traced_queries_match_untraced_results_and_cost_messages() {
+    for_both(|backend, dir| {
+        for origin in 0..N {
+            for r in 1..=N {
+                let cheap = dir.query_cheapest(origin, r);
+                assert_eq!(cheap.quote, dir.kth_cheapest(r), "{backend:?}");
+                assert!(
+                    cheap.messages >= 1,
+                    "{backend:?}: a served query must cost at least one message"
+                );
+                let fast = dir.query_fastest(origin, r);
+                assert_eq!(fast.quote, dir.kth_fastest(r));
+                assert!(fast.messages >= 1);
+            }
+            // Rank 0 is answered locally, for free, on every backend.
+            assert_eq!(dir.query_cheapest(origin, 0).messages, 0);
+            assert_eq!(dir.query_fastest(origin, 0).quote, None);
+        }
+        assert!(dir.query_message_cost() >= 1);
+        assert!(dir.queries_served() > 0);
+    });
+}
+
+#[test]
+fn backends_resolve_identical_quotes_for_identical_mutations() {
+    // Drive both backends through the same mutation script and assert the
+    // rank data never diverges — the invariant the federation's differential
+    // test relies on.
+    let mut ideal = populated(DirectoryBackend::Ideal);
+    let mut chord = populated(DirectoryBackend::Chord);
+    let script: Vec<(&str, usize, f64)> = vec![
+        ("price", 2, 0.2),
+        ("unsub", 4, 0.0),
+        ("price", 7, 3.3),
+        ("sub", 4, 0.0),
+        ("unsub", 0, 0.0),
+    ];
+    for (op, gfa, value) in script {
+        match op {
+            "price" => {
+                ideal.update_price(gfa, value);
+                chord.update_price(gfa, value);
+            }
+            "unsub" => {
+                ideal.unsubscribe(gfa);
+                chord.unsubscribe(gfa);
+            }
+            "sub" => {
+                let q = quote(gfa, 777.0, 1.5);
+                ideal.subscribe(q);
+                chord.subscribe(q);
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(ideal.len(), chord.len());
+        for r in 1..=ideal.len() + 1 {
+            assert_eq!(ideal.kth_cheapest(r), chord.kth_cheapest(r), "after {op}({gfa})");
+            assert_eq!(ideal.kth_fastest(r), chord.kth_fastest(r), "after {op}({gfa})");
+        }
+    }
+}

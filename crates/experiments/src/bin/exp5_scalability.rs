@@ -1,53 +1,129 @@
 //! Experiment 5 binary: message complexity as the federation scales from 10
-//! to 50 clusters (regenerates Figures 10 and 11).
+//! to 50 clusters (regenerates Figures 10 and 11), run against one or both
+//! directory backends, plus the per-job directory-message panels and the
+//! backend comparison table that validate the paper's `O(log n)` query-cost
+//! assumption with measured Chord hops.
 //!
-//! Usage: `exp5_scalability [--quick] [--out DIR]`
+//! Usage: `exp5_scalability [--quick] [--smoke] [--backend ideal|chord|both]
+//!         [--seed N] [--out DIR]`
+//!
+//! `--smoke` is the CI configuration: quick workloads on sizes 8 and 16 with
+//! a single 50 % OFT profile, both backends — small enough to run on every
+//! push, complete enough to exercise the whole sweep path.
 
 use std::path::PathBuf;
 
-use grid_experiments::exp5::{self, Stat};
+use grid_experiments::exp5::{self, ScalabilitySweep, Stat};
 use grid_experiments::workloads::WorkloadOptions;
+use grid_federation_core::DirectoryBackend;
+use grid_workload::PopulationProfile;
 
-fn parse_args() -> (WorkloadOptions, PathBuf) {
-    let mut options = WorkloadOptions::default();
-    let mut out = PathBuf::from("results");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+struct Args {
+    options: WorkloadOptions,
+    out: PathBuf,
+    backends: Vec<DirectoryBackend>,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        options: WorkloadOptions::default(),
+        out: PathBuf::from("results"),
+        backends: DirectoryBackend::ALL.to_vec(),
+        smoke: false,
+    };
+    // Applied after the loop so flag order cannot matter (`--seed 7 --smoke`
+    // must not have the quick preset clobber the seed).
+    let mut seed: Option<u64> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
         match arg.as_str() {
-            "--quick" => options = WorkloadOptions::quick(),
-            "--out" => out = PathBuf::from(args.next().expect("--out needs a directory")),
+            "--quick" => args.options = WorkloadOptions::quick(),
+            "--smoke" => {
+                args.options = WorkloadOptions::quick();
+                args.smoke = true;
+            }
+            "--out" => args.out = PathBuf::from(argv.next().expect("--out needs a directory")),
             "--seed" => {
-                options.seed = args
-                    .next()
-                    .expect("--seed needs a value")
-                    .parse()
-                    .expect("seed must be an integer");
+                seed = Some(
+                    argv.next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("seed must be an integer"),
+                );
+            }
+            "--backend" => {
+                let which = argv.next().expect("--backend needs ideal|chord|both");
+                args.backends = match which.as_str() {
+                    "both" => DirectoryBackend::ALL.to_vec(),
+                    one => vec![one.parse().unwrap_or_else(|e: String| panic!("{e}"))],
+                };
             }
             other => panic!("unknown argument: {other}"),
         }
     }
-    (options, out)
+    if let Some(seed) = seed {
+        args.options.seed = seed;
+    }
+    args
 }
 
 fn main() {
-    let (options, out) = parse_args();
-    eprintln!("running experiment 5 (system size 10–50)… this is the largest sweep");
-    let sweep = exp5::run(&options);
+    let args = parse_args();
+    let backend_labels: Vec<&str> = args.backends.iter().map(|b| b.label()).collect();
+    eprintln!(
+        "running experiment 5 (system size sweep) against backend(s): {}…",
+        backend_labels.join(", ")
+    );
+
+    let (sizes, profiles): (Vec<usize>, Vec<PopulationProfile>) = if args.smoke {
+        (vec![8, 16], vec![PopulationProfile::new(50)])
+    } else {
+        (exp5::DEFAULT_SIZES.to_vec(), exp5::default_profiles())
+    };
+    let sweeps: Vec<ScalabilitySweep> = args
+        .backends
+        .iter()
+        .map(|&backend| exp5::run_sweep_with_backend(&args.options, &sizes, &profiles, backend))
+        .collect();
 
     let mut outputs = Vec::new();
-    for stat in Stat::ALL {
+    for sweep in &sweeps {
+        // The paper's panels keep their historical file names for the default
+        // (ideal) backend; other backends get a suffix.
+        let suffix = match sweep.backend {
+            DirectoryBackend::Ideal => String::new(),
+            other => format!("_{}", other.label()),
+        };
+        for stat in Stat::ALL {
+            outputs.push((
+                format!("fig10_{}_msgs_per_job{suffix}.csv", stat.label()),
+                exp5::figure10(sweep, stat),
+            ));
+            outputs.push((
+                format!("fig11_{}_msgs_per_gfa{suffix}.csv", stat.label()),
+                exp5::figure11(sweep, stat),
+            ));
+            outputs.push((
+                format!(
+                    "directory_{}_msgs_per_job_{}.csv",
+                    stat.label(),
+                    sweep.backend.label()
+                ),
+                exp5::figure_directory(sweep, stat),
+            ));
+        }
+    }
+    if sweeps.len() > 1 {
         outputs.push((
-            format!("fig10_{}_msgs_per_job.csv", stat.label()),
-            exp5::figure10(&sweep, stat),
-        ));
-        outputs.push((
-            format!("fig11_{}_msgs_per_gfa.csv", stat.label()),
-            exp5::figure11(&sweep, stat),
+            "directory_backend_comparison.csv".to_string(),
+            exp5::backend_directory_comparison(&sweeps),
         ));
     }
+
     for (name, table) in &outputs {
         println!("{}", table.to_ascii());
-        let path = out.join(name);
+        let path = args.out.join(name);
         table.write_csv(&path).expect("failed to write CSV");
         eprintln!("wrote {}", path.display());
     }

@@ -87,24 +87,46 @@ fn main() {
         table.write_csv(&out.join(name)).expect("write exp4 figure");
     }
 
-    eprintln!("[5/5] experiment 5: system size 10–50");
-    let scal = if quick {
-        exp5::run_sweep(
-            &options,
-            &[10, 20, 30],
-            &[PopulationProfile::new(0), PopulationProfile::new(100)],
+    eprintln!("[5/5] experiment 5: system size 10–50, both directory backends");
+    let (sizes, exp5_profiles): (Vec<usize>, Vec<PopulationProfile>) = if quick {
+        (
+            vec![10, 20, 30],
+            vec![PopulationProfile::new(0), PopulationProfile::new(100)],
         )
     } else {
-        exp5::run(&options)
+        (exp5::DEFAULT_SIZES.to_vec(), exp5::default_profiles())
     };
+    let backend_sweeps: Vec<_> = grid_federation_core::DirectoryBackend::ALL
+        .iter()
+        .map(|&b| exp5::run_sweep_with_backend(&options, &sizes, &exp5_profiles, b))
+        .collect();
+    // The paper's own panels come from the ideal sweep, selected by backend
+    // rather than position so reordering DirectoryBackend::ALL cannot
+    // silently swap the canonical CSVs.
+    let scal = backend_sweeps
+        .iter()
+        .find(|s| s.backend == grid_federation_core::DirectoryBackend::Ideal)
+        .expect("the backend sweep must include the ideal directory");
     for stat in Stat::ALL {
-        exp5::figure10(&scal, stat)
+        exp5::figure10(scal, stat)
             .write_csv(&out.join(format!("fig10_{}_msgs_per_job.csv", stat.label())))
             .expect("write fig10");
-        exp5::figure11(&scal, stat)
+        exp5::figure11(scal, stat)
             .write_csv(&out.join(format!("fig11_{}_msgs_per_gfa.csv", stat.label())))
             .expect("write fig11");
+        for sweep in &backend_sweeps {
+            exp5::figure_directory(sweep, stat)
+                .write_csv(&out.join(format!(
+                    "directory_{}_msgs_per_job_{}.csv",
+                    stat.label(),
+                    sweep.backend.label()
+                )))
+                .expect("write directory panel");
+        }
     }
+    exp5::backend_directory_comparison(&backend_sweeps)
+        .write_csv(&out.join("directory_backend_comparison.csv"))
+        .expect("write backend comparison");
 
     let claims = HeadlineClaims::extract(&e2, &sweep);
     let claims_table = claims.to_table();

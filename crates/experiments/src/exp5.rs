@@ -6,11 +6,18 @@
 //! profiles.  For every (size, profile) pair the per-job and per-GFA message
 //! counts are summarised as min / average / max, matching the six panels of
 //! Fig. 10 and Fig. 11.
+//!
+//! On top of the paper's negotiation panels, the sweep runs against both
+//! [`DirectoryBackend`]s and summarises the per-job **directory** message
+//! counts, validating the paper's `O(log n)` query-cost assumption with the
+//! Chord overlay's *measured* hops instead of the idealised `⌈log₂ n⌉`
+//! model.  Backends resolve identical quotes, so their job outcomes are
+//! bitwise-identical and only the directory traffic differs.
 
 use std::thread;
 
 use grid_federation_core::federation::{run_federation, FederationConfig, SchedulingMode};
-use grid_federation_core::FederationReport;
+use grid_federation_core::{DirectoryBackend, FederationReport};
 use grid_workload::PopulationProfile;
 
 use crate::report::{f2, DataTable};
@@ -45,6 +52,8 @@ impl Stat {
 /// The sweep over system sizes and population profiles.
 #[derive(Debug, Clone)]
 pub struct ScalabilitySweep {
+    /// The directory backend every run of this sweep used.
+    pub backend: DirectoryBackend,
     /// Federation sizes, e.g. `[10, 20, 30, 40, 50]`.
     pub sizes: Vec<usize>,
     /// Population profiles evaluated at every size.
@@ -66,13 +75,25 @@ impl ScalabilitySweep {
     }
 }
 
-/// Runs the scalability sweep.  Runs are independent, so each (size, profile)
-/// pair executes on its own thread.
+/// Runs the scalability sweep with the default (ideal) directory backend.
+/// Runs are independent, so each (size, profile) pair executes on its own
+/// thread.
 #[must_use]
 pub fn run_sweep(
     options: &WorkloadOptions,
     sizes: &[usize],
     profiles: &[PopulationProfile],
+) -> ScalabilitySweep {
+    run_sweep_with_backend(options, sizes, profiles, DirectoryBackend::Ideal)
+}
+
+/// Runs the scalability sweep against a specific directory backend.
+#[must_use]
+pub fn run_sweep_with_backend(
+    options: &WorkloadOptions,
+    sizes: &[usize],
+    profiles: &[PopulationProfile],
+    backend: DirectoryBackend,
 ) -> ScalabilitySweep {
     let reports: Vec<Vec<FederationReport>> = thread::scope(|scope| {
         let handles: Vec<Vec<_>> = sizes
@@ -90,6 +111,7 @@ pub fn run_sweep(
                                     mode: SchedulingMode::Economy,
                                     seed: options.seed,
                                     utilization_horizon: Some(options.duration),
+                                    directory: backend,
                                     ..FederationConfig::default()
                                 },
                             )
@@ -108,44 +130,71 @@ pub fn run_sweep(
             .collect()
     });
     ScalabilitySweep {
+        backend,
         sizes: sizes.to_vec(),
         profiles: profiles.to_vec(),
         reports,
     }
 }
 
-/// Runs the paper's configuration: sizes 10–50 in steps of 10, with the
-/// population profiles of Experiment 3 (a reduced default set keeps the run
-/// time reasonable; pass a custom profile list through [`run_sweep`] for the
-/// full grid).
+/// The paper's system sizes: 10–50 clusters in steps of 10.
+pub const DEFAULT_SIZES: [usize; 5] = [10, 20, 30, 40, 50];
+
+/// The default population-profile grid (a reduced subset of Experiment 3's
+/// eleven profiles that keeps the run time reasonable).
 #[must_use]
-pub fn run(options: &WorkloadOptions) -> ScalabilitySweep {
-    let profiles: Vec<PopulationProfile> = [0u32, 30, 50, 70, 100]
+pub fn default_profiles() -> Vec<PopulationProfile> {
+    [0u32, 30, 50, 70, 100]
         .iter()
         .map(|p| PopulationProfile::new(*p))
-        .collect();
-    run_sweep(options, &[10, 20, 30, 40, 50], &profiles)
+        .collect()
 }
 
-fn extract(report: &FederationReport, per_job: bool, stat: Stat) -> f64 {
-    if per_job {
-        let (min, avg, max) = report.messages.per_job_summary();
-        match stat {
-            Stat::Min => f64::from(min),
-            Stat::Avg => avg,
-            Stat::Max => f64::from(max),
+/// Runs the paper's configuration: [`DEFAULT_SIZES`] with
+/// [`default_profiles`] (pass a custom grid through [`run_sweep`] for the
+/// full Experiment 3 profile set).
+#[must_use]
+pub fn run(options: &WorkloadOptions) -> ScalabilitySweep {
+    run_sweep(options, &DEFAULT_SIZES, &default_profiles())
+}
+
+/// Which message series a panel summarises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Series {
+    /// Negotiation messages per job (Fig. 10).
+    JobNegotiation,
+    /// Negotiation messages per GFA (Fig. 11).
+    GfaNegotiation,
+    /// Directory messages per job (the new backend-validation panel).
+    JobDirectory,
+}
+
+fn extract_series(report: &FederationReport, series: Series, stat: Stat) -> f64 {
+    match series {
+        Series::JobNegotiation | Series::JobDirectory => {
+            let (min, avg, max) = if series == Series::JobNegotiation {
+                report.messages.per_job_summary()
+            } else {
+                report.messages.per_job_directory_summary()
+            };
+            match stat {
+                Stat::Min => f64::from(min),
+                Stat::Avg => avg,
+                Stat::Max => f64::from(max),
+            }
         }
-    } else {
-        let (min, avg, max) = report.messages.per_gfa_summary();
-        match stat {
-            Stat::Min => min as f64,
-            Stat::Avg => avg,
-            Stat::Max => max as f64,
+        Series::GfaNegotiation => {
+            let (min, avg, max) = report.messages.per_gfa_summary();
+            match stat {
+                Stat::Min => min as f64,
+                Stat::Avg => avg,
+                Stat::Max => max as f64,
+            }
         }
     }
 }
 
-fn panel(sweep: &ScalabilitySweep, per_job: bool, stat: Stat, title: &str) -> DataTable {
+fn panel(sweep: &ScalabilitySweep, series: Series, stat: Stat, title: &str) -> DataTable {
     let mut columns = vec!["System size".to_string()];
     columns.extend(sweep.profiles.iter().map(PopulationProfile::label));
     let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
@@ -153,7 +202,7 @@ fn panel(sweep: &ScalabilitySweep, per_job: bool, stat: Stat, title: &str) -> Da
     for (si, size) in sweep.sizes.iter().enumerate() {
         let mut row = vec![size.to_string()];
         for pi in 0..sweep.profiles.len() {
-            row.push(f2(extract(&sweep.reports[si][pi], per_job, stat)));
+            row.push(f2(extract_series(&sweep.reports[si][pi], series, stat)));
         }
         table.push_row(row);
     }
@@ -165,7 +214,7 @@ fn panel(sweep: &ScalabilitySweep, per_job: bool, stat: Stat, title: &str) -> Da
 pub fn figure10(sweep: &ScalabilitySweep, stat: Stat) -> DataTable {
     panel(
         sweep,
-        true,
+        Series::JobNegotiation,
         stat,
         &format!(
             "Figure 10 ({}): {} messages per job vs. system size",
@@ -184,7 +233,7 @@ pub fn figure10(sweep: &ScalabilitySweep, stat: Stat) -> DataTable {
 pub fn figure11(sweep: &ScalabilitySweep, stat: Stat) -> DataTable {
     panel(
         sweep,
-        false,
+        Series::GfaNegotiation,
         stat,
         &format!(
             "Figure 11 ({}): {} messages per GFA vs. system size",
@@ -196,6 +245,97 @@ pub fn figure11(sweep: &ScalabilitySweep, stat: Stat) -> DataTable {
             stat.label()
         ),
     )
+}
+
+/// The new directory panel: min/average/max **directory** messages per job
+/// vs. system size, for the sweep's backend.  Under the ideal backend these
+/// are modelled `⌈log₂ n⌉` costs; under Chord they are measured overlay hops.
+#[must_use]
+pub fn figure_directory(sweep: &ScalabilitySweep, stat: Stat) -> DataTable {
+    panel(
+        sweep,
+        Series::JobDirectory,
+        stat,
+        &format!(
+            "Directory messages per job ({} backend): {} vs. system size",
+            sweep.backend.label(),
+            stat.label()
+        ),
+    )
+}
+
+/// Cross-backend validation table: for every system size, the average cost
+/// of one *routed* ranking lookup and the average directory messages per
+/// job under each backend (averaged over the sweep's profiles), next to the
+/// idealised `⌈log₂ n⌉` reference.  The Chord route column growing like the
+/// reference — rather than like `n` — is the paper's scalability argument
+/// made measurable; the per-job column adds the `+k` cursor cost of the
+/// ranks the DBC loop actually probed.
+///
+/// # Panics
+/// Panics if the sweeps disagree on sizes or profiles.
+#[must_use]
+pub fn backend_directory_comparison(sweeps: &[ScalabilitySweep]) -> DataTable {
+    assert!(!sweeps.is_empty(), "need at least one sweep to compare");
+    for s in sweeps {
+        assert_eq!(s.sizes, sweeps[0].sizes, "sweeps must cover the same sizes");
+        assert!(
+            s.profiles.len() == sweeps[0].profiles.len()
+                && s.profiles
+                    .iter()
+                    .zip(&sweeps[0].profiles)
+                    .all(|(a, b)| a.oft_percent == b.oft_percent),
+            "sweeps must cover the same profiles"
+        );
+    }
+    let mut columns = vec!["System size".to_string(), "ceil(log2 n)".to_string()];
+    for s in sweeps {
+        columns.push(format!("{} avg msgs/route", s.backend.label()));
+        columns.push(format!("{} avg dir msgs/job", s.backend.label()));
+        columns.push(format!("{} avg lookup s/job", s.backend.label()));
+    }
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = DataTable::new(
+        "Directory backend comparison: average directory messages per query and per job",
+        &column_refs,
+    );
+    for (si, size) in sweeps[0].sizes.iter().enumerate() {
+        let mut row = vec![
+            size.to_string(),
+            format!("{}", (*size as f64).log2().ceil() as u64),
+        ];
+        for sweep in sweeps {
+            let profiles = sweep.profiles.len() as f64;
+            let per_route: f64 = (0..sweep.profiles.len())
+                .map(|pi| sweep.reports[si][pi].directory_avg_route_messages)
+                .sum::<f64>()
+                / profiles;
+            let per_job: f64 = (0..sweep.profiles.len())
+                .map(|pi| extract_series(&sweep.reports[si][pi], Series::JobDirectory, Stat::Avg))
+                .sum::<f64>()
+                / profiles;
+            // The simulated network time directory lookups cost (hops ×
+            // latency), accounted out-of-band so job outcomes stay
+            // backend-identical; surfaced here so the charge is visible in
+            // the emitted tables.
+            let secs_per_job: f64 = (0..sweep.profiles.len())
+                .map(|pi| {
+                    let r = &sweep.reports[si][pi];
+                    if r.jobs.is_empty() {
+                        0.0
+                    } else {
+                        r.messages.directory_seconds() / r.jobs.len() as f64
+                    }
+                })
+                .sum::<f64>()
+                / profiles;
+            row.push(f2(per_route));
+            row.push(f2(per_job));
+            row.push(f2(secs_per_job));
+        }
+        table.push_row(row);
+    }
+    table
 }
 
 #[cfg(test)]
@@ -226,8 +366,8 @@ mod tests {
     fn average_messages_per_job_grow_with_system_size() {
         let sweep = small_sweep();
         for oft in [0u32, 100] {
-            let small = extract(sweep.report_for(10, oft).unwrap(), true, Stat::Avg);
-            let large = extract(sweep.report_for(20, oft).unwrap(), true, Stat::Avg);
+            let small = extract_series(sweep.report_for(10, oft).unwrap(), Series::JobNegotiation, Stat::Avg);
+            let large = extract_series(sweep.report_for(20, oft).unwrap(), Series::JobNegotiation, Stat::Avg);
             assert!(
                 large >= small * 0.8,
                 "per-job messages should not collapse as the system grows (OFT {oft}%: {small:.2} -> {large:.2})"
@@ -240,8 +380,8 @@ mod tests {
     fn oft_needs_more_messages_per_job_than_ofc() {
         // The paper: OFC scheduling requires fewer messages than OFT.
         let sweep = small_sweep();
-        let ofc = extract(sweep.report_for(10, 0).unwrap(), true, Stat::Avg);
-        let oft = extract(sweep.report_for(10, 100).unwrap(), true, Stat::Avg);
+        let ofc = extract_series(sweep.report_for(10, 0).unwrap(), Series::JobNegotiation, Stat::Avg);
+        let oft = extract_series(sweep.report_for(10, 100).unwrap(), Series::JobNegotiation, Stat::Avg);
         assert!(
             oft > ofc,
             "per-job messages under OFT ({oft:.2}) should exceed OFC ({ofc:.2})"
@@ -255,7 +395,121 @@ mod tests {
             assert_eq!(figure10(&sweep, stat).len(), 2);
             assert_eq!(figure11(&sweep, stat).len(), 2);
             assert_eq!(figure10(&sweep, stat).columns.len(), 3);
+            assert_eq!(figure_directory(&sweep, stat).len(), 2);
         }
         assert_eq!(Stat::Min.label(), "min");
+        assert_eq!(sweep.backend, DirectoryBackend::Ideal);
+    }
+
+    #[test]
+    fn backends_produce_identical_job_outcomes() {
+        // The acceptance criterion's differential check at sweep level: same
+        // seed + workload under Ideal and Chord must yield bitwise-identical
+        // job outcomes and bank balances, differing only in directory
+        // message counts and the lookup latency they account.
+        let options = WorkloadOptions::quick();
+        let sizes = [10usize];
+        let profiles = [PopulationProfile::new(50)];
+        let ideal = run_sweep_with_backend(&options, &sizes, &profiles, DirectoryBackend::Ideal);
+        let chord = run_sweep_with_backend(&options, &sizes, &profiles, DirectoryBackend::Chord);
+        let (a, b) = (&ideal.reports[0][0], &chord.reports[0][0]);
+        assert_eq!(a.jobs.len(), b.jobs.len());
+        for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(ja.id, jb.id);
+            assert_eq!(ja.outcome, jb.outcome, "job {} outcome diverged", ja.id);
+            assert_eq!(ja.messages, jb.messages, "job {} negotiation traffic diverged", ja.id);
+        }
+        assert_eq!(a.messages.total_messages(), b.messages.total_messages());
+        assert_eq!(a.messages.per_job_summary(), b.messages.per_job_summary());
+        for i in 0..a.resources.len() {
+            assert!((a.bank.earnings(i) - b.bank.earnings(i)).abs() < 1e-9);
+            assert_eq!(a.resources[i].accepted, b.resources[i].accepted);
+            assert_eq!(a.resources[i].rejected, b.resources[i].rejected);
+        }
+        // Both backends account directory traffic; the measured overlay hops
+        // need not equal the modelled ⌈log₂ n⌉ aggregate.
+        assert!(a.messages.directory_messages() > 0);
+        assert!(b.messages.directory_messages() > 0);
+        assert!(a.messages.directory_seconds() > 0.0);
+        assert!(b.messages.directory_seconds() > 0.0);
+    }
+
+    #[test]
+    fn chord_directory_messages_grow_sublinearly() {
+        // Two claims, validated on a 4× size growth (10 → 40 clusters):
+        //
+        // 1. The cost of one ranking query — the quantity the paper models as
+        //    `O(log n)` — must grow like the logarithm of the system size
+        //    (log₂ 40 / log₂ 10 ≈ 1.6), nowhere near linearly.
+        // 2. The *per-job* directory total (query cost × ranks probed by the
+        //    DBC loop) must stay sub-linear even though deeper federations
+        //    also probe more ranks per job (a negotiation property visible
+        //    in Fig. 10 as well).
+        let options = WorkloadOptions::quick();
+        let profiles = [PopulationProfile::new(50)];
+        let sweep =
+            run_sweep_with_backend(&options, &[10, 40], &profiles, DirectoryBackend::Chord);
+        let hops_small = sweep.reports[0][0].directory_avg_route_messages;
+        let hops_large = sweep.reports[1][0].directory_avg_route_messages;
+        assert!(hops_small >= 1.0);
+        assert!(
+            hops_large > hops_small,
+            "bigger rings should need more hops per routed lookup ({hops_small:.2} -> {hops_large:.2})"
+        );
+        assert!(
+            hops_large < hops_small * 2.0,
+            "per-route hops grew super-logarithmically: {hops_small:.2} -> {hops_large:.2} \
+             (log ratio is ≈1.6, linear would be 4.0)"
+        );
+
+        let small = extract_series(&sweep.reports[0][0], Series::JobDirectory, Stat::Avg);
+        let large = extract_series(&sweep.reports[1][0], Series::JobDirectory, Stat::Avg);
+        assert!(small >= 1.0, "every scheduled job issues at least one hop ({small:.2})");
+        assert!(
+            large < small * 3.0,
+            "per-job directory messages must grow clearly sub-linearly \
+             (4× size growth): {small:.2} -> {large:.2}"
+        );
+    }
+
+    #[test]
+    fn backend_comparison_table_tracks_the_log_model() {
+        let options = WorkloadOptions::quick();
+        let profiles = [PopulationProfile::new(50)];
+        let sweeps: Vec<ScalabilitySweep> = DirectoryBackend::ALL
+            .iter()
+            .map(|&b| run_sweep_with_backend(&options, &[10, 20], &profiles, b))
+            .collect();
+        let table = backend_directory_comparison(&sweeps);
+        assert_eq!(table.len(), 2);
+        // size, log₂ ref, then (msgs/route, msgs/job, lookup s/job) per
+        // backend.
+        assert_eq!(table.columns.len(), 8);
+        for (row, size) in table.rows.iter().zip([10f64, 20.0]) {
+            let log_ref: f64 = row[1].parse().unwrap();
+            assert_eq!(log_ref, size.log2().ceil());
+            // The ideal backend charges exactly the modelled ⌈log₂ n⌉ per
+            // routed lookup; Chord's measured hops must be positive and of
+            // the same order (within 2× of the model).
+            let ideal_per_route: f64 = row[2].parse().unwrap();
+            let chord_per_route: f64 = row[5].parse().unwrap();
+            assert!((ideal_per_route - log_ref).abs() < 1e-9);
+            assert!(chord_per_route >= 1.0);
+            assert!(
+                chord_per_route < 2.0 * log_ref,
+                "measured hops {chord_per_route:.2} far from the O(log n) model {log_ref}"
+            );
+            // Per-job totals add the +k cursor cost of the ranks probed, so
+            // they are at least one routed lookup each.
+            let ideal_per_job: f64 = row[3].parse().unwrap();
+            let chord_per_job: f64 = row[6].parse().unwrap();
+            assert!(ideal_per_job >= log_ref);
+            assert!(chord_per_job >= 1.0);
+            // Lookup time is charged at hops × latency (default 0.05 s).
+            let ideal_secs: f64 = row[4].parse().unwrap();
+            let chord_secs: f64 = row[7].parse().unwrap();
+            assert!((ideal_secs - ideal_per_job * 0.05).abs() < 0.01);
+            assert!(chord_secs > 0.0);
+        }
     }
 }

@@ -31,6 +31,7 @@ pub use grid_workload as workload;
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
     pub use grid_cluster::{LocalScheduler, ResourceSpec};
+    pub use grid_directory::DirectoryBackend;
     pub use grid_federation_core::federation::{
         run_federation, FederationBuilder, FederationConfig, LrmsKind, SchedulingMode,
     };
