@@ -171,6 +171,8 @@ where
     // Executing job → (origin, submit time).
     let mut executing: HashMap<JobId, (usize, f64)> = HashMap::new();
     let mut last_time = 0.0f64;
+    // Reused for LRMS start notifications so the loop never allocates.
+    let mut started: Vec<grid_cluster::StartedJob> = Vec::new();
 
     while let Some(Reverse(ev)) = heap.pop() {
         last_time = ev.time;
@@ -201,15 +203,17 @@ where
                         }
                         let service = completion_time(job, &resources[target], &resources[origin]);
                         executing.insert(job.id, (origin, job.submit));
-                        let started = lrms[target].submit(
+                        started.clear();
+                        lrms[target].submit_into(
                             ClusterJob {
                                 id: job.id,
                                 processors: job.processors.min(resources[target].processors),
                                 service_time: service,
                             },
                             ev.time,
+                            &mut started,
                         );
-                        for s in started {
+                        for s in &started {
                             heap.push(Reverse(QueuedEvent {
                                 time: s.finish,
                                 seq,
@@ -224,8 +228,9 @@ where
                 }
             }
             EventKind::Completion { resource, job } => {
-                let started = lrms[resource].on_finished(job, ev.time);
-                for s in started {
+                started.clear();
+                lrms[resource].on_finished_into(job, ev.time, &mut started);
+                for s in &started {
                     heap.push(Reverse(QueuedEvent {
                         time: s.finish,
                         seq,

@@ -5,29 +5,55 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use grid_cluster::{ClusterJob, EasyBackfilling, LocalScheduler, SpaceSharedFcfs};
-use grid_des::{Context, Entity, EntityId, Event, EventQueue, SimTime, Simulation};
+use grid_des::{BinaryHeapEventQueue, Context, Entity, EntityId, Event, EventQueue, SimTime, Simulation};
 use grid_directory::{ChordOverlay, FederationDirectory, IdealDirectory, Quote};
 use grid_workload::{JobId, SyntheticWorkloadConfig};
 
+/// A payload as wide as the federation's message enum, so the layout benches
+/// measure the memmove cost the real model pays.
+type WidePayload = [u64; 12];
+
+fn wide_event(i: usize, n: usize) -> Event<WidePayload> {
+    Event {
+        time: SimTime::new(((i * 7919) % n) as f64),
+        seq: 0,
+        src: EntityId::new(0),
+        dst: EntityId::new(0),
+        kind: grid_des::EventKind::Message,
+        payload: [i as u64; 12],
+    }
+}
+
+/// Compares the two future-event-list layouts on an identical schedule: the
+/// index-based 4-ary heap (sift moves 24-byte keys) vs. the retained
+/// `BinaryHeap<Event>` baseline (sift memmoves the whole payload).  This
+/// measurement decides the engine's layout; see `bench_perf` for the tracked
+/// numbers.
 fn event_queue_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("des_event_queue");
     for n in [1_000usize, 10_000, 100_000] {
-        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+        group.bench_with_input(BenchmarkId::new("dary_index_heap", n), &n, |b, &n| {
             b.iter(|| {
-                let mut q: EventQueue<u64> = EventQueue::with_capacity(n);
+                let mut q: EventQueue<WidePayload> = EventQueue::with_capacity(n);
                 for i in 0..n {
-                    q.push(Event {
-                        time: SimTime::new(((i * 7919) % n) as f64),
-                        seq: 0,
-                        src: EntityId::new(0),
-                        dst: EntityId::new(0),
-                        kind: grid_des::EventKind::Message,
-                        payload: i as u64,
-                    });
+                    q.push(wide_event(i, n));
                 }
                 let mut acc = 0u64;
                 while let Some(ev) = q.pop() {
-                    acc = acc.wrapping_add(ev.payload);
+                    acc = acc.wrapping_add(ev.payload[0]);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("binary_heap_baseline", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q: BinaryHeapEventQueue<WidePayload> = BinaryHeapEventQueue::with_capacity(n);
+                for i in 0..n {
+                    q.push(wide_event(i, n));
+                }
+                let mut acc = 0u64;
+                while let Some(ev) = q.pop() {
+                    acc = acc.wrapping_add(ev.payload[0]);
                 }
                 black_box(acc)
             })
@@ -100,7 +126,7 @@ fn lrms_operations(c: &mut Criterion) {
             black_box(s.completed_jobs())
         })
     });
-    group.bench_function("estimate_completion_deep_queue", |b| {
+    let deep = {
         let mut s = SpaceSharedFcfs::new(128);
         for i in 0..500usize {
             s.submit(
@@ -112,7 +138,23 @@ fn lrms_operations(c: &mut Criterion) {
                 0.0,
             );
         }
-        b.iter(|| black_box(s.estimate_completion(64, 500.0, 0.0)))
+        s
+    };
+    // Varying probe shapes so the incremental path answers distinct quotes
+    // from one profile, exactly as the DBC loop does.
+    group.bench_function("estimate_completion_deep_queue_incremental", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(deep.estimate_completion(1 + i % 128, 500.0 + f64::from(i % 13), 0.0))
+        })
+    });
+    group.bench_function("estimate_completion_deep_queue_replay_oracle", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(deep.estimate_completion_replay(1 + i % 128, 500.0 + f64::from(i % 13), 0.0))
+        })
     });
     group.bench_function("easy_backfilling_mixed_queue", |b| {
         b.iter(|| {

@@ -43,6 +43,29 @@ fn fig10_11_msgs_vs_system_size(c: &mut Criterion) {
     group.finish();
 }
 
+/// The full sweep path through the bounded worker pool: sequential vs
+/// `--jobs 4` over the smoke grid, the same comparison `bench_perf` tracks.
+fn parallel_sweep_runner(c: &mut Criterion) {
+    let options = tiny_options();
+    let mut group = c.benchmark_group("exp5_sweep_worker_pool");
+    group.sample_size(10);
+    for jobs in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let sweep = exp5::run_sweep_with_backend_jobs(
+                    &options,
+                    &[8, 16],
+                    &[PopulationProfile::new(50)],
+                    DirectoryBackend::Ideal,
+                    jobs,
+                );
+                black_box(sweep.reports.len())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn fig10_11_panel_extraction(c: &mut Criterion) {
     let options = tiny_options();
     let sweep = exp5::run_sweep(
@@ -64,5 +87,10 @@ fn fig10_11_panel_extraction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig10_11_msgs_vs_system_size, fig10_11_panel_extraction);
+criterion_group!(
+    benches,
+    fig10_11_msgs_vs_system_size,
+    parallel_sweep_runner,
+    fig10_11_panel_extraction
+);
 criterion_main!(benches);

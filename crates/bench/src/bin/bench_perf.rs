@@ -1,0 +1,362 @@
+//! `bench_perf` — the repo's tracked performance baseline.
+//!
+//! Measures the three hot paths the perf overhaul targets and emits the
+//! results as `BENCH_perf.json` (the first entry in the repo's perf
+//! trajectory; CI uploads a fresh smoke measurement per push):
+//!
+//! * **event queue**: delivered events/sec through the index-based 4-ary
+//!   heap vs. the retained `BinaryHeap<Event>` layout, using the real
+//!   federation message enum as payload — this measurement, not guesswork,
+//!   justified the layout choice;
+//! * **engine dispatch**: events/sec through `Simulation::run` end to end;
+//! * **admission-control estimator**: ns/quote of the incremental
+//!   availability profile vs. the retained replay oracle on a loaded
+//!   128-job queue, for both LRMS policies (answers are asserted
+//!   bit-identical while measuring);
+//! * **parallel sweep**: wall-clock of the Experiment 5 smoke sweep run
+//!   sequentially vs. with `--jobs N`, asserting the rendered CSVs are
+//!   **bitwise-identical** (the determinism gate CI relies on).
+//!
+//! Usage: `bench_perf [--smoke] [--jobs N] [--out PATH]`
+//!
+//! `--smoke` shrinks iteration counts for CI; `--out` defaults to
+//! `BENCH_perf.json` in the working directory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use grid_cluster::{ClusterJob, EasyBackfilling, LocalScheduler, SpaceSharedFcfs};
+use grid_des::{BinaryHeapEventQueue, Context, Entity, EntityId, Event, EventKind, EventQueue, SimTime, Simulation};
+use grid_experiments::exp5::{self, ScalabilitySweep};
+use grid_experiments::workloads::WorkloadOptions;
+use grid_federation_core::{DirectoryBackend, FedMessage};
+use grid_workload::{JobId, PopulationProfile};
+
+struct Args {
+    smoke: bool,
+    jobs: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        jobs: 4,
+        out: "BENCH_perf.json".to_string(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--jobs" => {
+                args.jobs = argv
+                    .next()
+                    .expect("--jobs needs a worker count")
+                    .parse()
+                    .expect("worker count must be an integer");
+            }
+            "--out" => args.out = argv.next().expect("--out needs a path"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+/// Times `f`, returning (seconds, result).
+fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let result = f();
+    (start.elapsed().as_secs_f64(), result)
+}
+
+/// Best-of-`reps` timing to damp scheduler noise.
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn payload(i: usize) -> FedMessage {
+    // `LocalJobFinished` is the most common event in a loaded run; the enum
+    // is sized by its widest variant either way, so sift-time memmove cost
+    // is representative of the real federation model.
+    FedMessage::LocalJobFinished {
+        job: JobId { origin: i % 8, seq: i },
+    }
+}
+
+fn queue_event(i: usize, n: usize) -> Event<FedMessage> {
+    Event {
+        time: SimTime::new(((i * 7919) % n) as f64),
+        seq: 0,
+        src: EntityId::new(0),
+        dst: EntityId::new(0),
+        kind: EventKind::Message,
+        payload: payload(i),
+    }
+}
+
+/// Push/pop throughput of the index-based 4-ary heap (events/sec).
+fn bench_dary_queue(n: usize) -> f64 {
+    let secs = best_of(3, || {
+        let mut q: EventQueue<FedMessage> = EventQueue::with_capacity(n);
+        let (secs, delivered) = timed(|| {
+            for i in 0..n {
+                q.push(queue_event(i, n));
+            }
+            let mut delivered = 0usize;
+            while q.pop().is_some() {
+                delivered += 1;
+            }
+            delivered
+        });
+        assert_eq!(delivered, n);
+        secs
+    });
+    n as f64 / secs
+}
+
+/// Push/pop throughput of the retained `BinaryHeap<Event>` layout.
+fn bench_binary_heap_queue(n: usize) -> f64 {
+    let secs = best_of(3, || {
+        let mut q: BinaryHeapEventQueue<FedMessage> = BinaryHeapEventQueue::with_capacity(n);
+        let (secs, delivered) = timed(|| {
+            for i in 0..n {
+                q.push(queue_event(i, n));
+            }
+            let mut delivered = 0usize;
+            while q.pop().is_some() {
+                delivered += 1;
+            }
+            delivered
+        });
+        assert_eq!(delivered, n);
+        secs
+    });
+    n as f64 / secs
+}
+
+/// Self-ticking entity measuring raw engine dispatch overhead.
+struct Ticker {
+    remaining: u64,
+}
+impl Entity<u32> for Ticker {
+    fn name(&self) -> &str {
+        "ticker"
+    }
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        ctx.timer(1.0, 0);
+    }
+    fn on_event(&mut self, _event: Event<u32>, ctx: &mut Context<'_, u32>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.timer(1.0, 0);
+        }
+    }
+}
+
+fn bench_dispatch(events: u64) -> f64 {
+    let secs = best_of(3, || {
+        let mut sim = Simulation::new(1);
+        sim.add_entity(Box::new(Ticker { remaining: events }));
+        let (secs, delivered) = timed(|| {
+            sim.run();
+            sim.stats().events_delivered
+        });
+        assert_eq!(delivered, events + 1);
+        secs
+    });
+    (events + 1) as f64 / secs
+}
+
+/// Builds a scheduler with a deep queue: 4 running jobs and 128 queued ones
+/// (the acceptance criterion's "loaded 128-job queue").
+fn loaded<S: LocalScheduler>(mut scheduler: S) -> S {
+    let mut sink = Vec::new();
+    for i in 0..132usize {
+        scheduler.submit_into(
+            ClusterJob {
+                id: JobId { origin: 0, seq: i },
+                processors: 32,
+                service_time: 500.0 + (i % 37) as f64 * 13.0,
+            },
+            0.0,
+            &mut sink,
+        );
+    }
+    assert_eq!(scheduler.queued_count(), 128, "the quote bench expects a 128-job queue");
+    scheduler
+}
+
+/// (incremental ns/quote, replay ns/quote), asserting bit-identical answers.
+fn bench_estimator<S: LocalScheduler>(
+    scheduler: &S,
+    quotes: usize,
+    oracle: impl Fn(&S, u32, f64, f64) -> f64,
+) -> (f64, f64) {
+    let probe = |i: usize| -> (u32, f64) {
+        (1 + (i % 128) as u32, 50.0 + (i % 61) as f64 * 7.0)
+    };
+    let mut incremental = vec![0.0f64; quotes];
+    let inc_secs = best_of(3, || {
+        let (secs, _) = timed(|| {
+            for (i, slot) in incremental.iter_mut().enumerate() {
+                let (procs, service) = probe(i);
+                *slot = scheduler.estimate_completion(procs, service, 10.0);
+            }
+        });
+        secs
+    });
+    // The replay oracle is orders of magnitude slower; measure fewer quotes.
+    let replay_quotes = (quotes / 8).max(64).min(quotes);
+    let rep_secs = best_of(2, || {
+        let (secs, _) = timed(|| {
+            for (i, fast) in incremental.iter().enumerate().take(replay_quotes) {
+                let (procs, service) = probe(i);
+                let slow = oracle(scheduler, procs, service, 10.0);
+                assert_eq!(
+                    slow.to_bits(),
+                    fast.to_bits(),
+                    "estimator diverged from the replay oracle at quote {i}"
+                );
+            }
+        });
+        secs
+    });
+    (
+        inc_secs / quotes as f64 * 1e9,
+        rep_secs / replay_quotes as f64 * 1e9,
+    )
+}
+
+fn run_sweep(
+    options: &WorkloadOptions,
+    sizes: &[usize],
+    profiles: &[PopulationProfile],
+    jobs: usize,
+) -> Vec<ScalabilitySweep> {
+    DirectoryBackend::ALL
+        .iter()
+        .map(|&backend| exp5::run_sweep_with_backend_jobs(options, sizes, profiles, backend, jobs))
+        .collect()
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (queue_events, dispatch_events, quotes) = if args.smoke {
+        (20_000usize, 20_000u64, 2_000usize)
+    } else {
+        (100_000, 200_000, 20_000)
+    };
+
+    eprintln!("[1/4] event queue layouts ({queue_events} events, FedMessage payload)…");
+    let dary_eps = bench_dary_queue(queue_events);
+    let binary_eps = bench_binary_heap_queue(queue_events);
+
+    eprintln!("[2/4] engine dispatch ({dispatch_events} timer events)…");
+    let dispatch_eps = bench_dispatch(dispatch_events);
+
+    eprintln!("[3/4] admission-control estimator ({quotes} quotes, 128-job queue)…");
+    let fcfs = loaded(SpaceSharedFcfs::new(128));
+    let (fcfs_inc, fcfs_rep) =
+        bench_estimator(&fcfs, quotes, |s, p, t, now| s.estimate_completion_replay(p, t, now));
+    let easy = loaded(EasyBackfilling::new(128));
+    let (easy_inc, easy_rep) =
+        bench_estimator(&easy, quotes, |s, p, t, now| s.estimate_completion_replay(p, t, now));
+
+    eprintln!("[4/4] exp5 smoke sweep: sequential vs --jobs {}…", args.jobs);
+    let options = WorkloadOptions::quick();
+    // Full mode uses a 3×3 grid so the pool has enough comparable points to
+    // show its scaling; smoke keeps the CI-sized 2×1 grid.
+    let (sizes, profiles): (&[usize], Vec<PopulationProfile>) = if args.smoke {
+        (&[8, 16], vec![PopulationProfile::new(50)])
+    } else {
+        (
+            &[10, 20, 30],
+            [0u32, 50, 100].iter().map(|&p| PopulationProfile::new(p)).collect(),
+        )
+    };
+    let (seq_secs, seq_sweeps) = timed(|| run_sweep(&options, sizes, &profiles, 1));
+    let (par_secs, par_sweeps) = timed(|| run_sweep(&options, sizes, &profiles, args.jobs));
+    // Same canonical CSV set the parallel_determinism regression test uses.
+    let seq_csvs = exp5::render_all_csvs(&seq_sweeps);
+    let par_csvs = exp5::render_all_csvs(&par_sweeps);
+    assert_eq!(
+        seq_csvs, par_csvs,
+        "DETERMINISM VIOLATION: parallel sweep CSVs differ from sequential output"
+    );
+
+    let fcfs_speedup = fcfs_rep / fcfs_inc;
+    let easy_speedup = easy_rep / easy_inc;
+    let sweep_speedup = seq_secs / par_secs;
+    eprintln!(
+        "event queue: 4-ary index heap {:.0} ev/s vs BinaryHeap {:.0} ev/s ({:.2}x)",
+        dary_eps,
+        binary_eps,
+        dary_eps / binary_eps
+    );
+    eprintln!("dispatch: {dispatch_eps:.0} ev/s");
+    eprintln!(
+        "estimator: FCFS {fcfs_inc:.0} ns/quote vs replay {fcfs_rep:.0} ns/quote ({fcfs_speedup:.1}x); \
+         EASY {easy_inc:.0} ns/quote vs replay {easy_rep:.0} ns/quote ({easy_speedup:.1}x)"
+    );
+    eprintln!(
+        "sweep: sequential {seq_secs:.2}s vs --jobs {} {par_secs:.2}s ({sweep_speedup:.2}x), CSVs bitwise-identical",
+        args.jobs
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"event_queue\": {{");
+    let _ = writeln!(json, "    \"payload\": \"FedMessage\",");
+    let _ = writeln!(json, "    \"events\": {queue_events},");
+    let _ = writeln!(json, "    \"dary_index_heap_events_per_sec\": {},", json_num(dary_eps));
+    let _ = writeln!(json, "    \"binary_heap_events_per_sec\": {},", json_num(binary_eps));
+    let _ = writeln!(json, "    \"dary_vs_binary_speedup\": {}", json_num(dary_eps / binary_eps));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"dispatch\": {{");
+    let _ = writeln!(json, "    \"events\": {dispatch_events},");
+    let _ = writeln!(json, "    \"events_per_sec\": {}", json_num(dispatch_eps));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"estimator\": {{");
+    let _ = writeln!(json, "    \"queue_depth\": 128,");
+    let _ = writeln!(json, "    \"quotes\": {quotes},");
+    let _ = writeln!(json, "    \"fcfs_incremental_ns_per_quote\": {},", json_num(fcfs_inc));
+    let _ = writeln!(json, "    \"fcfs_replay_ns_per_quote\": {},", json_num(fcfs_rep));
+    let _ = writeln!(json, "    \"fcfs_speedup\": {},", json_num(fcfs_speedup));
+    let _ = writeln!(json, "    \"easy_incremental_ns_per_quote\": {},", json_num(easy_inc));
+    let _ = writeln!(json, "    \"easy_replay_ns_per_quote\": {},", json_num(easy_rep));
+    let _ = writeln!(json, "    \"easy_speedup\": {}", json_num(easy_speedup));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"sweep\": {{");
+    // Context for the speedup figure: on a single-core host the parallel
+    // sweep cannot beat the sequential one, only match it.
+    let _ = writeln!(
+        json,
+        "    \"host_parallelism\": {},",
+        grid_experiments::parallel::default_jobs()
+    );
+    let _ = writeln!(json, "    \"sizes\": {sizes:?},");
+    let backend_labels: Vec<String> = seq_sweeps
+        .iter()
+        .map(|s| format!("\"{}\"", s.backend.label()))
+        .collect();
+    let _ = writeln!(json, "    \"backends\": [{}],", backend_labels.join(", "));
+    let _ = writeln!(json, "    \"sequential_secs\": {},", json_num(seq_secs));
+    let _ = writeln!(json, "    \"parallel_secs\": {},", json_num(par_secs));
+    let _ = writeln!(json, "    \"jobs\": {},", args.jobs);
+    let _ = writeln!(json, "    \"speedup\": {},", json_num(sweep_speedup));
+    let _ = writeln!(json, "    \"csvs_bitwise_identical\": true");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    std::fs::write(&args.out, json).expect("failed to write the benchmark JSON");
+    eprintln!("wrote {}", args.out);
+}

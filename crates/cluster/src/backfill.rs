@@ -8,33 +8,15 @@
 //! — so the ablation benchmarks can quantify exactly how much the choice of
 //! LRMS policy matters for the federation-level results.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
 use grid_workload::JobId;
 
+use crate::estimate::{replay_estimate, FinishEvent, QuoteCache};
 use crate::lrms::{ClusterJob, LocalScheduler, StartedJob};
-
-/// Finish event used for shadow-time computation.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct FinishEvent {
-    time: f64,
-    processors: u32,
-}
-impl Eq for FinishEvent {}
-impl PartialOrd for FinishEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for FinishEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then_with(|| self.processors.cmp(&other.processors))
-    }
-}
 
 /// EASY-backfilling space-shared scheduler.
 #[derive(Debug, Clone)]
@@ -46,6 +28,9 @@ pub struct EasyBackfilling {
     busy_acc: f64,
     last_change: f64,
     completed_jobs: u64,
+    /// Bumped on every state change; stamps the quote cache.
+    epoch: u64,
+    quote_cache: RefCell<QuoteCache>,
 }
 
 impl EasyBackfilling {
@@ -64,6 +49,8 @@ impl EasyBackfilling {
             busy_acc: 0.0,
             last_change: 0.0,
             completed_jobs: 0,
+            epoch: 0,
+            quote_cache: RefCell::new(QuoteCache::default()),
         }
     }
 
@@ -71,6 +58,22 @@ impl EasyBackfilling {
     #[must_use]
     pub fn completed_jobs(&self) -> u64 {
         self.completed_jobs
+    }
+
+    /// The conservative FCFS full-replay estimator, retained as the
+    /// differential oracle for the property tests and the `bench_perf`
+    /// speedup baseline.
+    #[must_use]
+    pub fn estimate_completion_replay(&self, processors: u32, service_time: f64, now: f64) -> f64 {
+        replay_estimate(
+            self.total,
+            self.busy,
+            &self.running,
+            &self.queue,
+            processors,
+            service_time,
+            now,
+        )
     }
 
     fn advance_accounting(&mut self, now: f64) {
@@ -125,13 +128,13 @@ impl EasyBackfilling {
     /// Starts queued jobs: the FCFS head whenever it fits, and backfill
     /// candidates that neither exceed the currently free processors nor delay
     /// the head's reservation.
-    fn schedule_queue(&mut self, now: f64) -> Vec<StartedJob> {
-        let mut started = Vec::new();
+    fn schedule_queue(&mut self, now: f64, started: &mut Vec<StartedJob>) {
         // Start the head (and successive heads) while they fit outright.
         while let Some(head) = self.queue.front() {
             if self.total - self.busy >= head.processors {
                 let job = self.queue.pop_front().expect("front exists");
-                started.push(self.start_job(job, now));
+                let s = self.start_job(job, now);
+                started.push(s);
             } else {
                 break;
             }
@@ -150,7 +153,8 @@ impl EasyBackfilling {
                 let within_extra = candidate.processors <= extra;
                 if fits_now && (ends_before_shadow || within_extra) {
                     let job = self.queue.remove(idx).expect("index in bounds");
-                    started.push(self.start_job(job, now));
+                    let s = self.start_job(job, now);
+                    started.push(s);
                     // Backfilled jobs consume `extra` capacity if they outlive
                     // the shadow time.
                     // (Recomputing the shadow keeps the approximation honest.)
@@ -159,7 +163,6 @@ impl EasyBackfilling {
                 idx += 1;
             }
         }
-        started
     }
 }
 
@@ -177,7 +180,7 @@ impl LocalScheduler for EasyBackfilling {
         self.queue.len()
     }
 
-    fn submit(&mut self, job: ClusterJob, now: f64) -> Vec<StartedJob> {
+    fn submit_into(&mut self, job: ClusterJob, now: f64, started: &mut Vec<StartedJob>) {
         assert!(
             job.processors >= 1 && job.processors <= self.total,
             "job {} requests {} processors on a {}-processor cluster",
@@ -190,12 +193,14 @@ impl LocalScheduler for EasyBackfilling {
             "service time must be finite and non-negative"
         );
         self.advance_accounting(now);
+        self.epoch += 1;
         self.queue.push_back(job);
-        self.schedule_queue(now)
+        self.schedule_queue(now, started);
     }
 
-    fn on_finished(&mut self, id: JobId, now: f64) -> Vec<StartedJob> {
+    fn on_finished_into(&mut self, id: JobId, now: f64, started: &mut Vec<StartedJob>) {
         self.advance_accounting(now);
+        self.epoch += 1;
         let pos = self
             .running
             .iter()
@@ -204,49 +209,27 @@ impl LocalScheduler for EasyBackfilling {
         let finished = self.running.swap_remove(pos);
         self.busy -= finished.processors;
         self.completed_jobs += 1;
-        self.schedule_queue(now)
+        self.schedule_queue(now, started);
     }
 
     fn estimate_completion(&self, processors: u32, service_time: f64, now: f64) -> f64 {
         // Conservative estimate: assume pure FCFS behaviour for the estimate,
         // which is an upper bound on the backfilling schedule and therefore
         // safe for admission control.
+        assert!(processors >= 1, "estimate needs at least one processor");
         if processors > self.total {
             return f64::INFINITY;
         }
-        let mut heap: BinaryHeap<Reverse<FinishEvent>> = self
-            .running
-            .iter()
-            .map(|r| {
-                Reverse(FinishEvent {
-                    time: r.finish,
-                    processors: r.processors,
-                })
-            })
-            .collect();
-        let mut free = self.total - self.busy;
-        let mut t = now;
-        let simulate = |procs: u32, service: f64, free: &mut u32, t: &mut f64, heap: &mut BinaryHeap<Reverse<FinishEvent>>| -> f64 {
-            while *free < procs {
-                let Reverse(ev) = heap.pop().expect("not enough processors ever free");
-                if ev.time > *t {
-                    *t = ev.time;
-                }
-                *free += ev.processors;
-            }
-            let start = *t;
-            *free -= procs;
-            heap.push(Reverse(FinishEvent {
-                time: start + service,
-                processors: procs,
-            }));
-            start
-        };
-        for q in &self.queue {
-            let _ = simulate(q.processors, q.service_time, &mut free, &mut t, &mut heap);
-        }
-        let start = simulate(processors, service_time, &mut free, &mut t, &mut heap);
-        start + service_time
+        self.quote_cache.borrow_mut().estimate(
+            self.total,
+            self.busy,
+            &self.running,
+            &self.queue,
+            self.epoch,
+            processors,
+            service_time,
+            now,
+        )
     }
 
     fn busy_processor_seconds(&self, now: f64) -> f64 {
@@ -347,6 +330,8 @@ mod tests {
         assert!((est - 120.0).abs() < 1e-9, "estimate {est}");
         // Reality (with backfilling) would finish it at t=20; the estimate
         // must never be smaller than reality, and it isn't.
+        // The incremental profile agrees bit-for-bit with the replay oracle.
+        assert_eq!(est.to_bits(), s.estimate_completion_replay(4, 20.0, 0.0).to_bits());
     }
 
     #[test]
@@ -362,5 +347,12 @@ mod tests {
     fn oversized_submission_panics() {
         let mut s = EasyBackfilling::new(16);
         s.submit(job(0, 99, 10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processor_estimate_panics_like_fcfs() {
+        let s = EasyBackfilling::new(16);
+        let _ = s.estimate_completion(0, 10.0, 0.0);
     }
 }

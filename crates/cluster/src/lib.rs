@@ -30,6 +30,7 @@
 pub mod backfill;
 pub mod catalog;
 pub mod cost;
+mod estimate;
 pub mod lrms;
 pub mod resource;
 

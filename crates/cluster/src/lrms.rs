@@ -9,18 +9,27 @@
 //! The scheduler is a passive state machine.  The caller owns the clock and
 //! drives it with three calls:
 //!
-//! * [`LocalScheduler::submit`] when a job arrives,
-//! * [`LocalScheduler::on_finished`] when a previously started job's finish
-//!   time is reached,
+//! * [`LocalScheduler::submit_into`] when a job arrives,
+//! * [`LocalScheduler::on_finished_into`] when a previously started job's
+//!   finish time is reached,
 //! * [`LocalScheduler::estimate_completion`] when the GFA needs the
 //!   admission-control answer "when would this job finish if I accepted it
 //!   right now?".
+//!
+//! The mutating calls take an out-parameter for the newly started jobs so the
+//! steady-state event loop never allocates; [`LocalScheduler::submit`] and
+//! [`LocalScheduler::on_finished`] are collecting conveniences for tests and
+//! one-off callers.  `estimate_completion` answers from an epoch-stamped
+//! availability profile (see [`crate::estimate`]) that is invalidated only
+//! when scheduler state changes, making a quote O(log R) instead of a full
+//! O((R+Q)·log(R+Q)) replay.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 use grid_workload::JobId;
+
+use crate::estimate::{replay_estimate, QuoteCache};
 
 /// A job as seen by the LRMS: identity, size and service time.
 ///
@@ -64,20 +73,37 @@ pub trait LocalScheduler {
     /// Number of queued (not yet started) jobs.
     fn queued_count(&self) -> usize;
 
-    /// Submits a job at time `now`.  Returns every job that starts as a
-    /// direct consequence (usually just this job, or nothing if it queued).
+    /// Submits a job at time `now`, appending every job that starts as a
+    /// direct consequence (usually just this job, or nothing if it queued)
+    /// to `started`.  The buffer is *appended to*, never cleared, so callers
+    /// can reuse one scratch vector across the whole run.
     ///
     /// # Panics
     /// Implementations panic if the job requests more processors than the
     /// cluster owns or if time moves backwards.
-    fn submit(&mut self, job: ClusterJob, now: f64) -> Vec<StartedJob>;
+    fn submit_into(&mut self, job: ClusterJob, now: f64, started: &mut Vec<StartedJob>);
 
-    /// Notifies the scheduler that a running job finished at `now`.  Returns
-    /// every queued job that starts as a consequence.
+    /// Notifies the scheduler that a running job finished at `now`,
+    /// appending every queued job that starts as a consequence to `started`.
     ///
     /// # Panics
     /// Implementations panic if the job is not currently running.
-    fn on_finished(&mut self, id: JobId, now: f64) -> Vec<StartedJob>;
+    fn on_finished_into(&mut self, id: JobId, now: f64, started: &mut Vec<StartedJob>);
+
+    /// Collecting convenience for [`Self::submit_into`]; allocates a fresh
+    /// vector per call, so hot loops should use the out-parameter form.
+    fn submit(&mut self, job: ClusterJob, now: f64) -> Vec<StartedJob> {
+        let mut started = Vec::new();
+        self.submit_into(job, now, &mut started);
+        started
+    }
+
+    /// Collecting convenience for [`Self::on_finished_into`].
+    fn on_finished(&mut self, id: JobId, now: f64) -> Vec<StartedJob> {
+        let mut started = Vec::new();
+        self.on_finished_into(id, now, &mut started);
+        started
+    }
 
     /// Estimated completion time (absolute) of a hypothetical job with the
     /// given size and service time submitted at `now`, assuming no further
@@ -99,27 +125,6 @@ pub trait LocalScheduler {
     }
 }
 
-/// Finish event used by the completion-time estimator.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct FinishEvent {
-    time: f64,
-    processors: u32,
-}
-
-impl Eq for FinishEvent {}
-impl PartialOrd for FinishEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for FinishEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then_with(|| self.processors.cmp(&other.processors))
-    }
-}
-
 /// The space-shared FCFS local scheduler.
 #[derive(Debug, Clone)]
 pub struct SpaceSharedFcfs {
@@ -131,6 +136,9 @@ pub struct SpaceSharedFcfs {
     busy_acc: f64,
     last_change: f64,
     completed_jobs: u64,
+    /// Bumped on every state change; stamps the quote cache.
+    epoch: u64,
+    quote_cache: RefCell<QuoteCache>,
 }
 
 impl SpaceSharedFcfs {
@@ -149,6 +157,8 @@ impl SpaceSharedFcfs {
             busy_acc: 0.0,
             last_change: 0.0,
             completed_jobs: 0,
+            epoch: 0,
+            quote_cache: RefCell::new(QuoteCache::default()),
         }
     }
 
@@ -162,6 +172,23 @@ impl SpaceSharedFcfs {
     #[must_use]
     pub fn running_jobs(&self) -> &[StartedJob] {
         &self.running
+    }
+
+    /// The original full-replay estimator, retained as the differential
+    /// oracle: property tests assert the incremental profile returns
+    /// bit-identical answers, and `bench_perf` measures the speedup against
+    /// it.
+    #[must_use]
+    pub fn estimate_completion_replay(&self, processors: u32, service_time: f64, now: f64) -> f64 {
+        replay_estimate(
+            self.total,
+            self.busy,
+            &self.running,
+            &self.queue,
+            processors,
+            service_time,
+            now,
+        )
     }
 
     fn advance_accounting(&mut self, now: f64) {
@@ -188,17 +215,16 @@ impl SpaceSharedFcfs {
         started
     }
 
-    fn try_start_queued(&mut self, now: f64) -> Vec<StartedJob> {
-        let mut started = Vec::new();
+    fn try_start_queued(&mut self, now: f64, started: &mut Vec<StartedJob>) {
         while let Some(head) = self.queue.front() {
             if self.total - self.busy >= head.processors {
                 let job = self.queue.pop_front().expect("front exists");
-                started.push(self.start_job(job, now));
+                let s = self.start_job(job, now);
+                started.push(s);
             } else {
                 break;
             }
         }
-        started
     }
 }
 
@@ -219,7 +245,7 @@ impl LocalScheduler for SpaceSharedFcfs {
         self.queue.len()
     }
 
-    fn submit(&mut self, job: ClusterJob, now: f64) -> Vec<StartedJob> {
+    fn submit_into(&mut self, job: ClusterJob, now: f64, started: &mut Vec<StartedJob>) {
         assert!(
             job.processors >= 1 && job.processors <= self.total,
             "job {} requests {} processors on a {}-processor cluster",
@@ -232,12 +258,14 @@ impl LocalScheduler for SpaceSharedFcfs {
             "service time must be finite and non-negative"
         );
         self.advance_accounting(now);
+        self.epoch += 1;
         self.queue.push_back(job);
-        self.try_start_queued(now)
+        self.try_start_queued(now, started);
     }
 
-    fn on_finished(&mut self, id: JobId, now: f64) -> Vec<StartedJob> {
+    fn on_finished_into(&mut self, id: JobId, now: f64, started: &mut Vec<StartedJob>) {
         self.advance_accounting(now);
+        self.epoch += 1;
         let pos = self
             .running
             .iter()
@@ -246,7 +274,7 @@ impl LocalScheduler for SpaceSharedFcfs {
         let finished = self.running.swap_remove(pos);
         self.busy -= finished.processors;
         self.completed_jobs += 1;
-        self.try_start_queued(now)
+        self.try_start_queued(now, started);
     }
 
     fn estimate_completion(&self, processors: u32, service_time: f64, now: f64) -> f64 {
@@ -254,41 +282,16 @@ impl LocalScheduler for SpaceSharedFcfs {
         if processors > self.total {
             return f64::INFINITY;
         }
-        let mut heap: BinaryHeap<Reverse<FinishEvent>> = self
-            .running
-            .iter()
-            .map(|r| {
-                Reverse(FinishEvent {
-                    time: r.finish,
-                    processors: r.processors,
-                })
-            })
-            .collect();
-        let mut free = self.total - self.busy;
-        let mut t = now;
-
-        let simulate_start = |procs: u32, service: f64, free: &mut u32, t: &mut f64, heap: &mut BinaryHeap<Reverse<FinishEvent>>| -> f64 {
-            while *free < procs {
-                let Reverse(ev) = heap.pop().expect("not enough processors ever free");
-                if ev.time > *t {
-                    *t = ev.time;
-                }
-                *free += ev.processors;
-            }
-            let start = *t;
-            *free -= procs;
-            heap.push(Reverse(FinishEvent {
-                time: start + service,
-                processors: procs,
-            }));
-            start
-        };
-
-        for q in &self.queue {
-            let _ = simulate_start(q.processors, q.service_time, &mut free, &mut t, &mut heap);
-        }
-        let start = simulate_start(processors, service_time, &mut free, &mut t, &mut heap);
-        start + service_time
+        self.quote_cache.borrow_mut().estimate(
+            self.total,
+            self.busy,
+            &self.running,
+            &self.queue,
+            self.epoch,
+            processors,
+            service_time,
+            now,
+        )
     }
 
     fn busy_processor_seconds(&self, now: f64) -> f64 {
@@ -323,6 +326,17 @@ mod tests {
         assert_eq!(s.busy_processors(), 8);
         assert_eq!(s.running_count(), 1);
         assert_eq!(s.queued_count(), 0);
+    }
+
+    #[test]
+    fn out_parameter_appends_without_clearing() {
+        let mut s = SpaceSharedFcfs::new(16);
+        let mut scratch = Vec::new();
+        s.submit_into(job(0, 8, 100.0), 0.0, &mut scratch);
+        s.submit_into(job(1, 8, 50.0), 0.0, &mut scratch);
+        assert_eq!(scratch.len(), 2);
+        assert_eq!(scratch[0].id, jid(0));
+        assert_eq!(scratch[1].id, jid(1));
     }
 
     #[test]
@@ -371,6 +385,8 @@ mod tests {
         // our 6-proc job starts at 150 as well (6 <= 6) → finishes 190.
         let est = s.estimate_completion(6, 40.0, 25.0);
         assert!((est - 190.0).abs() < 1e-9, "estimate {est}");
+        // The incremental profile and the retained replay oracle agree.
+        assert_eq!(est.to_bits(), s.estimate_completion_replay(6, 40.0, 25.0).to_bits());
 
         // Now actually run it and compare.
         let started_new = s.submit(job(3, 6, 40.0), 25.0);
@@ -394,6 +410,27 @@ mod tests {
         let s = SpaceSharedFcfs::new(8);
         assert_eq!(s.estimate_completion(4, 100.0, 50.0), 150.0);
         assert_eq!(s.estimate_completion(9, 100.0, 50.0), f64::INFINITY);
+        assert_eq!(s.estimate_completion_replay(9, 100.0, 50.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn repeated_quotes_between_state_changes_stay_exact() {
+        let mut s = SpaceSharedFcfs::new(16);
+        s.submit(job(0, 12, 100.0), 0.0);
+        s.submit(job(1, 8, 50.0), 10.0);
+        // A burst of differently-shaped quotes, as the DBC loop issues them.
+        for procs in 1..=16u32 {
+            for service in [0.0, 5.0, 80.0] {
+                let inc = s.estimate_completion(procs, service, 20.0);
+                let oracle = s.estimate_completion_replay(procs, service, 20.0);
+                assert_eq!(inc.to_bits(), oracle.to_bits(), "procs={procs} service={service}");
+            }
+        }
+        // State change invalidates the profile; quotes stay exact.
+        s.on_finished(jid(0), 100.0);
+        let inc = s.estimate_completion(16, 10.0, 100.0);
+        let oracle = s.estimate_completion_replay(16, 10.0, 100.0);
+        assert_eq!(inc.to_bits(), oracle.to_bits());
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Differential property tests for the incremental admission-control
+//! estimator: random submit/finish/estimate sequences driven through both
+//! local scheduler policies must yield estimates that are **bit-identical**
+//! to the retained naive replay oracle, for every probe shape and at every
+//! query time (including quotes issued between state changes, where the
+//! epoch-stamped profile is answered from cache).
+
+use grid_cluster::{ClusterJob, EasyBackfilling, LocalScheduler, SpaceSharedFcfs, StartedJob};
+use grid_workload::JobId;
+use proptest::prelude::*;
+
+/// The schedulers expose their retained replay estimator as an inherent
+/// method; this local trait lets the differential driver stay generic.
+trait ReplayOracle: LocalScheduler {
+    fn oracle(&self, processors: u32, service_time: f64, now: f64) -> f64;
+}
+
+impl ReplayOracle for SpaceSharedFcfs {
+    fn oracle(&self, processors: u32, service_time: f64, now: f64) -> f64 {
+        self.estimate_completion_replay(processors, service_time, now)
+    }
+}
+
+impl ReplayOracle for EasyBackfilling {
+    fn oracle(&self, processors: u32, service_time: f64, now: f64) -> f64 {
+        self.estimate_completion_replay(processors, service_time, now)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Step {
+    arrival_gap: f64,
+    procs_fraction: f64,
+    service: f64,
+    /// How far past the submission the quote burst is issued (exercises the
+    /// cached profile at `now` strictly between state changes).
+    quote_gap: f64,
+    probe_procs_fraction: f64,
+    probe_service: f64,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    (
+        0.0f64..400.0,
+        0.0f64..1.1, // deliberately overshoots so oversized probes occur
+        0.0f64..3_000.0,
+        0.0f64..50.0,
+        0.0f64..1.3,
+        0.0f64..2_000.0,
+    )
+        .prop_map(
+            |(arrival_gap, procs_fraction, service, quote_gap, probe_procs_fraction, probe_service)| Step {
+                arrival_gap,
+                procs_fraction,
+                service,
+                quote_gap,
+                probe_procs_fraction,
+                probe_service,
+            },
+        )
+}
+
+fn procs_for(total: u32, fraction: f64) -> u32 {
+    ((f64::from(total) * fraction).ceil() as u32).max(1)
+}
+
+/// Drives one scheduler through the whole random sequence, comparing the
+/// incremental estimator against the replay oracle after every state change
+/// and between state changes.
+fn differential_drive<S: ReplayOracle>(scheduler: &mut S, total: u32, steps: &[Step]) {
+    let mut running: Vec<StartedJob> = Vec::new();
+    let mut scratch: Vec<StartedJob> = Vec::new();
+    let mut now = 0.0f64;
+
+    let check = |s: &S, probe_procs: u32, probe_service: f64, at: f64| {
+        let incremental = s.estimate_completion(probe_procs, probe_service, at);
+        let oracle = s.oracle(probe_procs, probe_service, at);
+        assert_eq!(
+            incremental.to_bits(),
+            oracle.to_bits(),
+            "estimator diverged: incremental {incremental} vs oracle {oracle} \
+             (procs {probe_procs}, service {probe_service}, now {at})"
+        );
+    };
+
+    for (i, input) in steps.iter().enumerate() {
+        let arrival = now + input.arrival_gap;
+        // Deliver completions that precede this arrival, in finish order,
+        // quoting after each state change.
+        while let Some(next) = running
+            .iter()
+            .filter(|s| s.finish <= arrival)
+            .min_by(|a, b| a.finish.total_cmp(&b.finish))
+            .copied()
+        {
+            running.retain(|s| s.id != next.id);
+            scratch.clear();
+            scheduler.on_finished_into(next.id, next.finish, &mut scratch);
+            running.extend(scratch.iter().copied());
+            let probe = procs_for(total, input.probe_procs_fraction);
+            check(scheduler, probe, input.probe_service, next.finish);
+        }
+        now = arrival;
+        let procs = procs_for(total, input.procs_fraction).min(total);
+        scratch.clear();
+        scheduler.submit_into(
+            ClusterJob {
+                id: JobId { origin: 0, seq: i },
+                processors: procs,
+                service_time: input.service,
+            },
+            now,
+            &mut scratch,
+        );
+        running.extend(scratch.iter().copied());
+
+        // Quote burst right at the state change…
+        let probe = procs_for(total, input.probe_procs_fraction);
+        check(scheduler, probe, input.probe_service, now);
+        check(scheduler, probe.min(total).max(1), 0.0, now);
+        // …and again strictly between state changes (the cached-profile
+        // path; the estimator must fall back to a rebuild whenever the
+        // cached window cannot answer this `now` exactly).
+        let later = now + input.quote_gap;
+        check(scheduler, probe, input.probe_service, later);
+        check(scheduler, 1, input.probe_service, later);
+        check(scheduler, total, input.probe_service, later);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FCFS: incremental estimates are bit-identical to the replay oracle
+    /// across random workloads and probe shapes.
+    #[test]
+    fn fcfs_incremental_estimator_matches_replay_oracle(
+        steps in proptest::collection::vec(step(), 1..50),
+        procs_pow in 3u32..9,
+    ) {
+        let total = 1u32 << procs_pow;
+        let mut scheduler = SpaceSharedFcfs::new(total);
+        differential_drive(&mut scheduler, total, &steps);
+    }
+
+    /// EASY backfilling: the conservative FCFS-bound estimator stays
+    /// bit-identical to its replay oracle even though the queue is reordered
+    /// by backfilling between quotes.
+    #[test]
+    fn easy_incremental_estimator_matches_replay_oracle(
+        steps in proptest::collection::vec(step(), 1..50),
+        procs_pow in 3u32..9,
+    ) {
+        let total = 1u32 << procs_pow;
+        let mut scheduler = EasyBackfilling::new(total);
+        differential_drive(&mut scheduler, total, &steps);
+    }
+}

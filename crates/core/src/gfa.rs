@@ -115,6 +115,9 @@ pub struct Gfa {
     pending: HashMap<JobId, PendingJob>,
     awaiting_remote: HashMap<JobId, AwaitingRemote>,
     executing: HashMap<JobId, ExecutingJob>,
+    /// Reusable buffer for LRMS start notifications, so the steady-state
+    /// event loop performs no per-event allocation.
+    scratch: Vec<StartedJob>,
 }
 
 impl Gfa {
@@ -154,6 +157,7 @@ impl Gfa {
             pending: HashMap::new(),
             awaiting_remote: HashMap::new(),
             executing: HashMap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -179,7 +183,7 @@ impl Gfa {
 
     /// Registers newly started LRMS jobs: remembers their start times and
     /// schedules their completion timers.
-    fn handle_started(&mut self, started: Vec<StartedJob>, ctx: &mut Context<'_, FedMessage>) {
+    fn handle_started(&mut self, started: &[StartedJob], ctx: &mut Context<'_, FedMessage>) {
         for s in started {
             if let Some(entry) = self.executing.get_mut(&s.id) {
                 entry.start = Some(s.start);
@@ -438,8 +442,11 @@ impl Gfa {
                 }),
             },
         );
-        let started = self.lrms.submit(cluster_job, now);
-        self.handle_started(started, ctx);
+        let mut started = std::mem::take(&mut self.scratch);
+        started.clear();
+        self.lrms.submit_into(cluster_job, now, &mut started);
+        self.handle_started(&started, ctx);
+        self.scratch = started;
         self.shared
             .borrow_mut()
             .ledger
@@ -509,15 +516,19 @@ impl Gfa {
                     local_seed: None,
                 },
             );
-            let started = self.lrms.submit(
+            let mut started = std::mem::take(&mut self.scratch);
+            started.clear();
+            self.lrms.submit_into(
                 ClusterJob {
                     id: job,
                     processors,
                     service_time,
                 },
                 now,
+                &mut started,
             );
-            self.handle_started(started, ctx);
+            self.handle_started(&started, ctx);
+            self.scratch = started;
         }
         self.shared
             .borrow_mut()
@@ -595,8 +606,11 @@ impl Gfa {
     /// Handles the completion of a job running on the local LRMS.
     fn on_local_job_finished(&mut self, job: JobId, ctx: &mut Context<'_, FedMessage>) {
         let now = ctx.now().as_secs();
-        let started = self.lrms.on_finished(job, now);
-        self.handle_started(started, ctx);
+        let mut started = std::mem::take(&mut self.scratch);
+        started.clear();
+        self.lrms.on_finished_into(job, now, &mut started);
+        self.handle_started(&started, ctx);
+        self.scratch = started;
         let entry = self
             .executing
             .remove(&job)

@@ -77,7 +77,7 @@ pub mod trace;
 
 pub use entity::{Context, Entity, EntityId};
 pub use event::{Event, EventKind};
-pub use queue::EventQueue;
+pub use queue::{BinaryHeapEventQueue, EventQueue};
 pub use rng::SimRng;
 pub use simulation::{RunOutcome, Simulation};
 pub use stats::SimStats;

@@ -6,7 +6,7 @@ use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::stats::SimStats;
 use crate::time::SimTime;
-use crate::trace::{truncate_label, NullTrace, TraceRecord, TraceSink};
+use crate::trace::{truncate_label, TraceRecord, TraceSink};
 
 /// Why a [`Simulation::run`] call returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,8 +34,9 @@ pub struct Simulation<M> {
     rng: SimRng,
     horizon: Option<SimTime>,
     max_events: u64,
-    trace: Box<dyn TraceSink>,
-    tracing: bool,
+    /// Installed trace sink, if any.  Kept optional so the per-event
+    /// `format!("{:?}", payload)` label is only paid when someone records.
+    trace: Option<Box<dyn TraceSink>>,
     started: bool,
 }
 
@@ -52,8 +53,7 @@ impl<M: std::fmt::Debug> Simulation<M> {
             rng: SimRng::derive(seed, u64::MAX),
             horizon: None,
             max_events: u64::MAX,
-            trace: Box::new(NullTrace),
-            tracing: false,
+            trace: None,
             started: false,
         }
     }
@@ -72,8 +72,7 @@ impl<M: std::fmt::Debug> Simulation<M> {
 
     /// Installs a trace sink that receives every delivered event.
     pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
-        self.trace = sink;
-        self.tracing = true;
+        self.trace = Some(sink);
     }
 
     /// Registers an entity and returns its id.
@@ -192,16 +191,22 @@ impl<M: std::fmt::Debug> Simulation<M> {
             if self.stats.events_delivered >= self.max_events {
                 break RunOutcome::EventLimit;
             }
-            let Some(next_time) = self.queue.peek_time() else {
-                break RunOutcome::Exhausted;
+            // Single heap traversal: pop directly (bounded by the horizon
+            // when one is set) instead of a peek followed by a pop.
+            let event = match horizon {
+                None => match self.queue.pop() {
+                    Some(event) => event,
+                    None => break RunOutcome::Exhausted,
+                },
+                Some(h) => match self.queue.pop_at_or_before(h) {
+                    Some(event) => event,
+                    None if self.queue.is_empty() => break RunOutcome::Exhausted,
+                    None => {
+                        self.clock = h;
+                        break RunOutcome::HorizonReached;
+                    }
+                },
             };
-            if let Some(h) = horizon {
-                if next_time > h {
-                    self.clock = h;
-                    break RunOutcome::HorizonReached;
-                }
-            }
-            let event = self.queue.pop().expect("peeked event must exist");
             debug_assert!(
                 event.time >= self.clock,
                 "event queue returned an event from the past"
@@ -217,9 +222,11 @@ impl<M: std::fmt::Debug> Simulation<M> {
                 EventKind::Message => {}
             }
 
-            if self.tracing {
+            if let Some(trace) = self.trace.as_deref_mut() {
+                // The debug-format label is only rendered when a sink is
+                // actually installed; untraced runs never pay for it.
                 let label = truncate_label(format!("{:?}", event.payload), 96);
-                self.trace.record(TraceRecord {
+                trace.record(TraceRecord {
                     time: event.time,
                     seq: event.seq,
                     src: event.src,

@@ -5,7 +5,10 @@
 //! assumption with measured Chord hops.
 //!
 //! Usage: `exp5_scalability [--quick] [--smoke] [--backend ideal|chord|both]
-//!         [--seed N] [--out DIR]`
+//!         [--seed N] [--out DIR] [--jobs N]`
+//!
+//! `--jobs N` caps the sweep's worker pool (default: all cores).  Sweep
+//! output is bitwise-identical for every `--jobs` value.
 //!
 //! `--smoke` is the CI configuration: quick workloads on sizes 8 and 16 with
 //! a single 50 % OFT profile, both backends — small enough to run on every
@@ -23,6 +26,7 @@ struct Args {
     out: PathBuf,
     backends: Vec<DirectoryBackend>,
     smoke: bool,
+    jobs: usize,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +35,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("results"),
         backends: DirectoryBackend::ALL.to_vec(),
         smoke: false,
+        jobs: grid_experiments::parallel::default_jobs(),
     };
     // Applied after the loop so flag order cannot matter (`--seed 7 --smoke`
     // must not have the quick preset clobber the seed).
@@ -59,6 +64,13 @@ fn parse_args() -> Args {
                     one => vec![one.parse().unwrap_or_else(|e: String| panic!("{e}"))],
                 };
             }
+            "--jobs" => {
+                args.jobs = argv
+                    .next()
+                    .expect("--jobs needs a worker count")
+                    .parse()
+                    .expect("worker count must be an integer");
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -84,7 +96,9 @@ fn main() {
     let sweeps: Vec<ScalabilitySweep> = args
         .backends
         .iter()
-        .map(|&backend| exp5::run_sweep_with_backend(&args.options, &sizes, &profiles, backend))
+        .map(|&backend| {
+            exp5::run_sweep_with_backend_jobs(&args.options, &sizes, &profiles, backend, args.jobs)
+        })
         .collect();
 
     let mut outputs = Vec::new();

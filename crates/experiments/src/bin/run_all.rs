@@ -1,10 +1,12 @@
 //! Regenerates every table and figure of the paper in one run and writes the
 //! CSVs plus a markdown summary (paper vs. measured) under `results/`.
 //!
-//! Usage: `run_all [--quick] [--out DIR]`
+//! Usage: `run_all [--quick] [--out DIR] [--seed N] [--jobs N]`
 //!
 //! `--quick` uses 1/8 of the paper's job counts and a reduced Experiment 5
-//! grid; the full run takes a few minutes in release mode.
+//! grid; the full run takes a few minutes in release mode.  `--jobs N` caps
+//! the Experiment 5 sweep's worker pool (default: all cores); the emitted
+//! CSVs are bitwise-identical for every `--jobs` value.
 
 use std::fs;
 use std::path::PathBuf;
@@ -15,10 +17,11 @@ use grid_experiments::workloads::WorkloadOptions;
 use grid_experiments::{exp1, exp2, exp3, exp4, exp5};
 use grid_workload::PopulationProfile;
 
-fn parse_args() -> (WorkloadOptions, PathBuf, bool) {
+fn parse_args() -> (WorkloadOptions, PathBuf, bool, usize) {
     let mut options = WorkloadOptions::default();
     let mut out = PathBuf::from("results");
     let mut quick = false;
+    let mut jobs = grid_experiments::parallel::default_jobs();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,14 +37,21 @@ fn parse_args() -> (WorkloadOptions, PathBuf, bool) {
                     .parse()
                     .expect("seed must be an integer");
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .expect("--jobs needs a worker count")
+                    .parse()
+                    .expect("worker count must be an integer");
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
-    (options, out, quick)
+    (options, out, quick, jobs)
 }
 
 fn main() {
-    let (options, out, quick) = parse_args();
+    let (options, out, quick, jobs) = parse_args();
     fs::create_dir_all(&out).expect("failed to create output directory");
 
     eprintln!("[1/5] experiment 1: independent resources");
@@ -98,7 +108,7 @@ fn main() {
     };
     let backend_sweeps: Vec<_> = grid_federation_core::DirectoryBackend::ALL
         .iter()
-        .map(|&b| exp5::run_sweep_with_backend(&options, &sizes, &exp5_profiles, b))
+        .map(|&b| exp5::run_sweep_with_backend_jobs(&options, &sizes, &exp5_profiles, b, jobs))
         .collect();
     // The paper's own panels come from the ideal sweep, selected by backend
     // rather than position so reordering DirectoryBackend::ALL cannot

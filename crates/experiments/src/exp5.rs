@@ -14,12 +14,11 @@
 //! model.  Backends resolve identical quotes, so their job outcomes are
 //! bitwise-identical and only the directory traffic differs.
 
-use std::thread;
-
 use grid_federation_core::federation::{run_federation, FederationConfig, SchedulingMode};
 use grid_federation_core::{DirectoryBackend, FederationReport};
 use grid_workload::PopulationProfile;
 
+use crate::parallel;
 use crate::report::{f2, DataTable};
 use crate::workloads::{replicated_workloads, WorkloadOptions};
 
@@ -75,9 +74,8 @@ impl ScalabilitySweep {
     }
 }
 
-/// Runs the scalability sweep with the default (ideal) directory backend.
-/// Runs are independent, so each (size, profile) pair executes on its own
-/// thread.
+/// Runs the scalability sweep with the default (ideal) directory backend and
+/// a worker pool sized to the machine.
 #[must_use]
 pub fn run_sweep(
     options: &WorkloadOptions,
@@ -87,7 +85,8 @@ pub fn run_sweep(
     run_sweep_with_backend(options, sizes, profiles, DirectoryBackend::Ideal)
 }
 
-/// Runs the scalability sweep against a specific directory backend.
+/// Runs the scalability sweep against a specific directory backend with a
+/// worker pool sized to the machine.
 #[must_use]
 pub fn run_sweep_with_backend(
     options: &WorkloadOptions,
@@ -95,40 +94,49 @@ pub fn run_sweep_with_backend(
     profiles: &[PopulationProfile],
     backend: DirectoryBackend,
 ) -> ScalabilitySweep {
-    let reports: Vec<Vec<FederationReport>> = thread::scope(|scope| {
-        let handles: Vec<Vec<_>> = sizes
-            .iter()
-            .map(|&size| {
-                profiles
-                    .iter()
-                    .map(|&profile| {
-                        scope.spawn(move || {
-                            let setup = replicated_workloads(size, profile, options);
-                            run_federation(
-                                setup.resources,
-                                setup.workloads,
-                                FederationConfig {
-                                    mode: SchedulingMode::Economy,
-                                    seed: options.seed,
-                                    utilization_horizon: Some(options.duration),
-                                    directory: backend,
-                                    ..FederationConfig::default()
-                                },
-                            )
-                        })
-                    })
-                    .collect()
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .map(|h| h.join().expect("scalability run must not panic"))
-                    .collect()
-            })
-            .collect()
-    });
+    run_sweep_with_backend_jobs(options, sizes, profiles, backend, parallel::default_jobs())
+}
+
+/// Runs the scalability sweep against a specific directory backend across at
+/// most `jobs` worker threads.
+///
+/// Every (size, profile) pair is an independent run whose seeds derive from
+/// its own parameters (`options.seed` and the per-resource indices), never
+/// from execution order, and results are merged in deterministic run order —
+/// so the sweep's output is bitwise-identical for any `jobs` value
+/// (regression-tested, and re-asserted by `bench_perf` on every run).
+#[must_use]
+pub fn run_sweep_with_backend_jobs(
+    options: &WorkloadOptions,
+    sizes: &[usize],
+    profiles: &[PopulationProfile],
+    backend: DirectoryBackend,
+    jobs: usize,
+) -> ScalabilitySweep {
+    let points: Vec<(usize, PopulationProfile)> = sizes
+        .iter()
+        .flat_map(|&size| profiles.iter().map(move |&profile| (size, profile)))
+        .collect();
+    let mut flat = parallel::run_indexed(points.len(), jobs, |i| {
+        let (size, profile) = points[i];
+        let setup = replicated_workloads(size, profile, options);
+        run_federation(
+            setup.resources,
+            setup.workloads,
+            FederationConfig {
+                mode: SchedulingMode::Economy,
+                seed: options.seed,
+                utilization_horizon: Some(options.duration),
+                directory: backend,
+                ..FederationConfig::default()
+            },
+        )
+    })
+    .into_iter();
+    let reports: Vec<Vec<FederationReport>> = sizes
+        .iter()
+        .map(|_| profiles.iter().map(|_| flat.next().expect("one report per point")).collect())
+        .collect();
     ScalabilitySweep {
         backend,
         sizes: sizes.to_vec(),
@@ -336,6 +344,44 @@ pub fn backend_directory_comparison(sweeps: &[ScalabilitySweep]) -> DataTable {
         table.push_row(row);
     }
     table
+}
+
+/// Renders every CSV a set of sweeps produces — the Fig. 10/11/directory
+/// panels for each stat of each sweep, then the backend comparison table —
+/// as `(name, csv)` pairs in a stable order.
+///
+/// This is the canonical "everything exp5 emits" set: the
+/// parallel-determinism regression test and `bench_perf`'s CI determinism
+/// gate both compare exactly this, so neither can silently cover fewer
+/// panels than the other.
+///
+/// # Panics
+/// Panics if the sweeps disagree on sizes or profiles (see
+/// [`backend_directory_comparison`]).
+#[must_use]
+pub fn render_all_csvs(sweeps: &[ScalabilitySweep]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for sweep in sweeps {
+        for stat in Stat::ALL {
+            out.push((
+                format!("fig10_{}_{}", stat.label(), sweep.backend.label()),
+                figure10(sweep, stat).to_csv(),
+            ));
+            out.push((
+                format!("fig11_{}_{}", stat.label(), sweep.backend.label()),
+                figure11(sweep, stat).to_csv(),
+            ));
+            out.push((
+                format!("directory_{}_{}", stat.label(), sweep.backend.label()),
+                figure_directory(sweep, stat).to_csv(),
+            ));
+        }
+    }
+    out.push((
+        "backend_comparison".to_string(),
+        backend_directory_comparison(sweeps).to_csv(),
+    ));
+    out
 }
 
 #[cfg(test)]

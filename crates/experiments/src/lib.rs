@@ -16,7 +16,9 @@
 //! Shared infrastructure: [`workloads`] builds the calibrated synthetic
 //! traces for the Table 1 resources (and replicated federations for
 //! Experiment 5); [`report`] provides the [`report::DataTable`] type every
-//! figure is rendered into (ASCII for the terminal, CSV for plotting).
+//! figure is rendered into (ASCII for the terminal, CSV for plotting);
+//! [`parallel`] fans independent sweep points across a bounded worker pool
+//! (`--jobs N`) with a deterministic, run-ordered merge.
 //!
 //! The `exp*` binaries in `src/bin/` drive these modules from the command
 //! line; `run_all` regenerates every artefact in one go and writes them under
@@ -30,6 +32,7 @@ pub mod exp2;
 pub mod exp3;
 pub mod exp4;
 pub mod exp5;
+pub mod parallel;
 pub mod report;
 pub mod summary;
 pub mod workloads;

@@ -1,0 +1,128 @@
+//! Deterministic parallel execution of independent sweep points.
+//!
+//! Parameter sweeps (Experiment 5's cluster-count × backend × profile grid,
+//! the scalability bench, `run_all`) consist of fully independent simulation
+//! runs: each run derives every seed it needs from its own parameters, never
+//! from execution order.  This module fans those runs across a bounded
+//! worker pool (`--jobs N`) built on `std::thread::scope` — no external
+//! crates — and merges the results **in deterministic run order**, so the
+//! output of a parallel sweep is bitwise-identical to the sequential one
+//! (asserted by a regression test and re-checked by `bench_perf` on every CI
+//! run).
+//!
+//! Work distribution uses a shared atomic cursor: workers claim the next
+//! unclaimed index, so stragglers never serialise the tail of the sweep.
+//! Which worker computes which index is scheduling-dependent, but since
+//! results are placed by index, the merge order — and therefore every CSV —
+//! is not.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Default worker count: the machine's available parallelism, falling back
+/// to 1 when it cannot be determined.
+#[must_use]
+pub fn default_jobs() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `task(0..count)` across at most `jobs` worker threads and returns
+/// the results ordered by index (identical to a sequential `map`).
+///
+/// `jobs <= 1` (or `count <= 1`) degrades to a plain sequential loop on the
+/// calling thread, which is also the reference ordering the parallel path
+/// must reproduce.
+///
+/// # Panics
+/// Propagates a panic from any task once all workers have been joined.
+pub fn run_indexed<T, F>(count: usize, jobs: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(count.max(1));
+    if jobs <= 1 {
+        return (0..count).map(task).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let task = &task;
+    let next = &next;
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+
+    let per_worker: Vec<Vec<(usize, T)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= count {
+                            break;
+                        }
+                        out.push((index, task(index)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker must not panic"))
+            .collect()
+    });
+
+    for (index, value) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[index].is_none(), "index {index} computed twice");
+        slots[index] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index computed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        // Task durations vary wildly with index so completion order differs
+        // from submission order; the merge must restore index order anyway.
+        let out = run_indexed(64, 8, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let sequential = run_indexed(100, 1, f);
+        for jobs in [2, 4, 16, 1000] {
+            assert_eq!(run_indexed(100, jobs, f), sequential, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 0, |i| i), vec![0]);
+        assert_eq!(run_indexed(3, 999, |i| i), vec![0, 1, 2]);
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker must not panic")]
+    fn worker_panics_propagate() {
+        let _ = run_indexed(8, 2, |i| {
+            assert!(i != 5, "boom");
+            i
+        });
+    }
+}

@@ -1,0 +1,40 @@
+//! Regression test for the acceptance criterion that parallel sweeps are
+//! **bitwise-deterministic**: running the Experiment 5 sweep sequentially
+//! (`jobs = 1`) and through the worker pool (`jobs = 4`) must render
+//! byte-identical CSVs for every panel and for the backend comparison table
+//! (the same CSV set `bench_perf` gates CI on, via `exp5::render_all_csvs`).
+
+use grid_experiments::exp5;
+use grid_experiments::workloads::WorkloadOptions;
+use grid_federation_core::DirectoryBackend;
+use grid_workload::PopulationProfile;
+
+#[test]
+fn parallel_sweep_csvs_are_bitwise_identical_to_sequential() {
+    // The CI smoke configuration: small enough to run on every push,
+    // complete enough to cover both backends and the whole sweep path.
+    let options = WorkloadOptions::quick();
+    let sizes = [8usize, 16];
+    let profiles = [PopulationProfile::new(50)];
+
+    let run = |jobs: usize| -> Vec<exp5::ScalabilitySweep> {
+        DirectoryBackend::ALL
+            .iter()
+            .map(|&backend| {
+                exp5::run_sweep_with_backend_jobs(&options, &sizes, &profiles, backend, jobs)
+            })
+            .collect()
+    };
+
+    let sequential = exp5::render_all_csvs(&run(1));
+    let parallel = exp5::render_all_csvs(&run(4));
+
+    assert_eq!(sequential.len(), parallel.len());
+    for ((name_s, csv_s), (name_p, csv_p)) in sequential.iter().zip(&parallel) {
+        assert_eq!(name_s, name_p);
+        assert_eq!(
+            csv_s, csv_p,
+            "CSV {name_s} differs between sequential and parallel sweeps"
+        );
+    }
+}
