@@ -6,7 +6,11 @@ use std::hint::black_box;
 
 use grid_cluster::{ClusterJob, EasyBackfilling, LocalScheduler, SpaceSharedFcfs};
 use grid_des::{BinaryHeapEventQueue, Context, Entity, EntityId, Event, EventQueue, SimTime, Simulation};
-use grid_directory::{ChordOverlay, FederationDirectory, IdealDirectory, Quote};
+use grid_bench::populated_directory;
+use grid_directory::{
+    AnyDirectory, ChordOverlay, DirectoryBackend, FederationDirectory, IdealDirectory, Quote,
+    RankOrder,
+};
 use grid_workload::{JobId, SyntheticWorkloadConfig};
 
 /// A payload as wide as the federation's message enum, so the layout benches
@@ -207,7 +211,52 @@ fn directory_operations(c: &mut Criterion) {
     group.bench_function("chord_lookup_128", |b| {
         b.iter(|| black_box(overlay.average_lookup_hops(64, 5)))
     });
+
+    // Cursor streaming vs. the query-per-rank oracle, both backends at the
+    // acceptance criterion's n = 50 (tracked numbers live in `bench_perf`'s
+    // `directory` section; this group is the per-commit smoke view).
+    let n = 50usize;
+    for backend in DirectoryBackend::ALL {
+        let dir = populated_directory(backend, n);
+        directory_cursor_matches_oracle(&dir, n);
+        let label = backend.label();
+        group.bench_function(format!("cursor_open_{label}_50"), |b| {
+            let mut origin = 0usize;
+            b.iter(|| {
+                origin = (origin + 1) % n;
+                let mut cursor = dir.open_cursor(origin, RankOrder::Cheapest);
+                black_box(dir.cursor_next(&mut cursor).quote)
+            })
+        });
+        group.bench_function(format!("cursor_advance_{label}_50"), |b| {
+            let mut cursor = dir.open_cursor(0, RankOrder::Cheapest);
+            let _ = dir.cursor_next(&mut cursor);
+            b.iter(|| {
+                if cursor.next_rank() > n {
+                    cursor.seek(2);
+                }
+                black_box(dir.cursor_next(&mut cursor).quote)
+            })
+        });
+        group.bench_function(format!("legacy_per_rank_{label}_50"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                black_box(dir.query_cheapest(i % n, 1 + (i % n)).quote)
+            })
+        });
+    }
     group.finish();
+}
+
+/// The cursor paths must stream exactly what the oracle answers — checked
+/// here (not just in the directory crate's tests) so a future bench-only
+/// refactor cannot drift the measured workload away from the verified one.
+fn directory_cursor_matches_oracle(dir: &AnyDirectory, n: usize) {
+    let mut cursor = dir.open_cursor(0, RankOrder::Cheapest);
+    for r in 1..=n {
+        assert_eq!(dir.cursor_next(&mut cursor).quote, dir.query_cheapest(0, r).quote);
+    }
 }
 
 fn workload_generation(c: &mut Criterion) {

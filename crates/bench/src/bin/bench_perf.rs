@@ -13,6 +13,9 @@
 //!   availability profile vs. the retained replay oracle on a loaded
 //!   128-job queue, for both LRMS policies (answers are asserted
 //!   bit-identical while measuring);
+//! * **directory ranking**: ns/rank of the streaming cursor (routed open
+//!   vs. O(1) advance) against the query-per-rank oracle at n = 50, on both
+//!   backends — quotes are asserted identical while measuring;
 //! * **parallel sweep**: wall-clock of the Experiment 5 smoke sweep run
 //!   sequentially vs. with `--jobs N`, asserting the rendered CSVs are
 //!   **bitwise-identical** (the determinism gate CI relies on).
@@ -27,6 +30,8 @@ use std::time::Instant;
 
 use grid_cluster::{ClusterJob, EasyBackfilling, LocalScheduler, SpaceSharedFcfs};
 use grid_des::{BinaryHeapEventQueue, Context, Entity, EntityId, Event, EventKind, EventQueue, SimTime, Simulation};
+use grid_bench::populated_directory;
+use grid_directory::{FederationDirectory, RankOrder};
 use grid_experiments::exp5::{self, ScalabilitySweep};
 use grid_experiments::workloads::WorkloadOptions;
 use grid_federation_core::{DirectoryBackend, FedMessage};
@@ -227,6 +232,88 @@ fn bench_estimator<S: LocalScheduler>(
     )
 }
 
+/// The system size the directory acceptance criterion is stated at.
+const DIRECTORY_N: usize = 50;
+
+/// Per-backend ns/rank figures of the directory ranking paths.
+struct DirectoryPerf {
+    /// One fresh *routed* ranked query (the query-per-rank model's rank-1
+    /// lookup: route establishment + head resolution).
+    fresh_query_ns: f64,
+    /// Cursor open + head yield (the cursor path's routed establishment).
+    open_ns: f64,
+    /// One cursor advance on an open cursor (the steady-state cost the DBC
+    /// loop pays per additional candidate).
+    advance_ns: f64,
+    /// One fresh rank-`r` query with `r ≥ 2` (the oracle's cursor-advance
+    /// charge executed from scratch).
+    legacy_rank_ns: f64,
+}
+
+/// One timing protocol for every directory ranking path (best-of-3,
+/// `black_box`'d accumulator), generic so each call monomorphizes — no
+/// dispatch overhead pollutes the ns-level loop and the four measured paths
+/// can never drift onto different protocols.
+fn measure_ranks<F: FnMut(usize) -> usize>(iters: usize, mut op: F) -> f64 {
+    best_of(3, || {
+        let (secs, acc) = timed(|| {
+            let mut acc = 0usize;
+            for i in 0..iters {
+                acc += op(i);
+            }
+            acc
+        });
+        std::hint::black_box(acc);
+        secs
+    })
+}
+
+/// Measures the ranking paths of one backend at size `n`, asserting along
+/// the way that the cursor resolves exactly what the oracle resolves.
+fn bench_directory(backend: DirectoryBackend, n: usize, iters: usize) -> DirectoryPerf {
+    let dir = populated_directory(backend, n);
+
+    // Correctness while measuring: one full streamed sweep vs. the oracle.
+    let mut check = dir.open_cursor(0, RankOrder::Cheapest);
+    for r in 1..=n {
+        assert_eq!(
+            dir.cursor_next(&mut check).quote,
+            dir.query_cheapest(0, r).quote,
+            "cursor diverged from the query-per-rank oracle at rank {r}"
+        );
+    }
+
+    let fresh_secs = measure_ranks(iters, |i| {
+        dir.query_cheapest(i % n, 1).quote.map_or(0, |q| q.gfa)
+    });
+    let legacy_secs = measure_ranks(iters, |i| {
+        dir.query_cheapest(i % n, 2 + (i % (n - 1))).quote.map_or(0, |q| q.gfa)
+    });
+    let open_secs = measure_ranks(iters, |i| {
+        let mut cursor = dir.open_cursor(i % n, RankOrder::Cheapest);
+        dir.cursor_next(&mut cursor).quote.map_or(0, |q| q.gfa)
+    });
+    // Steady-state advances: one long-lived cursor, repositioned (O(1))
+    // instead of re-opened when it runs off the end, so every measured op is
+    // a real in-range advance.
+    let mut cursor = dir.open_cursor(0, RankOrder::Cheapest);
+    let _ = dir.cursor_next(&mut cursor);
+    let advance_secs = measure_ranks(iters, |_| {
+        if cursor.next_rank() > n {
+            cursor.seek(2);
+        }
+        dir.cursor_next(&mut cursor).quote.map_or(0, |q| q.gfa)
+    });
+
+    let per_op = |secs: f64| secs / iters as f64 * 1e9;
+    DirectoryPerf {
+        fresh_query_ns: per_op(fresh_secs),
+        open_ns: per_op(open_secs),
+        advance_ns: per_op(advance_secs),
+        legacy_rank_ns: per_op(legacy_secs),
+    }
+}
+
 fn run_sweep(
     options: &WorkloadOptions,
     sizes: &[usize],
@@ -249,20 +336,20 @@ fn json_num(x: f64) -> String {
 
 fn main() {
     let args = parse_args();
-    let (queue_events, dispatch_events, quotes) = if args.smoke {
-        (20_000usize, 20_000u64, 2_000usize)
+    let (queue_events, dispatch_events, quotes, ranks) = if args.smoke {
+        (20_000usize, 20_000u64, 2_000usize, 50_000usize)
     } else {
-        (100_000, 200_000, 20_000)
+        (100_000, 200_000, 20_000, 500_000)
     };
 
-    eprintln!("[1/4] event queue layouts ({queue_events} events, FedMessage payload)…");
+    eprintln!("[1/5] event queue layouts ({queue_events} events, FedMessage payload)…");
     let dary_eps = bench_dary_queue(queue_events);
     let binary_eps = bench_binary_heap_queue(queue_events);
 
-    eprintln!("[2/4] engine dispatch ({dispatch_events} timer events)…");
+    eprintln!("[2/5] engine dispatch ({dispatch_events} timer events)…");
     let dispatch_eps = bench_dispatch(dispatch_events);
 
-    eprintln!("[3/4] admission-control estimator ({quotes} quotes, 128-job queue)…");
+    eprintln!("[3/5] admission-control estimator ({quotes} quotes, 128-job queue)…");
     let fcfs = loaded(SpaceSharedFcfs::new(128));
     let (fcfs_inc, fcfs_rep) =
         bench_estimator(&fcfs, quotes, |s, p, t, now| s.estimate_completion_replay(p, t, now));
@@ -270,7 +357,11 @@ fn main() {
     let (easy_inc, easy_rep) =
         bench_estimator(&easy, quotes, |s, p, t, now| s.estimate_completion_replay(p, t, now));
 
-    eprintln!("[4/4] exp5 smoke sweep: sequential vs --jobs {}…", args.jobs);
+    eprintln!("[4/5] directory ranking ({ranks} ranks, n = {DIRECTORY_N}, both backends)…");
+    let dir_ideal = bench_directory(DirectoryBackend::Ideal, DIRECTORY_N, ranks);
+    let dir_chord = bench_directory(DirectoryBackend::Chord, DIRECTORY_N, ranks);
+
+    eprintln!("[5/5] exp5 smoke sweep: sequential vs --jobs {}…", args.jobs);
     let options = WorkloadOptions::quick();
     // Full mode uses a 3×3 grid so the pool has enough comparable points to
     // show its scaling; smoke keeps the CI-sized 2×1 grid.
@@ -306,6 +397,17 @@ fn main() {
         "estimator: FCFS {fcfs_inc:.0} ns/quote vs replay {fcfs_rep:.0} ns/quote ({fcfs_speedup:.1}x); \
          EASY {easy_inc:.0} ns/quote vs replay {easy_rep:.0} ns/quote ({easy_speedup:.1}x)"
     );
+    for (label, perf) in [("ideal", &dir_ideal), ("chord", &dir_chord)] {
+        eprintln!(
+            "directory[{label}]: fresh routed query {:.1} ns vs cursor open {:.1} ns, \
+             advance {:.1} ns ({:.1}x cheaper than a fresh query), legacy rank-r {:.1} ns",
+            perf.fresh_query_ns,
+            perf.open_ns,
+            perf.advance_ns,
+            perf.fresh_query_ns / perf.advance_ns,
+            perf.legacy_rank_ns,
+        );
+    }
     eprintln!(
         "sweep: sequential {seq_secs:.2}s vs --jobs {} {par_secs:.2}s ({sweep_speedup:.2}x), CSVs bitwise-identical",
         args.jobs
@@ -334,6 +436,23 @@ fn main() {
     let _ = writeln!(json, "    \"easy_incremental_ns_per_quote\": {},", json_num(easy_inc));
     let _ = writeln!(json, "    \"easy_replay_ns_per_quote\": {},", json_num(easy_rep));
     let _ = writeln!(json, "    \"easy_speedup\": {}", json_num(easy_speedup));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"directory\": {{");
+    let _ = writeln!(json, "    \"n\": {DIRECTORY_N},");
+    let _ = writeln!(json, "    \"ranks\": {ranks},");
+    for (i, (label, perf)) in [("ideal", &dir_ideal), ("chord", &dir_chord)].iter().enumerate() {
+        let _ = writeln!(json, "    \"{label}\": {{");
+        let _ = writeln!(json, "      \"fresh_query_ns\": {},", json_num(perf.fresh_query_ns));
+        let _ = writeln!(json, "      \"open_ns\": {},", json_num(perf.open_ns));
+        let _ = writeln!(json, "      \"advance_ns\": {},", json_num(perf.advance_ns));
+        let _ = writeln!(json, "      \"legacy_rank_ns\": {},", json_num(perf.legacy_rank_ns));
+        let _ = writeln!(
+            json,
+            "      \"fresh_vs_advance_speedup\": {}",
+            json_num(perf.fresh_query_ns / perf.advance_ns)
+        );
+        let _ = writeln!(json, "    }}{}", if i == 0 { "," } else { "" });
+    }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"sweep\": {{");
     // Context for the speedup figure: on a single-core host the parallel

@@ -15,6 +15,7 @@
 //! `cargo bench` pass stays in the minutes range; the experiment binaries in
 //! `grid-experiments` regenerate the full-scale numbers.
 
+use grid_directory::{AnyDirectory, DirectoryBackend, FederationDirectory, Quote};
 use grid_experiments::workloads::WorkloadOptions;
 
 /// Workload options used by the benchmark harness: a quarter of the paper's
@@ -22,6 +23,25 @@ use grid_experiments::workloads::WorkloadOptions;
 #[must_use]
 pub fn bench_options() -> WorkloadOptions {
     WorkloadOptions::quick()
+}
+
+/// The directory population both `bench_perf`'s tracked `directory` section
+/// and the `micro` bench group measure: `n` distinct-priced, distinct-speed
+/// quotes on a fixed seed.  Shared so the per-commit smoke view and the
+/// tracked baseline can never drift onto different workloads.
+#[must_use]
+pub fn populated_directory(backend: DirectoryBackend, n: usize) -> AnyDirectory {
+    let mut dir = backend.build(n, 0xD1CE);
+    for gfa in 0..n {
+        dir.subscribe(Quote {
+            gfa,
+            processors: 128,
+            mips: 400.0 + 9.0 * ((gfa * 13) % n) as f64,
+            bandwidth: 1.0 + (gfa % 4) as f64,
+            price: 1.0 + 0.07 * ((gfa * 7) % n) as f64,
+        });
+    }
+    dir
 }
 
 /// An even smaller configuration for the per-iteration benches that run many
@@ -44,5 +64,17 @@ mod tests {
         assert!(bench_options().job_scale < 1.0);
         assert!(tiny_options().job_scale < bench_options().job_scale);
         assert!(tiny_options().duration < bench_options().duration);
+    }
+
+    #[test]
+    fn bench_directory_population_is_full_and_distinct() {
+        for backend in DirectoryBackend::ALL {
+            let dir = populated_directory(backend, 50);
+            assert_eq!(dir.len(), 50);
+            // Distinct prices and speeds, so every rank is unambiguous.
+            let cheapest = dir.kth_cheapest(1).unwrap();
+            let second = dir.kth_cheapest(2).unwrap();
+            assert!(cheapest.price < second.price);
+        }
     }
 }

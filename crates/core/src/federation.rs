@@ -12,7 +12,7 @@ use std::rc::Rc;
 
 use grid_cluster::{EasyBackfilling, LocalScheduler, ResourceSpec, SpaceSharedFcfs};
 use grid_des::{RunOutcome, Simulation};
-use grid_directory::{AnyDirectory, DirectoryBackend, FederationDirectory, Quote};
+use grid_directory::{AnyDirectory, CacheStats, DirectoryBackend, FederationDirectory, Quote};
 use grid_workload::Job;
 
 use crate::economy::{ChargingPolicy, GridBank};
@@ -42,6 +42,25 @@ pub enum LrmsKind {
     EasyBackfilling,
 }
 
+/// How the GFAs' DBC loops execute their ranking queries.
+///
+/// Both paths resolve identical quotes and charge identical directory
+/// messages — they differ only in *execution* cost, which is why the slow
+/// one can serve as the differential oracle for the fast one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectoryQueryPath {
+    /// Each in-flight job streams ranks through a [`grid_directory::RankCursor`]
+    /// (one routed open, O(1) advances) and probes are memoised in a per-GFA,
+    /// epoch-keyed [`grid_directory::QuoteCache`].  The default.
+    #[default]
+    Cursor,
+    /// The paper's query-per-rank model executed literally: every rank is a
+    /// fresh `query_cheapest`/`query_fastest` call.  Kept as the
+    /// differential oracle — differential tests run both paths and assert
+    /// bitwise-identical reports.
+    PerRank,
+}
+
 /// Federation-wide shared state accessible to every GFA during the run.
 #[derive(Debug)]
 pub struct SharedState {
@@ -58,6 +77,8 @@ pub struct SharedState {
     pub resource_snapshots: Vec<Option<ResourceSnapshot>>,
     /// Number of remote jobs each resource executed.
     pub remote_processed: Vec<usize>,
+    /// Quote-cache hit/miss counters, merged in by each GFA at end of run.
+    pub directory_cache: CacheStats,
 }
 
 /// End-of-run per-resource snapshot captured by each GFA.
@@ -96,6 +117,10 @@ pub struct FederationConfig {
     /// resolve identical quotes and differ only in the directory-message
     /// counts (and simulated lookup time) they account.
     pub directory: DirectoryBackend,
+    /// How the DBC loop executes ranking queries (cursor-streamed with a
+    /// per-GFA quote cache, or the literal query-per-rank oracle).  Both
+    /// paths produce bitwise-identical reports; see [`DirectoryQueryPath`].
+    pub query_path: DirectoryQueryPath,
     /// Scripted departures `(gfa, time)`: at `time` the GFA withdraws its
     /// quote from the directory (`unsubscribe`), refuses new negotiations
     /// and stops self-accepting, while jobs already reserved on its LRMS run
@@ -119,6 +144,7 @@ impl Default for FederationConfig {
             utilization_horizon: None,
             fabricate_qos: true,
             directory: DirectoryBackend::Ideal,
+            query_path: DirectoryQueryPath::Cursor,
             departures: Vec::new(),
             repricings: Vec::new(),
         }
@@ -259,6 +285,7 @@ impl FederationBuilder {
             jobs: Vec::with_capacity(total_jobs),
             resource_snapshots: vec![None; n],
             remote_processed: vec![0; n],
+            directory_cache: CacheStats::default(),
         }));
 
         let mut sim: Simulation<FedMessage> = Simulation::new(config.seed);
@@ -290,6 +317,7 @@ impl FederationBuilder {
                 lrms,
                 std::mem::take(&mut workloads[i]),
                 schedule,
+                config.query_path,
                 Rc::clone(&shared),
             );
             let id = sim.add_entity(Box::new(gfa));
@@ -334,6 +362,7 @@ fn assemble_report(
         jobs,
         resource_snapshots,
         remote_processed,
+        directory_cache,
     } = state;
     let directory_queries = directory.queries_served();
     let directory_avg_route_messages = directory.average_route_messages();
@@ -392,6 +421,7 @@ fn assemble_report(
         backend,
         directory_queries,
         directory_avg_route_messages,
+        directory_cache,
     }
 }
 

@@ -40,11 +40,11 @@ use std::rc::Rc;
 
 use grid_cluster::{completion_time, ClusterJob, LocalScheduler, ResourceSpec, StartedJob};
 use grid_des::{Context, Entity, EntityId, Event, SimTime};
-use grid_directory::{FederationDirectory, TracedQuote};
+use grid_directory::{FederationDirectory, QuoteCache, RankCursor, RankOrder, TracedQuote};
 use grid_workload::{Job, JobId, Strategy};
 
 use crate::economy::ChargingPolicy;
-use crate::federation::{GfaSchedule, SchedulingMode, SharedState};
+use crate::federation::{DirectoryQueryPath, GfaSchedule, SchedulingMode, SharedState};
 use crate::messages::{FedMessage, MessageType};
 use crate::metrics::{ExecutionOutcome, JobRecord};
 
@@ -54,6 +54,13 @@ struct PendingJob {
     job: Job,
     /// Next rank `r` to query (1-based).
     next_rank: usize,
+    /// This job's streaming position in the directory ranking: opened
+    /// (routed) on the first probed rank and advanced one rank per probe, so
+    /// resuming the DBC loop after a refused negotiation never recomputes
+    /// rank `r` from scratch.  `None` until the job first misses the GFA's
+    /// quote cache (or always, under
+    /// [`DirectoryQueryPath::PerRank`]).
+    cursor: Option<RankCursor>,
     /// Accountable negotiation messages exchanged so far for this job.
     messages: u32,
     /// Directory messages spent on this job's ranking queries so far.
@@ -111,6 +118,11 @@ pub struct Gfa {
     /// Set once the departure timer fired: the quote is withdrawn and no new
     /// work is admitted.
     departed: bool,
+    /// How ranking queries execute (cursor-streamed or per-rank oracle).
+    query_path: DirectoryQueryPath,
+    /// Epoch-keyed memo of quotes this GFA already streamed from the
+    /// directory; invalidated automatically when the directory mutates.
+    quote_cache: QuoteCache,
     shared: Rc<RefCell<SharedState>>,
     pending: HashMap<JobId, PendingJob>,
     awaiting_remote: HashMap<JobId, AwaitingRemote>,
@@ -139,6 +151,7 @@ impl Gfa {
         lrms: Box<dyn LocalScheduler>,
         local_jobs: Vec<Job>,
         schedule: GfaSchedule,
+        query_path: DirectoryQueryPath,
         shared: Rc<RefCell<SharedState>>,
     ) -> Self {
         let name = format!("gfa-{index}-{}", spec.name);
@@ -153,6 +166,8 @@ impl Gfa {
             local_jobs,
             schedule,
             departed: false,
+            query_path,
+            quote_cache: QuoteCache::new(),
             shared,
             pending: HashMap::new(),
             awaiting_remote: HashMap::new(),
@@ -212,6 +227,7 @@ impl Gfa {
                 let pending = PendingJob {
                     job,
                     next_rank: 1,
+                    cursor: None,
                     messages: 0,
                     directory_messages: 0,
                     candidate_service: 0.0,
@@ -249,16 +265,32 @@ impl Gfa {
         }
     }
 
-    /// Issues one traced ranking query from this GFA, accounting its
-    /// directory messages (and the simulated network time they represent,
-    /// hops × latency) into the ledger.
-    fn traced_query(&self, fastest: bool, r: usize) -> TracedQuote {
+    /// Resolves the `r`-th quote of `order` for one in-flight job,
+    /// accounting its directory messages (and the simulated network time
+    /// they represent, hops × latency) into the ledger.
+    ///
+    /// Under [`DirectoryQueryPath::Cursor`] the probe is served from this
+    /// GFA's epoch-keyed quote cache when possible and otherwise streamed
+    /// through the job's [`RankCursor`] — O(1) work per rank, with the
+    /// routed open paid once per `(ordering, epoch)`.  Under
+    /// [`DirectoryQueryPath::PerRank`] it executes the paper's
+    /// query-per-rank model literally.  Both paths return bit-identical
+    /// quotes and charges (the cursor path replays the oracle's telemetry),
+    /// which the differential tests assert end to end.
+    fn probe_directory(
+        &mut self,
+        order: RankOrder,
+        r: usize,
+        cursor: &mut Option<RankCursor>,
+    ) -> TracedQuote {
         let traced = {
             let shared = self.shared.borrow();
-            if fastest {
-                shared.directory.query_fastest(self.index, r)
-            } else {
-                shared.directory.query_cheapest(self.index, r)
+            match self.query_path {
+                DirectoryQueryPath::Cursor => {
+                    self.quote_cache
+                        .probe(&shared.directory, self.index, order, r, cursor)
+                }
+                DirectoryQueryPath::PerRank => shared.directory.query_ranked(self.index, order, r),
             }
         };
         if traced.messages > 0 {
@@ -295,7 +327,8 @@ impl Gfa {
                     if r > directory_len {
                         None
                     } else {
-                        let traced = self.traced_query(true, r);
+                        let traced =
+                            self.probe_directory(RankOrder::Fastest, r, &mut pending.cursor);
                         pending.directory_messages += u32::try_from(traced.messages).unwrap_or(u32::MAX);
                         traced.quote
                     }
@@ -305,7 +338,12 @@ impl Gfa {
                 if r > directory_len {
                     None
                 } else {
-                    let traced = self.traced_query(strategy == Strategy::Oft, r);
+                    let order = if strategy == Strategy::Oft {
+                        RankOrder::Fastest
+                    } else {
+                        RankOrder::Cheapest
+                    };
+                    let traced = self.probe_directory(order, r, &mut pending.cursor);
                     pending.directory_messages += u32::try_from(traced.messages).unwrap_or(u32::MAX);
                     traced.quote
                 }
@@ -789,5 +827,6 @@ impl Entity<FedMessage> for Gfa {
             busy_processor_seconds: self.lrms.busy_processor_seconds(now),
             utilization: self.lrms.utilization(now),
         });
+        shared.directory_cache = shared.directory_cache.merged(self.quote_cache.stats());
     }
 }

@@ -63,10 +63,10 @@ pub mod metrics;
 
 pub use economy::{apply_commodity_pricing, quote_price, ChargingPolicy, GridBank, PAPER_ACCESS_PRICE};
 pub use federation::{
-    run_federation, FederationBuilder, FederationConfig, GfaSchedule, LrmsKind, SchedulingMode,
-    SharedState,
+    run_federation, DirectoryQueryPath, FederationBuilder, FederationConfig, GfaSchedule, LrmsKind,
+    SchedulingMode, SharedState,
 };
-pub use grid_directory::DirectoryBackend;
+pub use grid_directory::{CacheStats, DirectoryBackend};
 pub use gfa::Gfa;
 pub use messages::{FedMessage, GfaMessageCounters, MessageLedger, MessageType};
 pub use metrics::{ExecutionOutcome, FederationReport, JobRecord, ResourceMetrics};

@@ -13,6 +13,10 @@
 //! DHT range queries — and the ledger tracks those counts, plus the
 //! simulated network time they represent, without ever mixing them into the
 //! four negotiation counters, so the paper's Fig. 9–11 stay comparable.
+//! The *execution* now matches that model too: the DBC loop streams ranks
+//! through a per-job [`grid_directory::RankCursor`] backed by a per-GFA
+//! quote cache, charging exactly what the query-per-rank oracle charges
+//! (asserted bit-identical by the differential tests).
 
 use grid_workload::{Job, JobId};
 

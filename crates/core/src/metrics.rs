@@ -7,7 +7,7 @@
 //! (Fig. 3), user response time and budget spent with and without rejected
 //! jobs (Fig. 7–8), and message counts (Fig. 9–11).
 
-use grid_directory::DirectoryBackend;
+use grid_directory::{CacheStats, DirectoryBackend};
 use grid_workload::{JobId, Strategy};
 
 use crate::economy::GridBank;
@@ -184,6 +184,12 @@ pub struct FederationReport {
     /// touched the directory.  This is the quantity the paper's `O(log n)`
     /// assumption is about.
     pub directory_avg_route_messages: f64,
+    /// Aggregated hit/miss counters of the GFAs' epoch-keyed quote caches.
+    /// Observability only — cache hits replay the exact charges and
+    /// telemetry of a live query, so nothing rendered from a report depends
+    /// on this field.  Always zero under
+    /// [`crate::federation::DirectoryQueryPath::PerRank`].
+    pub directory_cache: CacheStats,
 }
 
 impl FederationReport {
@@ -429,6 +435,7 @@ mod tests {
             backend: DirectoryBackend::Ideal,
             directory_queries: 0,
             directory_avg_route_messages: 0.0,
+            directory_cache: CacheStats::default(),
         }
     }
 
@@ -498,6 +505,7 @@ mod tests {
             backend: DirectoryBackend::Chord,
             directory_queries: 0,
             directory_avg_route_messages: 0.0,
+            directory_cache: CacheStats::default(),
         };
         assert_eq!(rep.mean_acceptance_rate(), 0.0);
         assert_eq!(rep.total_incentive(), 0.0);

@@ -8,8 +8,9 @@
 //! indirection — while still letting experiments swap backends at run time.
 
 use crate::chord::ChordDirectory;
+use crate::cursor::RankCursor;
 use crate::ideal::IdealDirectory;
-use crate::quote::{FederationDirectory, Quote, TracedQuote};
+use crate::quote::{FederationDirectory, Quote, RankOrder, TracedQuote};
 
 /// Which directory implementation a federation run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -134,6 +135,21 @@ impl FederationDirectory for AnyDirectory {
     }
     fn queries_served(&self) -> u64 {
         dispatch!(self, d => d.queries_served())
+    }
+    #[inline]
+    fn epoch(&self) -> u64 {
+        dispatch!(self, d => d.epoch())
+    }
+    fn open_cursor(&self, origin: usize, order: RankOrder) -> RankCursor {
+        dispatch!(self, d => d.open_cursor(origin, order))
+    }
+    #[inline]
+    fn cursor_next(&self, cursor: &mut RankCursor) -> TracedQuote {
+        dispatch!(self, d => d.cursor_next(cursor))
+    }
+    #[inline]
+    fn note_replayed_query(&self, origin: usize, order: RankOrder, r: usize, route_messages: u64) {
+        dispatch!(self, d => d.note_replayed_query(origin, order, r, route_messages));
     }
 }
 

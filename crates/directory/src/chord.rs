@@ -14,8 +14,9 @@
 //! point of this module is to check the message-cost model, not to
 //! re-implement MAAN's range trees).
 
+use crate::cursor::RankCursor;
 use crate::ideal::IdealDirectory;
-use crate::quote::{FederationDirectory, Quote, TracedQuote};
+use crate::quote::{FederationDirectory, Quote, RankOrder, TracedQuote};
 
 /// SplitMix64 hash used to place nodes and keys on the ring.
 fn hash64(mut x: u64) -> u64 {
@@ -284,28 +285,56 @@ impl ChordDirectory {
         }
     }
 
-    /// Charges one query following the DHT range-query model
-    /// (`O(log n + k)`): rank 1 routes through the overlay from the node
-    /// representing `origin` to the head of the `dimension` ranking; every
-    /// higher rank advances the range cursor one overlay hop, since
-    /// consecutive ranks are adjacent in the range index.  Returns the
-    /// messages charged.
-    ///
-    /// Unsubscribing a GFA removes its quote from the rank data but leaves
-    /// its overlay node in place (the ring is a routing substrate, not the
-    /// quote store), so origins stay valid across departures.
-    fn charge_query(&self, origin: usize, dimension: u64, rank: usize) -> u64 {
-        let messages = if rank == 1 {
-            let key = hash64(self.seed ^ dimension.wrapping_mul(31));
-            let (_, hops) = self.overlay.lookup(origin % self.overlay.len(), key);
+    /// Walks the overlay from `origin`'s node to the head of the `order`
+    /// ranking and returns the measured hop count — the expensive part of a
+    /// routed lookup, shared by the query-per-rank path and `open_cursor`.
+    fn route_to_head(&self, origin: usize, order: RankOrder) -> u64 {
+        let key = hash64(self.seed ^ Self::dimension(order).wrapping_mul(31));
+        let (_, hops) = self.overlay.lookup(origin % self.overlay.len(), key);
+        u64::from(hops)
+    }
+
+    /// The ranking's key-space dimension (1 = price, 2 = speed).
+    fn dimension(order: RankOrder) -> u64 {
+        match order {
+            RankOrder::Cheapest => 1,
+            RankOrder::Fastest => 2,
+        }
+    }
+
+    /// The single place rank-dependent charges are applied, so the oracle
+    /// path, the cursor path and cache replays cannot drift apart: rank 1
+    /// charges `route_hops()` (lazily — live queries walk the overlay,
+    /// cursors and replays reuse a measured walk) and records the routed
+    /// lookup; every higher rank is one cursor-advance hop.  All messages
+    /// accumulate into `hops_total`.  Rank 0 must be short-circuited by
+    /// callers.
+    #[inline]
+    fn charge_ranked(&self, r: usize, route_hops: impl FnOnce() -> u64) -> u64 {
+        debug_assert!(r >= 1, "rank 0 is answered locally and never charged");
+        let messages = if r == 1 {
+            let hops = route_hops();
             self.routes.set(self.routes.get() + 1);
-            self.route_hops.set(self.route_hops.get() + u64::from(hops));
-            u64::from(hops)
+            self.route_hops.set(self.route_hops.get() + hops);
+            hops
         } else {
             1
         };
         self.hops_total.set(self.hops_total.get() + messages);
         messages
+    }
+
+    /// Charges one query following the DHT range-query model
+    /// (`O(log n + k)`): rank 1 routes through the overlay from the node
+    /// representing `origin` to the head of the ranking; every higher rank
+    /// advances the range cursor one overlay hop, since consecutive ranks
+    /// are adjacent in the range index.  Returns the messages charged.
+    ///
+    /// Unsubscribing a GFA removes its quote from the rank data but leaves
+    /// its overlay node in place (the ring is a routing substrate, not the
+    /// quote store), so origins stay valid across departures.
+    fn charge_query(&self, origin: usize, order: RankOrder, rank: usize) -> u64 {
+        self.charge_ranked(rank, || self.route_to_head(origin, order))
     }
 }
 
@@ -323,7 +352,7 @@ impl FederationDirectory for ChordDirectory {
         if r == 0 {
             return TracedQuote { quote: None, messages: 0 };
         }
-        let messages = self.charge_query(origin, 1, r);
+        let messages = self.charge_query(origin, RankOrder::Cheapest, r);
         TracedQuote {
             quote: self.exact.kth_cheapest(r),
             messages,
@@ -333,7 +362,7 @@ impl FederationDirectory for ChordDirectory {
         if r == 0 {
             return TracedQuote { quote: None, messages: 0 };
         }
-        let messages = self.charge_query(origin, 2, r);
+        let messages = self.charge_query(origin, RankOrder::Fastest, r);
         TracedQuote {
             quote: self.exact.kth_fastest(r),
             messages,
@@ -354,6 +383,46 @@ impl FederationDirectory for ChordDirectory {
     }
     fn queries_served(&self) -> u64 {
         self.exact.queries_served()
+    }
+
+    fn epoch(&self) -> u64 {
+        // The quote store lives in `exact`; the overlay ring is a static
+        // routing substrate, so its (never-changing) topology contributes
+        // nothing to the epoch.
+        self.exact.epoch()
+    }
+
+    fn open_cursor(&self, origin: usize, order: RankOrder) -> RankCursor {
+        // The one genuinely expensive step: walk the finger tables from the
+        // origin's node to the head of the ranking.  Everything after this
+        // is O(1) per rank.
+        RankCursor::opened(origin, order, self.epoch(), self.route_to_head(origin, order))
+    }
+
+    #[inline]
+    fn cursor_next(&self, cursor: &mut RankCursor) -> TracedQuote {
+        if cursor.epoch != self.epoch() {
+            // The quote store mutated under the cursor.  The ring — and with
+            // it the measured route the cursor paid for — is unchanged, so
+            // revalidation is lazy: the positional read below resolves
+            // against the current store.  Only ring churn (future work)
+            // would force a paid re-open here.
+            cursor.epoch = self.epoch();
+        }
+        cursor.yielded += 1;
+        let r = cursor.yielded;
+        let quote = self.exact.resolve_ranked(cursor.order, r);
+        let messages = self.charge_ranked(r, || cursor.route_messages);
+        TracedQuote { quote, messages }
+    }
+
+    #[inline]
+    fn note_replayed_query(&self, _origin: usize, _order: RankOrder, r: usize, route_messages: u64) {
+        if r == 0 {
+            return;
+        }
+        self.exact.count_replayed_query();
+        let _ = self.charge_ranked(r, || route_messages);
     }
 }
 

@@ -8,7 +8,8 @@
 
 use std::cell::Cell;
 
-use crate::quote::{FederationDirectory, Quote, TracedQuote};
+use crate::cursor::RankCursor;
+use crate::quote::{FederationDirectory, Quote, RankOrder, TracedQuote};
 
 /// Exact, centrally-computed directory with an `O(log n)` message-cost model.
 #[derive(Debug, Default)]
@@ -17,6 +18,9 @@ pub struct IdealDirectory {
     by_price: Vec<usize>,
     by_speed: Vec<usize>,
     dirty: bool,
+    /// Content epoch: bumped by every mutation so open cursors and GFA-side
+    /// quote caches can detect staleness (see [`FederationDirectory::epoch`]).
+    epoch: u64,
     queries: Cell<u64>,
     /// Routed (rank-1) lookups served and the messages actually charged for
     /// them — the modelled cost can change mid-run when (un)subscriptions
@@ -65,9 +69,11 @@ impl IdealDirectory {
 
     /// Immutable variant of the rank lookup.  The index vectors are rebuilt
     /// eagerly on mutation, so by the time queries arrive the directory is
-    /// clean; the assertion documents that invariant.
+    /// clean; the debug assertion documents that invariant without taxing
+    /// the cursor hot path.
+    #[inline]
     fn ranked(&self, order: &[usize], r: usize) -> Option<Quote> {
-        assert!(!self.dirty, "directory indices must be rebuilt before querying");
+        debug_assert!(!self.dirty, "directory indices must be rebuilt before querying");
         if r == 0 {
             return None;
         }
@@ -81,19 +87,52 @@ impl IdealDirectory {
         &self.quotes
     }
 
+    /// Resolves the `r`-th quote of `order`, counting the served query.
+    /// O(1): both rank orders are maintained across mutations.  Also used by
+    /// the Chord backend, whose cursor advances resolve rank data here while
+    /// charging overlay hops of their own.
+    #[inline]
+    pub(crate) fn resolve_ranked(&self, order: RankOrder, r: usize) -> Option<Quote> {
+        let index = match order {
+            RankOrder::Cheapest => &self.by_price,
+            RankOrder::Fastest => &self.by_speed,
+        };
+        self.ranked(index, r)
+    }
+
+    /// Counts one served query without resolving anything — the Chord
+    /// backend's share of a replayed (GFA-cached) query.
+    #[inline]
+    pub(crate) fn count_replayed_query(&self) {
+        self.queries.set(self.queries.get() + 1);
+    }
+
+    /// The single place rank-dependent charges are applied, so the oracle
+    /// path, the cursor path and cache replays cannot drift apart: rank 1
+    /// charges `route_messages()` (lazily, so cheap advances never price a
+    /// route) and records the routed lookup; every higher rank is one
+    /// cursor-advance message.  Rank 0 must be short-circuited by callers.
+    #[inline]
+    fn charge_ranked(&self, r: usize, route_messages: impl FnOnce() -> u64) -> u64 {
+        debug_assert!(r >= 1, "rank 0 is answered locally and never charged");
+        if r == 1 {
+            let cost = route_messages();
+            self.routes.set(self.routes.get() + 1);
+            self.route_messages.set(self.route_messages.get() + cost);
+            cost
+        } else {
+            1
+        }
+    }
+
     /// Charges one query under the modelled range-query costs: rank 1 routes
     /// (`⌈log₂ n⌉` at the directory's *current* size), higher ranks advance
     /// the cursor one message, rank 0 is answered locally for free.
     fn charge_query(&self, r: usize) -> u64 {
-        match r {
-            0 => 0,
-            1 => {
-                let cost = self.query_message_cost();
-                self.routes.set(self.routes.get() + 1);
-                self.route_messages.set(self.route_messages.get() + cost);
-                cost
-            }
-            _ => 1,
+        if r == 0 {
+            0
+        } else {
+            self.charge_ranked(r, || self.query_message_cost())
         }
     }
 
@@ -120,20 +159,59 @@ impl FederationDirectory for IdealDirectory {
         }
         self.dirty = true;
         self.rebuild_if_dirty();
+        self.epoch += 1;
     }
 
     fn unsubscribe(&mut self, gfa: usize) {
+        let before = self.quotes.len();
         self.quotes.retain(|q| q.gfa != gfa);
+        if self.quotes.len() == before {
+            return; // unknown GFA: nothing changed, keep caches valid
+        }
         self.dirty = true;
         self.rebuild_if_dirty();
+        self.epoch += 1;
     }
 
     fn update_price(&mut self, gfa: usize, price: f64) {
-        if let Some(q) = self.quotes.iter_mut().find(|q| q.gfa == gfa) {
-            q.price = price;
-            self.dirty = true;
-            self.rebuild_if_dirty();
+        let Some(qi) = self.quotes.iter().position(|q| q.gfa == gfa) else {
+            return;
+        };
+        debug_assert!(!self.dirty, "rank orders are maintained eagerly across mutations");
+        let old_price = self.quotes[qi].price;
+        if old_price.to_bits() == price.to_bits() {
+            // Repricing to the identical price changes nothing observable:
+            // skip the reposition *and* the epoch bump, so open cursors and
+            // GFA quote caches across the whole federation stay valid.
+            return;
         }
+        // Single reposition in the price order — the speed order does not
+        // depend on the price and is left untouched.  Locate the entry under
+        // its old (price, gfa) key, then re-insert under the new one; since
+        // keys are unique the result is exactly what a full re-sort gives.
+        let pos = self
+            .by_price
+            .binary_search_by(|&i| {
+                self.quotes[i]
+                    .price
+                    .total_cmp(&old_price)
+                    .then_with(|| self.quotes[i].gfa.cmp(&gfa))
+            })
+            .expect("a subscribed quote is present in the price order");
+        debug_assert_eq!(self.by_price[pos], qi);
+        self.quotes[qi].price = price;
+        self.by_price.remove(pos);
+        let insert_at = self
+            .by_price
+            .binary_search_by(|&i| {
+                self.quotes[i]
+                    .price
+                    .total_cmp(&price)
+                    .then_with(|| self.quotes[i].gfa.cmp(&gfa))
+            })
+            .unwrap_or_else(|pos| pos);
+        self.by_price.insert(insert_at, qi);
+        self.epoch += 1;
     }
 
     fn query_cheapest(&self, _origin: usize, r: usize) -> TracedQuote {
@@ -161,6 +239,45 @@ impl FederationDirectory for IdealDirectory {
 
     fn queries_served(&self) -> u64 {
         self.queries.get()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn open_cursor(&self, origin: usize, order: RankOrder) -> RankCursor {
+        // Under the ideal model the routed lookup is pure bookkeeping: the
+        // cursor captures the `⌈log₂ n⌉` charge of reaching the head of the
+        // range index at the current size.
+        RankCursor::opened(origin, order, self.epoch, self.query_message_cost())
+    }
+
+    #[inline]
+    fn cursor_next(&self, cursor: &mut RankCursor) -> TracedQuote {
+        if cursor.epoch != self.epoch {
+            // Lazy revalidation: positional reads below already see the
+            // rebuilt ranking; a cursor that has not yielded its head yet
+            // re-prices the pending route at the current directory size,
+            // exactly like a fresh rank-1 query would be charged.
+            if cursor.yielded == 0 {
+                cursor.route_messages = self.query_message_cost();
+            }
+            cursor.epoch = self.epoch;
+        }
+        cursor.yielded += 1;
+        let r = cursor.yielded;
+        let quote = self.resolve_ranked(cursor.order, r);
+        let messages = self.charge_ranked(r, || cursor.route_messages);
+        TracedQuote { quote, messages }
+    }
+
+    #[inline]
+    fn note_replayed_query(&self, _origin: usize, _order: RankOrder, r: usize, route_messages: u64) {
+        if r == 0 {
+            return;
+        }
+        self.queries.set(self.queries.get() + 1);
+        let _ = self.charge_ranked(r, || route_messages);
     }
 }
 
@@ -232,6 +349,63 @@ mod tests {
         // Updating an unknown GFA is a no-op.
         dir.update_price(99, 0.1);
         assert_eq!(dir.len(), 8);
+    }
+
+    #[test]
+    fn incremental_reposition_agrees_with_a_sorted_oracle() {
+        // `update_price` repositions a single entry instead of re-sorting;
+        // drive it through a deterministic storm of repricings (including
+        // ties, extremes and no-op prices) and assert the streamed ranking
+        // always equals a freshly sorted oracle.
+        let mut dir = paper_directory();
+        for step in 0..200usize {
+            let gfa = (step * 5) % 8;
+            let price = match step % 5 {
+                0 => 0.01 + step as f64 * 0.003,       // migrate to the front
+                1 => 50.0 - step as f64 * 0.1,         // migrate to the back
+                2 => 3.59,                             // collide with LANL Origin
+                3 => dir.quotes()[gfa.min(dir.len() - 1)].price, // no-op reprice
+                _ => 2.0 + ((step * 7) % 11) as f64 * 0.25,
+            };
+            dir.update_price(gfa, price);
+            let mut oracle: Vec<(f64, usize)> =
+                dir.quotes().iter().map(|q| (q.price, q.gfa)).collect();
+            oracle.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for (i, (price, gfa)) in oracle.iter().enumerate() {
+                let got = dir.kth_cheapest(i + 1).unwrap();
+                assert_eq!(
+                    (got.price.to_bits(), got.gfa),
+                    (price.to_bits(), *gfa),
+                    "step {step}: rank {} diverged from the sorted oracle",
+                    i + 1
+                );
+            }
+            // The speed ranking is untouched by repricings.
+            assert_eq!(dir.kth_fastest(1).unwrap().gfa, 4);
+        }
+    }
+
+    #[test]
+    fn epoch_tracks_content_mutations_only() {
+        let mut dir = paper_directory();
+        let e0 = dir.epoch();
+        // Queries do not move the epoch.
+        let _ = dir.kth_cheapest(3);
+        assert_eq!(dir.epoch(), e0);
+        // Mutations do.
+        dir.update_price(2, 9.9);
+        assert_eq!(dir.epoch(), e0 + 1);
+        dir.unsubscribe(2);
+        assert_eq!(dir.epoch(), e0 + 2);
+        dir.subscribe(Quote { gfa: 2, processors: 8, mips: 500.0, bandwidth: 1.0, price: 2.0 });
+        assert_eq!(dir.epoch(), e0 + 3);
+        // No-op mutations (unknown GFA, unchanged price) leave caches valid.
+        dir.unsubscribe(99);
+        dir.update_price(99, 1.0);
+        let current = dir.kth_cheapest(4).unwrap();
+        dir.update_price(current.gfa, current.price);
+        assert_eq!(dir.epoch(), e0 + 3);
+        assert_eq!(dir.kth_cheapest(4).unwrap().gfa, current.gfa);
     }
 
     #[test]

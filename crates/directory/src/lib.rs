@@ -24,16 +24,23 @@
 //!   federation pick its backend at run time; traced queries
 //!   ([`quote::TracedQuote`]) report the message cost the federation accounts
 //!   as a separate `directory` traffic class.
+//! * [`cursor::RankCursor`] / [`cursor::QuoteCache`] — the streaming rank
+//!   cursor (one routed open, O(1) advances — the execution profile matching
+//!   the `O(log n + k)` message model) and the per-GFA, epoch-keyed quote
+//!   memo layered on top.  The query-per-rank methods remain as the
+//!   differential oracle the cursor path is tested against.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
 pub mod chord;
+pub mod cursor;
 pub mod ideal;
 pub mod quote;
 
 pub use backend::{AnyDirectory, DirectoryBackend};
 pub use chord::{ChordDirectory, ChordOverlay};
+pub use cursor::{CacheStats, QuoteCache, RankCursor};
 pub use ideal::IdealDirectory;
-pub use quote::{FederationDirectory, Quote, TracedQuote};
+pub use quote::{FederationDirectory, Quote, RankOrder, TracedQuote};

@@ -2,6 +2,36 @@
 
 use grid_cluster::ResourceSpec;
 
+use crate::cursor::RankCursor;
+
+/// Which ranking a directory query (or cursor) walks.
+///
+/// The paper's DBC loop asks for the *r*-th cheapest cluster under OFC and
+/// the *r*-th fastest under OFT; these are the two range indexes a MAAN-style
+/// directory maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankOrder {
+    /// Ascending access price (ties broken by GFA index).
+    Cheapest,
+    /// Descending per-processor MIPS (ties broken by GFA index).
+    Fastest,
+}
+
+impl RankOrder {
+    /// Both orders, in a stable order (useful for caches and table headers).
+    pub const ALL: [RankOrder; 2] = [RankOrder::Cheapest, RankOrder::Fastest];
+
+    /// Dense index of this order (`Cheapest` = 0, `Fastest` = 1), used by
+    /// per-order caches.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            RankOrder::Cheapest => 0,
+            RankOrder::Fastest => 1,
+        }
+    }
+}
+
 /// A quote published into the federation directory by a GFA: the resource
 /// description `R_i` plus the access price `c_i` configured by the owner.
 ///
@@ -101,6 +131,56 @@ pub trait FederationDirectory {
     /// The `r`-th fastest quote (1-based, by per-processor MIPS), queried
     /// from GFA `origin`, with the query's message cost.
     fn query_fastest(&self, origin: usize, r: usize) -> TracedQuote;
+
+    /// The `r`-th quote in `order`, dispatching to [`Self::query_cheapest`]
+    /// or [`Self::query_fastest`].  This is the *query-per-rank* path the
+    /// paper's Fig. 10/11 cost model describes; it is retained as the
+    /// differential oracle for the cursor primitive below.
+    fn query_ranked(&self, origin: usize, order: RankOrder, r: usize) -> TracedQuote {
+        match order {
+            RankOrder::Cheapest => self.query_cheapest(origin, r),
+            RankOrder::Fastest => self.query_fastest(origin, r),
+        }
+    }
+
+    /// The directory's *epoch*: a counter bumped by every content mutation
+    /// (`subscribe`, `unsubscribe`, `update_price`).  Open cursors and
+    /// GFA-side quote caches compare epochs to detect that their view of the
+    /// rank data went stale and must be revalidated.
+    fn epoch(&self) -> u64;
+
+    /// Opens a streaming rank cursor at the head of `order` for GFA
+    /// `origin`: **one routed lookup** through the overlay (the `O(log n)`
+    /// establishment the paper charges per query) whose cost is captured in
+    /// the cursor and charged when rank 1 is yielded.  Subsequent
+    /// [`Self::cursor_next`] calls advance one rank for one cursor-advance
+    /// message and O(1) work — the `O(log n + k)` execution profile of
+    /// MAAN-style DHT range queries, which the query-per-rank path only
+    /// *models*.
+    fn open_cursor(&self, origin: usize, order: RankOrder) -> RankCursor;
+
+    /// Yields the next rank of an open cursor (rank 1 on the first call
+    /// after [`Self::open_cursor`]).  The first yield charges the routed
+    /// open's messages; every further yield is one cursor-advance message.
+    ///
+    /// If the directory epoch moved since the cursor last touched it, the
+    /// cursor is **revalidated lazily**: the yield re-resolves its rank
+    /// against the current quote store (so streamed results always equal
+    /// what [`Self::query_ranked`] would answer), and a cursor that has not
+    /// yet yielded rank 1 re-prices its pending route at the current
+    /// directory size.  Only a change of the overlay *ring* itself would
+    /// force a paid re-open, and ring membership is fixed for a run (churn
+    /// is future work) — so cursor advances charge exactly what the
+    /// query-per-rank model charges, keeping ledger accounting bit-identical.
+    fn cursor_next(&self, cursor: &mut RankCursor) -> TracedQuote;
+
+    /// Records a ranking query that was answered from a GFA-side cache
+    /// ([`crate::cursor::QuoteCache`]) without touching the rank data: bumps
+    /// the same internal statistics — queries served, routed lookups, route
+    /// messages — that a live query at rank `r` would have, so cached runs
+    /// report bit-identical directory telemetry.  `route_messages` is the
+    /// cached cost of the routed open and is only consulted for `r == 1`.
+    fn note_replayed_query(&self, origin: usize, order: RankOrder, r: usize, route_messages: u64);
 
     /// Convenience wrapper around [`Self::query_cheapest`] that discards the
     /// message cost (for tests and benches).  The query is still *served* —

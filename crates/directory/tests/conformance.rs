@@ -6,7 +6,7 @@
 //! `update_price`) or traced-query bookkeeping.  Backends are allowed to
 //! differ only in the *message cost* their queries report.
 
-use grid_directory::{AnyDirectory, DirectoryBackend, FederationDirectory, Quote};
+use grid_directory::{AnyDirectory, DirectoryBackend, FederationDirectory, Quote, RankOrder};
 
 const N: usize = 8;
 
@@ -138,6 +138,48 @@ fn traced_queries_match_untraced_results_and_cost_messages() {
         }
         assert!(dir.query_message_cost() >= 1);
         assert!(dir.queries_served() > 0);
+    });
+}
+
+#[test]
+fn cursors_stream_what_per_rank_queries_answer() {
+    for_both(|backend, dir| {
+        for order in RankOrder::ALL {
+            for origin in [0usize, 3, N - 1] {
+                let mut cursor = dir.open_cursor(origin, order);
+                for r in 1..=N + 1 {
+                    let streamed = dir.cursor_next(&mut cursor);
+                    let fresh = dir.query_ranked(origin, order, r);
+                    assert_eq!(streamed.quote, fresh.quote, "{backend:?} {order:?} rank {r}");
+                    assert_eq!(
+                        streamed.messages, fresh.messages,
+                        "{backend:?} {order:?} rank {r}: cursor charges must equal the oracle's"
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn every_mutation_kind_bumps_the_epoch_exactly_once() {
+    for_both(|backend, mut dir| {
+        let e0 = dir.epoch();
+        dir.update_price(1, 123.0);
+        assert_eq!(dir.epoch(), e0 + 1, "{backend:?}");
+        dir.unsubscribe(1);
+        assert_eq!(dir.epoch(), e0 + 2, "{backend:?}");
+        dir.subscribe(quote(1, 700.0, 2.0));
+        assert_eq!(dir.epoch(), e0 + 3, "{backend:?}");
+        // No-ops on unknown GFAs leave cursors and caches valid.
+        dir.unsubscribe(77);
+        dir.update_price(77, 1.0);
+        assert_eq!(dir.epoch(), e0 + 3, "{backend:?}");
+        // Queries never move the epoch.
+        let _ = dir.query_cheapest(0, 1);
+        let mut cursor = dir.open_cursor(0, RankOrder::Fastest);
+        let _ = dir.cursor_next(&mut cursor);
+        assert_eq!(dir.epoch(), e0 + 3, "{backend:?}");
     });
 }
 

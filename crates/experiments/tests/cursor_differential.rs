@@ -1,0 +1,177 @@
+//! End-to-end differential tests: the GFAs' cursor/cache query path vs. the
+//! query-per-rank oracle, at federation scale.
+//!
+//! [`DirectoryQueryPath::Cursor`] (the default) must be *observationally
+//! invisible*: job outcomes, bank balances, negotiation traffic, directory
+//! charges, per-GFA counters and the exp5 CSV panels all have to come out
+//! bitwise-identical to a run that executes every ranking query from
+//! scratch.  The deterministic test covers the exp5 sweep on both backends;
+//! the property test additionally interleaves scripted departures and
+//! repricings so epoch invalidation (cache resets, stale-cursor
+//! revalidation) is exercised mid-run.
+
+use grid_experiments::exp5;
+use grid_experiments::workloads::{replicated_workloads, WorkloadOptions};
+use grid_federation_core::federation::{
+    run_federation, DirectoryQueryPath, FederationConfig, SchedulingMode,
+};
+use grid_federation_core::{DirectoryBackend, FederationReport};
+use grid_workload::PopulationProfile;
+use proptest::prelude::*;
+
+/// Asserts two reports are bitwise-indistinguishable except for the quote
+/// caches' hit/miss observability counters.
+fn assert_reports_identical(a: &FederationReport, b: &FederationReport, context: &str) {
+    assert_eq!(a.jobs, b.jobs, "{context}: job records diverged");
+    assert_eq!(a.resources, b.resources, "{context}: resource metrics diverged");
+    assert_eq!(a.sim_end.to_bits(), b.sim_end.to_bits(), "{context}: sim end diverged");
+    assert_eq!(a.backend, b.backend);
+    // Message ledger: negotiation and directory accounting, per job and per
+    // GFA.
+    assert_eq!(a.messages.total_messages(), b.messages.total_messages(), "{context}");
+    assert_eq!(a.messages.directory_messages(), b.messages.directory_messages(), "{context}");
+    assert_eq!(
+        a.messages.directory_seconds().to_bits(),
+        b.messages.directory_seconds().to_bits(),
+        "{context}: simulated lookup time diverged"
+    );
+    assert_eq!(a.messages.per_job(), b.messages.per_job(), "{context}");
+    assert_eq!(a.messages.per_job_directory(), b.messages.per_job_directory(), "{context}");
+    assert_eq!(a.messages.all_gfas(), b.messages.all_gfas(), "{context}");
+    // Directory telemetry (served queries, routed-lookup average) must be
+    // replayed exactly by the cache path.
+    assert_eq!(a.directory_queries, b.directory_queries, "{context}");
+    assert_eq!(
+        a.directory_avg_route_messages.to_bits(),
+        b.directory_avg_route_messages.to_bits(),
+        "{context}: route telemetry diverged"
+    );
+    // Bank balances, bitwise.
+    for i in 0..a.resources.len() {
+        assert_eq!(
+            a.bank.earnings(i).to_bits(),
+            b.bank.earnings(i).to_bits(),
+            "{context}: GFA {i} balance diverged"
+        );
+    }
+}
+
+fn run_path(
+    size: usize,
+    profile: PopulationProfile,
+    backend: DirectoryBackend,
+    query_path: DirectoryQueryPath,
+    departures: Vec<(usize, f64)>,
+    repricings: Vec<(usize, f64, f64)>,
+) -> FederationReport {
+    let options = WorkloadOptions::quick();
+    let setup = replicated_workloads(size, profile, &options);
+    run_federation(
+        setup.resources,
+        setup.workloads,
+        FederationConfig {
+            mode: SchedulingMode::Economy,
+            seed: options.seed,
+            utilization_horizon: Some(options.duration),
+            directory: backend,
+            query_path,
+            departures,
+            repricings,
+            ..FederationConfig::default()
+        },
+    )
+}
+
+#[test]
+fn exp5_run_is_bitwise_unchanged_by_the_cursor_path() {
+    for backend in DirectoryBackend::ALL {
+        for oft in [0u32, 50, 100] {
+            let profile = PopulationProfile::new(oft);
+            let cursor = run_path(10, profile, backend, DirectoryQueryPath::Cursor, vec![], vec![]);
+            let oracle = run_path(10, profile, backend, DirectoryQueryPath::PerRank, vec![], vec![]);
+            assert_reports_identical(&cursor, &oracle, &format!("{backend:?} oft={oft}"));
+            // The cursor run actually exercised the cache (the oracle run,
+            // by construction, never touches it).
+            assert!(cursor.directory_cache.hits > 0, "{backend:?}: cache never hit");
+            assert!(cursor.directory_cache.misses > 0);
+            assert_eq!(oracle.directory_cache.hits, 0);
+            assert_eq!(oracle.directory_cache.misses, 0);
+        }
+    }
+}
+
+#[test]
+fn exp5_csv_panels_are_bitwise_unchanged_by_the_cursor_path() {
+    // The acceptance criterion at the rendering layer: every CSV exp5 emits
+    // (Fig. 10/11 panels, directory panels, backend comparison) is rendered
+    // from both query paths and compared as strings.
+    let sizes = [8usize, 12];
+    let profiles = [PopulationProfile::new(50)];
+    let render = |query_path: DirectoryQueryPath| -> Vec<(String, String)> {
+        let sweeps: Vec<exp5::ScalabilitySweep> = DirectoryBackend::ALL
+            .iter()
+            .map(|&backend| {
+                let reports: Vec<Vec<FederationReport>> = sizes
+                    .iter()
+                    .map(|&size| {
+                        profiles
+                            .iter()
+                            .map(|&p| run_path(size, p, backend, query_path, vec![], vec![]))
+                            .collect()
+                    })
+                    .collect();
+                exp5::ScalabilitySweep {
+                    backend,
+                    sizes: sizes.to_vec(),
+                    profiles: profiles.to_vec(),
+                    reports,
+                }
+            })
+            .collect();
+        exp5::render_all_csvs(&sweeps)
+    };
+    let cursor_csvs = render(DirectoryQueryPath::Cursor);
+    let oracle_csvs = render(DirectoryQueryPath::PerRank);
+    assert_eq!(cursor_csvs.len(), oracle_csvs.len());
+    for ((name_a, csv_a), (name_b, csv_b)) in cursor_csvs.iter().zip(&oracle_csvs) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(csv_a, csv_b, "CSV '{name_a}' diverged between query paths");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Scripted departures and repricings bump the directory epoch mid-run;
+    /// cache resets and stale-cursor revalidation must stay invisible in
+    /// the report, bit for bit, on both backends.
+    #[test]
+    fn mutating_runs_are_bitwise_unchanged_by_the_cursor_path(
+        oft in 0u32..=100,
+        departer in 0usize..8,
+        depart_frac in 0.1f64..0.9,
+        repricer in 0usize..8,
+        reprice_frac in 0.1f64..0.9,
+        new_price in 0.2f64..12.0,
+        second_reprice in 0.05f64..6.0,
+        chord in proptest::bool::ANY,
+    ) {
+        let backend = if chord { DirectoryBackend::Chord } else { DirectoryBackend::Ideal };
+        let duration = WorkloadOptions::quick().duration;
+        let departures = vec![(departer, depart_frac * duration)];
+        let repricings = vec![
+            (repricer, reprice_frac * duration, new_price),
+            (repricer, (reprice_frac * 0.5 + 0.5) * duration, second_reprice),
+        ];
+        let profile = PopulationProfile::new(oft);
+        let cursor = run_path(
+            8, profile, backend, DirectoryQueryPath::Cursor,
+            departures.clone(), repricings.clone(),
+        );
+        let oracle = run_path(
+            8, profile, backend, DirectoryQueryPath::PerRank,
+            departures, repricings,
+        );
+        assert_reports_identical(&cursor, &oracle, &format!("{backend:?} oft={oft}"));
+    }
+}

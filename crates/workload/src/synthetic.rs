@@ -174,7 +174,7 @@ impl SyntheticWorkloadConfig {
         let mut submits: Vec<f64> = (0..self.total_jobs)
             .map(|_| self.sample_arrival(&mut rng))
             .collect();
-        submits.sort_by(|a, b| a.partial_cmp(b).expect("arrival times are finite"));
+        submits.sort_by(f64::total_cmp);
 
         // --- 2. processor requests ------------------------------------------
         let processors: Vec<u32> = (0..self.total_jobs)
