@@ -14,8 +14,12 @@
 //!   128-job queue, for both LRMS policies (answers are asserted
 //!   bit-identical while measuring);
 //! * **directory ranking**: ns/rank of the streaming cursor (routed open
-//!   vs. O(1) advance) against the query-per-rank oracle at n = 50, on both
-//!   backends — quotes are asserted identical while measuring;
+//!   vs. O(1) advance) against the query-per-rank oracle at n = 50, on all
+//!   three backends (ideal, chord, and the distributed MAAN range index) —
+//!   quotes are asserted identical while measuring;
+//! * **workload generation**: jobs/sec of building a replicated Experiment-5
+//!   federation's synthetic traces (informational — tracked for the perf
+//!   trajectory, not yet gated);
 //! * **parallel sweep**: wall-clock of the Experiment 5 smoke sweep run
 //!   sequentially vs. with `--jobs N`, asserting the rendered CSVs are
 //!   **bitwise-identical** (the determinism gate CI relies on).
@@ -33,7 +37,7 @@ use grid_des::{BinaryHeapEventQueue, Context, Entity, EntityId, Event, EventKind
 use grid_bench::populated_directory;
 use grid_directory::{FederationDirectory, RankOrder};
 use grid_experiments::exp5::{self, ScalabilitySweep};
-use grid_experiments::workloads::WorkloadOptions;
+use grid_experiments::workloads::{replicated_workloads, WorkloadOptions};
 use grid_federation_core::{DirectoryBackend, FedMessage};
 use grid_workload::{JobId, PopulationProfile};
 
@@ -342,14 +346,14 @@ fn main() {
         (100_000, 200_000, 20_000, 500_000)
     };
 
-    eprintln!("[1/5] event queue layouts ({queue_events} events, FedMessage payload)…");
+    eprintln!("[1/6] event queue layouts ({queue_events} events, FedMessage payload)…");
     let dary_eps = bench_dary_queue(queue_events);
     let binary_eps = bench_binary_heap_queue(queue_events);
 
-    eprintln!("[2/5] engine dispatch ({dispatch_events} timer events)…");
+    eprintln!("[2/6] engine dispatch ({dispatch_events} timer events)…");
     let dispatch_eps = bench_dispatch(dispatch_events);
 
-    eprintln!("[3/5] admission-control estimator ({quotes} quotes, 128-job queue)…");
+    eprintln!("[3/6] admission-control estimator ({quotes} quotes, 128-job queue)…");
     let fcfs = loaded(SpaceSharedFcfs::new(128));
     let (fcfs_inc, fcfs_rep) =
         bench_estimator(&fcfs, quotes, |s, p, t, now| s.estimate_completion_replay(p, t, now));
@@ -357,11 +361,27 @@ fn main() {
     let (easy_inc, easy_rep) =
         bench_estimator(&easy, quotes, |s, p, t, now| s.estimate_completion_replay(p, t, now));
 
-    eprintln!("[4/5] directory ranking ({ranks} ranks, n = {DIRECTORY_N}, both backends)…");
+    eprintln!("[4/6] directory ranking ({ranks} ranks, n = {DIRECTORY_N}, all three backends)…");
     let dir_ideal = bench_directory(DirectoryBackend::Ideal, DIRECTORY_N, ranks);
     let dir_chord = bench_directory(DirectoryBackend::Chord, DIRECTORY_N, ranks);
+    let dir_maan = bench_directory(DirectoryBackend::Maan, DIRECTORY_N, ranks);
 
-    eprintln!("[5/5] exp5 smoke sweep: sequential vs --jobs {}…", args.jobs);
+    eprintln!("[5/6] workload generation (replicated exp5 federation)…");
+    let workload_size = 20usize;
+    let workload_profile = PopulationProfile::new(50);
+    let workload_options = WorkloadOptions::quick();
+    let workload_reps = if args.smoke { 2 } else { 5 };
+    let mut workload_jobs = 0usize;
+    let workload_secs = best_of(workload_reps, || {
+        let (secs, setup) =
+            timed(|| replicated_workloads(workload_size, workload_profile, &workload_options));
+        workload_jobs = setup.total_jobs();
+        std::hint::black_box(&setup);
+        secs
+    });
+    let workload_jobs_per_sec = workload_jobs as f64 / workload_secs;
+
+    eprintln!("[6/6] exp5 smoke sweep: sequential vs --jobs {}…", args.jobs);
     let options = WorkloadOptions::quick();
     // Full mode uses a 3×3 grid so the pool has enough comparable points to
     // show its scaling; smoke keeps the CI-sized 2×1 grid.
@@ -397,7 +417,7 @@ fn main() {
         "estimator: FCFS {fcfs_inc:.0} ns/quote vs replay {fcfs_rep:.0} ns/quote ({fcfs_speedup:.1}x); \
          EASY {easy_inc:.0} ns/quote vs replay {easy_rep:.0} ns/quote ({easy_speedup:.1}x)"
     );
-    for (label, perf) in [("ideal", &dir_ideal), ("chord", &dir_chord)] {
+    for (label, perf) in [("ideal", &dir_ideal), ("chord", &dir_chord), ("maan", &dir_maan)] {
         eprintln!(
             "directory[{label}]: fresh routed query {:.1} ns vs cursor open {:.1} ns, \
              advance {:.1} ns ({:.1}x cheaper than a fresh query), legacy rank-r {:.1} ns",
@@ -408,6 +428,10 @@ fn main() {
             perf.legacy_rank_ns,
         );
     }
+    eprintln!(
+        "workload generation: {workload_jobs} jobs (n = {workload_size}) in {workload_secs:.3}s \
+         = {workload_jobs_per_sec:.0} jobs/s"
+    );
     eprintln!(
         "sweep: sequential {seq_secs:.2}s vs --jobs {} {par_secs:.2}s ({sweep_speedup:.2}x), CSVs bitwise-identical",
         args.jobs
@@ -440,7 +464,8 @@ fn main() {
     let _ = writeln!(json, "  \"directory\": {{");
     let _ = writeln!(json, "    \"n\": {DIRECTORY_N},");
     let _ = writeln!(json, "    \"ranks\": {ranks},");
-    for (i, (label, perf)) in [("ideal", &dir_ideal), ("chord", &dir_chord)].iter().enumerate() {
+    let backends = [("ideal", &dir_ideal), ("chord", &dir_chord), ("maan", &dir_maan)];
+    for (i, (label, perf)) in backends.iter().enumerate() {
         let _ = writeln!(json, "    \"{label}\": {{");
         let _ = writeln!(json, "      \"fresh_query_ns\": {},", json_num(perf.fresh_query_ns));
         let _ = writeln!(json, "      \"open_ns\": {},", json_num(perf.open_ns));
@@ -451,8 +476,13 @@ fn main() {
             "      \"fresh_vs_advance_speedup\": {}",
             json_num(perf.fresh_query_ns / perf.advance_ns)
         );
-        let _ = writeln!(json, "    }}{}", if i == 0 { "," } else { "" });
+        let _ = writeln!(json, "    }}{}", if i + 1 < backends.len() { "," } else { "" });
     }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"workload\": {{");
+    let _ = writeln!(json, "    \"federation_size\": {workload_size},");
+    let _ = writeln!(json, "    \"jobs\": {workload_jobs},");
+    let _ = writeln!(json, "    \"jobs_per_sec\": {}", json_num(workload_jobs_per_sec));
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"sweep\": {{");
     // Context for the speedup figure: on a single-core host the parallel

@@ -8,9 +8,10 @@
 //!   `easy_incremental_ns_per_quote`) — lower is better;
 //! * **event-queue events/s** (`dary_index_heap_events_per_sec`) — higher
 //!   is better;
-//! * **directory cursor-advance ns/rank** (`advance_ns`, both backends) —
-//!   lower is better, gated so the cursor path cannot silently decay back
-//!   into query-per-rank costs.
+//! * **directory cursor-advance ns/rank** (`advance_ns`, all three
+//!   backends including the distributed MAAN range index) — lower is
+//!   better, gated so the cursor path cannot silently decay back into
+//!   query-per-rank costs.
 //!
 //! The gated figures are *absolute* per-op numbers, so the comparison is
 //! only meaningful when baseline and current ran on comparable hardware.
@@ -129,7 +130,7 @@ struct Gate {
     direction: Direction,
 }
 
-const GATES: [Gate; 5] = [
+const GATES: [Gate; 6] = [
     Gate {
         label: "event queue (4-ary heap events/s)",
         anchor: None,
@@ -157,6 +158,12 @@ const GATES: [Gate; 5] = [
     Gate {
         label: "directory chord cursor advance (ns/rank)",
         anchor: Some("chord"),
+        key: "advance_ns",
+        direction: Direction::LowerIsBetter,
+    },
+    Gate {
+        label: "directory maan cursor advance (ns/rank)",
+        anchor: Some("maan"),
         key: "advance_ns",
         direction: Direction::LowerIsBetter,
     },
@@ -207,6 +214,19 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("perf gate FAILED: {}", failures.join("; "));
+        // The gate compares absolute per-op numbers, so a failure on a host
+        // that differs from the baseline host may be the cross-host caveat
+        // (see the module docs), not a code regression.  Print the exact
+        // command that rebuilds the baseline *here*, so the fix is
+        // copy-pasteable.
+        eprintln!(
+            "if this host is not comparable to the baseline host, regenerate the baseline on it:"
+        );
+        eprintln!(
+            "    cargo run --release --bin bench_perf -- --out {}",
+            args.baseline
+        );
+        eprintln!("then commit the refreshed {} with the change that moved the numbers", args.baseline);
         ExitCode::FAILURE
     }
 }
@@ -223,7 +243,8 @@ mod tests {
   },
   "directory": {
     "ideal": { "advance_ns": 2.00, "fresh_query_ns": 14.00 },
-    "chord": { "advance_ns": 2.50, "fresh_query_ns": 60.00 }
+    "chord": { "advance_ns": 2.50, "fresh_query_ns": 60.00 },
+    "maan": { "advance_ns": 3.00, "fresh_query_ns": 70.00 }
   }
 }"#;
 

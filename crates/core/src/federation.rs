@@ -131,6 +131,13 @@ pub struct FederationConfig {
     /// primitive and charges the new price for subsequently accepted jobs.
     /// Empty by default.
     pub repricings: Vec<(usize, f64, f64)>,
+    /// Whether publish-side directory traffic — the routed
+    /// put/remove/move messages `subscribe` / `unsubscribe` /
+    /// `update_price` cost under a distributed backend like
+    /// [`DirectoryBackend::Maan`] — is accounted into the ledger's
+    /// `publish` class (initial subscriptions included).  Defaults to
+    /// `true`; the centrally-stored backends publish for free either way.
+    pub charge_publish_traffic: bool,
 }
 
 impl Default for FederationConfig {
@@ -147,6 +154,7 @@ impl Default for FederationConfig {
             query_path: DirectoryQueryPath::Cursor,
             departures: Vec::new(),
             repricings: Vec::new(),
+            charge_publish_traffic: true,
         }
     }
 }
@@ -273,15 +281,22 @@ impl FederationBuilder {
 
         // Decorrelate the overlay's ring placement from the workload seed.
         let mut directory = config.directory.build(n, config.seed ^ 0xD1EC_70B5_EED5_EED5);
+        let mut ledger = MessageLedger::new(n);
         for (i, spec) in resources.iter().enumerate() {
-            directory.subscribe(Quote::from_spec(i, spec));
+            // The initial publish: under a distributed backend the quote is
+            // routed to the nodes owning its attribute keys, and that
+            // traffic is accounted in the ledger's publish class.
+            let publish = directory.subscribe(Quote::from_spec(i, spec));
+            if config.charge_publish_traffic && publish > 0 {
+                ledger.record_publish(i, publish, publish as f64 * config.latency);
+            }
         }
 
         let total_jobs: usize = workloads.iter().map(Vec::len).sum();
         let shared = Rc::new(RefCell::new(SharedState {
             directory,
             bank: GridBank::new(n),
-            ledger: MessageLedger::new(n),
+            ledger,
             jobs: Vec::with_capacity(total_jobs),
             resource_snapshots: vec![None; n],
             remote_processed: vec![0; n],
@@ -318,6 +333,7 @@ impl FederationBuilder {
                 std::mem::take(&mut workloads[i]),
                 schedule,
                 config.query_path,
+                config.charge_publish_traffic,
                 Rc::clone(&shared),
             );
             let id = sim.add_entity(Box::new(gfa));
@@ -669,6 +685,71 @@ mod tests {
         assert!(ideal.messages.directory_messages() > 0);
         assert!(chord.messages.directory_messages() > 0);
         assert!(chord.messages.directory_seconds() > 0.0);
+    }
+
+    #[test]
+    fn maan_backend_matches_ideal_outcomes_and_charges_publish_traffic() {
+        // The distributed backend must be outcome-invisible: identical jobs,
+        // negotiation traffic and balances — while being the only backend
+        // that accounts publish-side traffic (initial subscribes, the
+        // scripted departure's routed removes, the repricing's routed move).
+        let resources = two_resources();
+        let make = || {
+            vec![
+                (0..6)
+                    .map(|i| job(0, i, i as f64 * 40.0, 4, 150.0, if i % 2 == 0 { Strategy::Oft } else { Strategy::Ofc }))
+                    .collect::<Vec<_>>(),
+                vec![job(1, 0, 0.0, 8, 120.0, Strategy::Ofc)],
+            ]
+        };
+        let with_scripts = |backend| FederationConfig {
+            departures: vec![(1, 500.0)],
+            repricings: vec![(0, 200.0, 1.5)],
+            ..FederationConfig::with_backend(backend)
+        };
+        let ideal = run_federation(resources.clone(), make(), with_scripts(DirectoryBackend::Ideal));
+        let maan = run_federation(resources.clone(), make(), with_scripts(DirectoryBackend::Maan));
+        assert_eq!(maan.backend, DirectoryBackend::Maan);
+        assert_eq!(ideal.jobs.len(), maan.jobs.len());
+        for (a, b) in ideal.jobs.iter().zip(&maan.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.messages, b.messages);
+        }
+        assert_eq!(ideal.messages.total_messages(), maan.messages.total_messages());
+        for i in 0..2 {
+            assert!((ideal.bank.earnings(i) - maan.bank.earnings(i)).abs() < 1e-12);
+        }
+        // Publish traffic: MAAN routed 2 initial puts + a departure's
+        // removes + a repricing's move; the central backends publish free.
+        assert_eq!(ideal.directory_publish_messages(), 0);
+        assert!(
+            maan.directory_publish_messages() >= 5,
+            "2 subscribes + unsubscribe + reprice must route publish messages (got {})",
+            maan.directory_publish_messages()
+        );
+        assert!(maan.messages.publish_seconds() > 0.0);
+        assert!(maan.avg_publish_messages_per_gfa() > 0.0);
+        assert_eq!(
+            maan.messages.gfa(0).publish + maan.messages.gfa(1).publish,
+            maan.directory_publish_messages()
+        );
+
+        // The knob: turning the class off zeroes the ledger without
+        // touching outcomes.
+        let uncharged = run_federation(
+            resources,
+            make(),
+            FederationConfig {
+                charge_publish_traffic: false,
+                ..with_scripts(DirectoryBackend::Maan)
+            },
+        );
+        assert_eq!(uncharged.directory_publish_messages(), 0);
+        assert_eq!(uncharged.jobs.len(), maan.jobs.len());
+        for (a, b) in uncharged.jobs.iter().zip(&maan.jobs) {
+            assert_eq!(a.outcome, b.outcome);
+        }
     }
 
     #[test]

@@ -120,6 +120,9 @@ pub struct Gfa {
     departed: bool,
     /// How ranking queries execute (cursor-streamed or per-rank oracle).
     query_path: DirectoryQueryPath,
+    /// Whether publish-side directory traffic (routed `unsubscribe` /
+    /// `update_price` operations) is accounted into the ledger.
+    charge_publish: bool,
     /// Epoch-keyed memo of quotes this GFA already streamed from the
     /// directory; invalidated automatically when the directory mutates.
     quote_cache: QuoteCache,
@@ -152,6 +155,7 @@ impl Gfa {
         local_jobs: Vec<Job>,
         schedule: GfaSchedule,
         query_path: DirectoryQueryPath,
+        charge_publish: bool,
         shared: Rc<RefCell<SharedState>>,
     ) -> Self {
         let name = format!("gfa-{index}-{}", spec.name);
@@ -167,6 +171,7 @@ impl Gfa {
             schedule,
             departed: false,
             query_path,
+            charge_publish,
             quote_cache: QuoteCache::new(),
             shared,
             pending: HashMap::new(),
@@ -738,22 +743,41 @@ impl Gfa {
         shared.jobs.push(record);
     }
 
+    /// Accounts the publish-side message cost of a quote mutation into the
+    /// ledger (messages × latency of simulated network time), mirroring how
+    /// query-side directory traffic is charged.  Free mutations (the
+    /// centrally-stored backends, or no-ops) record nothing.
+    fn record_publish(shared: &mut SharedState, gfa: usize, messages: u64, latency: f64, charge: bool) {
+        if charge && messages > 0 {
+            shared
+                .ledger
+                .record_publish(gfa, messages, messages as f64 * latency);
+        }
+    }
+
     /// Handles this GFA's scripted departure: withdraws the quote via the
-    /// directory's `unsubscribe` primitive and stops admitting new work.
+    /// directory's `unsubscribe` primitive — under a distributed backend a
+    /// routed remove per attribute entry, charged as publish traffic — and
+    /// stops admitting new work.
     fn on_depart(&mut self) {
         self.departed = true;
-        self.shared.borrow_mut().directory.unsubscribe(self.index);
+        let mut shared = self.shared.borrow_mut();
+        let messages = shared.directory.unsubscribe(self.index);
+        Self::record_publish(&mut shared, self.index, messages, self.latency, self.charge_publish);
     }
 
     /// Handles a scripted re-pricing: republishes the access price through
-    /// the directory's `update_price` primitive and charges the new price
-    /// for subsequently accepted jobs.
+    /// the directory's `update_price` primitive — under a distributed
+    /// backend a routed *move* of the price entry, charged as publish
+    /// traffic — and charges the new price for subsequently accepted jobs.
     fn on_reprice(&mut self, price: f64) {
         if self.departed {
             return;
         }
         self.spec.price = price;
-        self.shared.borrow_mut().directory.update_price(self.index, price);
+        let mut shared = self.shared.borrow_mut();
+        let messages = shared.directory.update_price(self.index, price);
+        Self::record_publish(&mut shared, self.index, messages, self.latency, self.charge_publish);
     }
 }
 

@@ -129,6 +129,12 @@ pub struct GfaMessageCounters {
     /// Directory messages this GFA's ranking queries cost.  Kept out of
     /// `local`/`remote` so the negotiation panels remain comparable.
     pub directory: u64,
+    /// Publish-side directory messages this GFA's quote mutations cost —
+    /// the routed put/remove/move operations of `subscribe`, `unsubscribe`
+    /// and `update_price` under a distributed backend (always zero under
+    /// the centrally-stored `Ideal`/`Chord` backends).  Its own traffic
+    /// class, kept out of both the negotiation counters and `directory`.
+    pub publish: u64,
 }
 
 impl GfaMessageCounters {
@@ -161,6 +167,8 @@ pub struct MessageLedger {
     total: u64,
     directory_total: u64,
     directory_seconds: f64,
+    publish_total: u64,
+    publish_seconds: f64,
 }
 
 impl MessageLedger {
@@ -174,6 +182,8 @@ impl MessageLedger {
             total: 0,
             directory_total: 0,
             directory_seconds: 0.0,
+            publish_total: 0,
+            publish_seconds: 0.0,
         }
     }
 
@@ -216,6 +226,25 @@ impl MessageLedger {
         self.per_gfa[origin].directory += messages;
         self.directory_total += messages;
         self.directory_seconds += seconds;
+    }
+
+    /// Records publish-side directory traffic: a quote mutation
+    /// (`subscribe` / `unsubscribe` / `update_price`) issued by `origin`
+    /// whose routed put/remove/move operations cost `messages` overlay
+    /// messages and `seconds` of simulated network time.  A third traffic
+    /// class, accounted separately from both the negotiation messages and
+    /// the query-side `directory` class.
+    ///
+    /// # Panics
+    /// Panics if the GFA index is out of range.
+    pub fn record_publish(&mut self, origin: usize, messages: u64, seconds: f64) {
+        assert!(
+            origin < self.per_gfa.len(),
+            "unknown GFA in publish record ({origin})"
+        );
+        self.per_gfa[origin].publish += messages;
+        self.publish_total += messages;
+        self.publish_seconds += seconds;
     }
 
     /// Records the final per-job message counts once the job's scheduling
@@ -272,6 +301,21 @@ impl MessageLedger {
     #[must_use]
     pub fn directory_seconds(&self) -> f64 {
         self.directory_seconds
+    }
+
+    /// Total publish-side directory messages spent on quote mutations
+    /// (routed puts/removes/moves; zero under centrally-stored backends).
+    #[must_use]
+    pub fn publish_messages(&self) -> u64 {
+        self.publish_total
+    }
+
+    /// Total simulated time (seconds) the publish-side traffic represents
+    /// (messages × latency), accounted out-of-band like
+    /// [`Self::directory_seconds`].
+    #[must_use]
+    pub fn publish_seconds(&self) -> f64 {
+        self.publish_seconds
     }
 
     fn summary(entries: &[(JobId, u32)]) -> (u32, f64, u32) {
@@ -403,6 +447,31 @@ mod tests {
         // Empty ledger edge case.
         assert_eq!(MessageLedger::new(1).per_job_directory_summary(), (0, 0.0, 0));
         assert_eq!(MessageLedger::new(1).directory_messages(), 0);
+    }
+
+    #[test]
+    fn publish_traffic_is_a_third_class() {
+        let mut ledger = MessageLedger::new(2);
+        ledger.record(MessageType::Negotiate, 0, 1);
+        ledger.record_directory(0, 3, 0.15);
+        ledger.record_publish(1, 4, 0.20);
+        ledger.record_publish(1, 2, 0.10);
+        // Neither the negotiation counters nor the query-side directory
+        // class move.
+        assert_eq!(ledger.total_messages(), 1);
+        assert_eq!(ledger.directory_messages(), 3);
+        assert_eq!(ledger.gfa(1).publish, 6);
+        assert_eq!(ledger.gfa(0).publish, 0);
+        assert_eq!(ledger.publish_messages(), 6);
+        assert!((ledger.publish_seconds() - 0.30).abs() < 1e-12);
+        assert_eq!(MessageLedger::new(1).publish_messages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown GFA in publish record")]
+    fn out_of_range_publish_record_panics() {
+        let mut ledger = MessageLedger::new(1);
+        ledger.record_publish(2, 1, 0.05);
     }
 
     #[test]

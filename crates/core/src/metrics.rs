@@ -350,6 +350,26 @@ impl FederationReport {
         }
     }
 
+    /// Total publish-side directory messages of the run — the routed
+    /// put/remove/move traffic of `subscribe` / `unsubscribe` /
+    /// `update_price` under a distributed backend (zero under the
+    /// centrally-stored backends).  Convenience accessor for
+    /// [`MessageLedger::publish_messages`].
+    #[must_use]
+    pub fn directory_publish_messages(&self) -> u64 {
+        self.messages.publish_messages()
+    }
+
+    /// Average publish-side directory messages per GFA.
+    #[must_use]
+    pub fn avg_publish_messages_per_gfa(&self) -> f64 {
+        if self.resources.is_empty() {
+            0.0
+        } else {
+            self.messages.publish_messages() as f64 / self.resources.len() as f64
+        }
+    }
+
     /// Fraction of accepted jobs whose QoS (budget **and** deadline) was met.
     #[must_use]
     pub fn qos_satisfaction_rate(&self) -> f64 {

@@ -192,6 +192,31 @@ impl ChordOverlay {
         }
     }
 
+    /// Number of *walk arcs*: the ring's ownership sub-ranges enumerated in
+    /// ascending key order.  Arc `0` is `[0, id₀]` (owned by the first ring
+    /// node), arc `j` is `(id_{j-1}, id_j]`, and arc `n` is the wrap range
+    /// `(id_{n-1}, u64::MAX]` — owned by the first ring node again, which is
+    /// why there is one more arc than nodes.  Range walks (MAAN-style
+    /// successor traversals) step through arcs; the arc distance between two
+    /// keys is the number of successor hops between their owners.
+    #[must_use]
+    pub fn walk_arcs(&self) -> usize {
+        self.nodes.len() + 1
+    }
+
+    /// The walk-arc index of `key` (monotone in `key`; see
+    /// [`Self::walk_arcs`]).
+    #[must_use]
+    pub fn walk_arc_of(&self, key: u64) -> usize {
+        self.ring_order.partition_point(|&i| self.nodes[i].id < key)
+    }
+
+    /// The GFA owning walk arc `arc`.
+    #[must_use]
+    pub fn walk_arc_owner(&self, arc: usize) -> usize {
+        self.nodes[self.ring_order[arc % self.ring_order.len()]].gfa
+    }
+
     /// Average hops over a deterministic sample of `samples` random lookups,
     /// used by tests and the directory ablation bench.
     #[must_use]
@@ -339,14 +364,17 @@ impl ChordDirectory {
 }
 
 impl FederationDirectory for ChordDirectory {
-    fn subscribe(&mut self, quote: Quote) {
-        self.exact.subscribe(quote);
+    // Like the ideal backend, the quote store is central (only query routing
+    // is measured), so mutations charge no publish-side messages.
+
+    fn subscribe(&mut self, quote: Quote) -> u64 {
+        self.exact.subscribe(quote)
     }
-    fn unsubscribe(&mut self, gfa: usize) {
-        self.exact.unsubscribe(gfa);
+    fn unsubscribe(&mut self, gfa: usize) -> u64 {
+        self.exact.unsubscribe(gfa)
     }
-    fn update_price(&mut self, gfa: usize, price: f64) {
-        self.exact.update_price(gfa, price);
+    fn update_price(&mut self, gfa: usize, price: f64) -> u64 {
+        self.exact.update_price(gfa, price)
     }
     fn query_cheapest(&self, origin: usize, r: usize) -> TracedQuote {
         if r == 0 {
@@ -555,6 +583,30 @@ mod tests {
         assert!(dir.average_hops_per_query() >= 1.0);
         assert!(dir.query_message_cost() >= 1);
         assert!(!dir.overlay().is_empty());
+    }
+
+    #[test]
+    fn walk_arcs_agree_with_ownership() {
+        for n in [1usize, 2, 5, 16] {
+            let overlay = ChordOverlay::new(n, 77);
+            assert_eq!(overlay.walk_arcs(), n + 1);
+            let mut last_arc = 0usize;
+            for probe in 0..400u64 {
+                let key = (u64::MAX / 400) * probe;
+                let arc = overlay.walk_arc_of(key);
+                assert!(arc >= last_arc || probe == 0, "arcs must be monotone in the key");
+                last_arc = arc;
+                assert!(arc <= n, "n={n}: arc {arc} out of range");
+                assert_eq!(
+                    overlay.walk_arc_owner(arc),
+                    overlay.owner_of(key),
+                    "n={n}: arc owner disagrees with the ring successor for key {key}"
+                );
+            }
+            // The wrap arc belongs to the first ring node.
+            assert_eq!(overlay.walk_arc_owner(n), overlay.walk_arc_owner(0));
+            assert_eq!(overlay.walk_arc_of(0), 0);
+        }
     }
 
     #[test]

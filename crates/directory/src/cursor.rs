@@ -17,7 +17,7 @@
 //! mutation — `subscribe`, `unsubscribe`, `update_price` — bumps the epoch
 //! and lazily invalidates both cursors and caches.
 
-use crate::quote::{FederationDirectory, Quote, RankOrder, TracedQuote};
+use crate::quote::{FederationDirectory, RankOrder, TracedQuote};
 
 /// A streaming cursor over one ranking of the federation directory.
 ///
@@ -131,13 +131,13 @@ impl CacheStats {
 /// One ranking's cached prefix.
 #[derive(Debug, Clone, Default)]
 struct OrderCache {
-    /// Messages the routed open of this ranking cost at the cache's epoch
-    /// (`None` until rank 1 was streamed this epoch).
-    route_messages: Option<u64>,
-    /// `ranks[r - 1]`: `None` = not yet resolved this epoch; `Some(answer)`
-    /// = resolved, where the inner `None` means "past the end of the
-    /// directory".
-    ranks: Vec<Option<Option<Quote>>>,
+    /// `ranks[r - 1]`: `None` = not yet resolved this epoch;
+    /// `Some(traced)` = resolved — the quote (whose inner `None` means
+    /// "past the end of the directory") **and** the message charge the live
+    /// stream paid for that rank.  The charge is cached per rank because it
+    /// is not a constant: rank 1 carries the routed open, and MAAN range
+    /// walks charge extra messages on advances that cross node boundaries.
+    ranks: Vec<Option<TracedQuote>>,
 }
 
 /// A per-GFA memo of quotes streamed from the directory, keyed by
@@ -202,22 +202,18 @@ impl QuoteCache {
             // `cursor_next`, so they are left in place.
             self.epoch = Some(epoch);
             for oc in &mut self.orders {
-                oc.route_messages = None;
                 oc.ranks.clear();
             }
         }
 
         let oc = &mut self.orders[order.index()];
         if let Some(answer) = oc.ranks.get(r - 1).copied().flatten() {
-            let messages = if r == 1 {
-                oc.route_messages
-                    .expect("a cached rank 1 always caches its route cost")
-            } else {
-                1
-            };
-            dir.note_replayed_query(origin, order, r, messages);
+            // Replay the exact charge the live stream paid for this rank at
+            // this epoch (charges are deterministic per epoch, so the memo
+            // cannot go stale without the epoch moving first).
+            dir.note_replayed_query(origin, order, r, answer.messages);
             self.stats.hits += 1;
-            return TracedQuote { quote: answer, messages };
+            return answer;
         }
 
         // Miss: stream the rank through the job's cursor.
@@ -247,10 +243,7 @@ impl QuoteCache {
         if oc.ranks.len() < r {
             oc.ranks.resize(r, None);
         }
-        oc.ranks[r - 1] = Some(traced.quote);
-        if r == 1 {
-            oc.route_messages = Some(traced.messages);
-        }
+        oc.ranks[r - 1] = Some(traced);
         traced
     }
 }
@@ -259,6 +252,7 @@ impl QuoteCache {
 mod tests {
     use super::*;
     use crate::backend::DirectoryBackend;
+    use crate::quote::Quote;
 
     fn quote(gfa: usize, mips: f64, price: f64) -> Quote {
         Quote {
@@ -289,11 +283,11 @@ mod tests {
                     let streamed = dir.cursor_next(&mut cursor);
                     let fresh = dir.query_ranked(4, order, r);
                     assert_eq!(streamed.quote, fresh.quote, "{backend:?} {order:?} rank {r}");
-                    if r == 1 {
-                        assert!(streamed.messages >= 1);
-                    } else {
-                        assert_eq!(streamed.messages, 1, "advances cost one message");
-                    }
+                    assert_eq!(
+                        streamed.messages, fresh.messages,
+                        "{backend:?} {order:?} rank {r}: cursor charges must equal the oracle's"
+                    );
+                    assert!(streamed.messages >= 1);
                     assert_eq!(cursor.next_rank(), r + 1);
                 }
                 // Rank 10 of a 9-GFA directory is past the end.
@@ -314,8 +308,13 @@ mod tests {
             let old_head = head.quote.unwrap().gfa;
             dir.update_price(old_head, 1_000.0);
             let next = dir.cursor_next(&mut cursor);
-            assert_eq!(next.quote, dir.query_ranked(0, RankOrder::Cheapest, 2).quote, "{backend:?}");
-            assert_eq!(next.messages, 1, "lazy revalidation is not a paid re-route");
+            let fresh = dir.query_ranked(0, RankOrder::Cheapest, 2);
+            assert_eq!(next.quote, fresh.quote, "{backend:?}");
+            assert_eq!(
+                next.messages, fresh.messages,
+                "{backend:?}: lazy revalidation is not a paid re-route — it charges the \
+                 same advance the oracle charges"
+            );
         }
     }
 
@@ -382,9 +381,15 @@ mod tests {
             let mut oracle_dir = populated(backend, 8);
             let mut cache = QuoteCache::new();
             let mutate: [&dyn Fn(&mut crate::backend::AnyDirectory); 3] = [
-                &|d| d.update_price(2, 0.05),
-                &|d| d.unsubscribe(5),
-                &|d| d.subscribe(Quote { gfa: 5, processors: 8, mips: 9_000.0, bandwidth: 1.0, price: 9.0 }),
+                &|d| {
+                    d.update_price(2, 0.05);
+                },
+                &|d| {
+                    d.unsubscribe(5);
+                },
+                &|d| {
+                    d.subscribe(Quote { gfa: 5, processors: 8, mips: 9_000.0, bandwidth: 1.0, price: 9.0 });
+                },
             ];
             for (step, m) in mutate.iter().enumerate() {
                 let mut cursor = None;

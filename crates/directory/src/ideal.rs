@@ -151,7 +151,10 @@ impl IdealDirectory {
 }
 
 impl FederationDirectory for IdealDirectory {
-    fn subscribe(&mut self, quote: Quote) {
+    // The mutators return the publish-side message cost; the ideal model
+    // keeps the quote store central, so every mutation is free (0).
+
+    fn subscribe(&mut self, quote: Quote) -> u64 {
         if let Some(existing) = self.quotes.iter_mut().find(|q| q.gfa == quote.gfa) {
             *existing = quote;
         } else {
@@ -160,22 +163,24 @@ impl FederationDirectory for IdealDirectory {
         self.dirty = true;
         self.rebuild_if_dirty();
         self.epoch += 1;
+        0
     }
 
-    fn unsubscribe(&mut self, gfa: usize) {
+    fn unsubscribe(&mut self, gfa: usize) -> u64 {
         let before = self.quotes.len();
         self.quotes.retain(|q| q.gfa != gfa);
         if self.quotes.len() == before {
-            return; // unknown GFA: nothing changed, keep caches valid
+            return 0; // unknown GFA: nothing changed, keep caches valid
         }
         self.dirty = true;
         self.rebuild_if_dirty();
         self.epoch += 1;
+        0
     }
 
-    fn update_price(&mut self, gfa: usize, price: f64) {
+    fn update_price(&mut self, gfa: usize, price: f64) -> u64 {
         let Some(qi) = self.quotes.iter().position(|q| q.gfa == gfa) else {
-            return;
+            return 0;
         };
         debug_assert!(!self.dirty, "rank orders are maintained eagerly across mutations");
         let old_price = self.quotes[qi].price;
@@ -183,7 +188,7 @@ impl FederationDirectory for IdealDirectory {
             // Repricing to the identical price changes nothing observable:
             // skip the reposition *and* the epoch bump, so open cursors and
             // GFA quote caches across the whole federation stay valid.
-            return;
+            return 0;
         }
         // Single reposition in the price order — the speed order does not
         // depend on the price and is left untouched.  Locate the entry under
@@ -212,6 +217,7 @@ impl FederationDirectory for IdealDirectory {
             .unwrap_or_else(|pos| pos);
         self.by_price.insert(insert_at, qi);
         self.epoch += 1;
+        0
     }
 
     fn query_cheapest(&self, _origin: usize, r: usize) -> TracedQuote {

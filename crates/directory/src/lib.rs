@@ -19,6 +19,12 @@
 //!   speed-rank keys; lookups route through actual finger tables and report
 //!   real hop counts, which the `ablation_directory` benchmark compares
 //!   against the idealised `⌈log₂ n⌉` model.
+//! * [`maan::MaanDirectory`] — the MAAN-style multi-attribute range index:
+//!   quotes are **stored at the ring nodes owning their
+//!   locality-preserving-hashed keys** ([`keys`]), rank queries walk the
+//!   distributed range (boundary-crossing advances cost extra hops) and
+//!   `subscribe` / `unsubscribe` / `update_price` are routed
+//!   put/remove/move operations charged as publish-side traffic.
 //! * [`backend::DirectoryBackend`] / [`backend::AnyDirectory`] — the
 //!   configuration enum and monomorphic enum-dispatch wrapper that let the
 //!   federation pick its backend at run time; traced queries
@@ -37,10 +43,13 @@ pub mod backend;
 pub mod chord;
 pub mod cursor;
 pub mod ideal;
+pub mod keys;
+pub mod maan;
 pub mod quote;
 
 pub use backend::{AnyDirectory, DirectoryBackend};
 pub use chord::{ChordDirectory, ChordOverlay};
 pub use cursor::{CacheStats, QuoteCache, RankCursor};
 pub use ideal::IdealDirectory;
+pub use maan::MaanDirectory;
 pub use quote::{FederationDirectory, Quote, RankOrder, TracedQuote};

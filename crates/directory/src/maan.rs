@@ -1,0 +1,716 @@
+//! A MAAN-style multi-attribute range index living on the Chord ring.
+//!
+//! This is the third directory backend, and the first in which the rank data
+//! itself is **distributed**: the `Ideal` backend models message costs over a
+//! central store and the `Chord` backend measures routing hops while still
+//! resolving every rank through an exact in-memory store, but
+//! [`MaanDirectory`] stores each quote *at the ring nodes that own its
+//! attribute keys* (see [`crate::keys`]) and answers rank queries by actually
+//! walking that partitioned state:
+//!
+//! * **publish** (`subscribe`) puts the quote under its price key and its
+//!   speed key — two routed messages from the publisher's node to the owner
+//!   of each key; a republish whose keys moved to a different owner also
+//!   pays a routed remove per relocated entry;
+//! * **withdraw** (`unsubscribe`) routes a remove to each owner;
+//! * **reprice** (`update_price`) is a *move*: the price entry is removed
+//!   under its old key and re-inserted under the new one — one routed
+//!   message when both keys share an owner, a routed remove plus a routed
+//!   put otherwise (the speed entry never moves);
+//! * **query** routes from the querying GFA's node to the start of the
+//!   attribute's range partition and walks successor sub-ranges (*walk
+//!   arcs*, [`ChordOverlay::walk_arc_of`]) in key order.  Rank 1 therefore
+//!   costs measured `O(log n)` routing hops plus the walk steps to the first
+//!   populated arc; every further rank costs one cursor-advance message
+//!   **plus one message per node boundary the walk crosses** — the
+//!   `O(log n + k)` profile of MAAN range queries, including the
+//!   boundary-crossing advances (`> 1` message) the modelled backends never
+//!   produce.
+//!
+//! Because the locality-preserving hash is monotone and ties share an owner
+//! node (where the node-local store orders them by the true attribute
+//! comparator), the concatenation of per-node stores in walk order equals
+//! the exact ranking — quotes resolved here are bit-identical to
+//! [`IdealDirectory`](crate::ideal::IdealDirectory)'s, which the conformance
+//! and differential suites assert.  Only the *message charges* differ, and
+//! those are deterministic functions of the directory content and the query
+//! origin, so the cursor path, the query-per-rank oracle and GFA cache
+//! replays all charge identically (the invariant the federation's ledger
+//! accounting relies on).
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+
+use crate::chord::ChordOverlay;
+use crate::cursor::RankCursor;
+use crate::keys;
+use crate::quote::{FederationDirectory, Quote, RankOrder, TracedQuote};
+
+/// One ring node's share of the distributed index: the quote entries whose
+/// attribute keys this node owns, one sorted vector per attribute.
+#[derive(Debug, Clone, Default)]
+struct NodeStore {
+    /// `entries[RankOrder::index()]`, each sorted by
+    /// `(key, attribute comparator, gfa)`.
+    entries: [Vec<(u64, Quote)>; 2],
+}
+
+/// One entry of the flattened walk index: the quote plus the walk arc its
+/// key lives in (the arc delta between consecutive ranks is the number of
+/// successor hops a range walk pays to advance between them).
+#[derive(Debug, Clone, Copy)]
+struct FlatEntry {
+    arc: usize,
+    quote: Quote,
+}
+
+/// Ordering of entries within one attribute dimension: ascending key first
+/// (the ring-walk order), then the true attribute comparator (which resolves
+/// ties among values that clamp or quantise onto the same key), then the GFA
+/// index.  Because the key map is monotone in the attribute, this equals the
+/// exact ranking order.
+fn entry_cmp(order: RankOrder, a: &(u64, Quote), b: &(u64, Quote)) -> Ordering {
+    a.0.cmp(&b.0)
+        .then_with(|| match order {
+            RankOrder::Cheapest => a.1.price.total_cmp(&b.1.price),
+            RankOrder::Fastest => b.1.mips.total_cmp(&a.1.mips),
+        })
+        .then_with(|| a.1.gfa.cmp(&b.1.gfa))
+}
+
+/// The MAAN-style distributed federation directory.  See the module docs
+/// for the storage and charge model.
+#[derive(Debug)]
+pub struct MaanDirectory {
+    overlay: ChordOverlay,
+    /// Per-node attribute stores, indexed like the overlay's GFAs.  This is
+    /// the authoritative, partitioned quote state.
+    nodes: Vec<NodeStore>,
+    /// Publisher-side records (each GFA remembers the quote it published),
+    /// in subscription order.  Used to locate the old keys on republish /
+    /// withdraw and to answer `len()`.
+    published: Vec<Quote>,
+    /// Flattened walk indexes (one per attribute), rebuilt eagerly from the
+    /// node stores on every mutation so queries and charge computations are
+    /// O(1) per rank.
+    flat: [Vec<FlatEntry>; 2],
+    epoch: u64,
+    queries: Cell<u64>,
+    /// All directory messages spent on ranking queries (routed lookups,
+    /// cursor advances and boundary crossings).
+    hops_total: Cell<u64>,
+    /// Routed (rank-1) lookups served and the messages they cost.
+    routes: Cell<u64>,
+    route_hops: Cell<u64>,
+    /// Total routed publish-side messages charged by mutations.
+    publish_messages: u64,
+}
+
+impl MaanDirectory {
+    /// Builds the directory for `n` GFAs, placing their ring nodes with
+    /// `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> Self {
+        MaanDirectory {
+            overlay: ChordOverlay::new(n, seed),
+            nodes: vec![NodeStore::default(); n],
+            published: Vec::new(),
+            flat: [Vec::new(), Vec::new()],
+            epoch: 0,
+            queries: Cell::new(0),
+            hops_total: Cell::new(0),
+            routes: Cell::new(0),
+            route_hops: Cell::new(0),
+            publish_messages: 0,
+        }
+    }
+
+    /// The underlying overlay (for inspection in benches and tests).
+    #[must_use]
+    pub fn overlay(&self) -> &ChordOverlay {
+        &self.overlay
+    }
+
+    /// Total directory messages spent on ranking queries so far.
+    #[must_use]
+    pub fn hops_total(&self) -> u64 {
+        self.hops_total.get()
+    }
+
+    /// Total routed publish-side messages charged by `subscribe` /
+    /// `unsubscribe` / `update_price` so far.
+    #[must_use]
+    pub fn publish_messages_total(&self) -> u64 {
+        self.publish_messages
+    }
+
+    /// Average directory messages per ranking query served so far.
+    #[must_use]
+    pub fn average_hops_per_query(&self) -> f64 {
+        let served = self.queries.get();
+        if served == 0 {
+            0.0
+        } else {
+            self.hops_total.get() as f64 / served as f64
+        }
+    }
+
+    /// Average messages of one *routed* (rank-1) lookup — the measured
+    /// quantity the paper models as `O(log n)`.
+    #[must_use]
+    pub fn average_route_hops(&self) -> f64 {
+        let routes = self.routes.get();
+        if routes == 0 {
+            0.0
+        } else {
+            self.route_hops.get() as f64 / routes as f64
+        }
+    }
+
+    /// A deterministic `n`-quote population whose prices and speeds stride
+    /// across the full calibrated key domains ([`keys::PRICE_DOMAIN_MAX`],
+    /// [`keys::MIPS_DOMAIN_MAX`]), so the published keys span many ring
+    /// ownership arcs.  Shared by the unit tests and the conformance suite:
+    /// both assert boundary-crossing walk charges against this population,
+    /// and a single generator keeps those guarantees from drifting apart if
+    /// the key calibration changes.
+    #[must_use]
+    pub fn spread_population(n: usize) -> Vec<Quote> {
+        (0..n)
+            .map(|gfa| Quote {
+                gfa,
+                processors: 64,
+                mips: 250.0 + 1_500.0 * ((gfa * 7) % n) as f64 / n as f64,
+                bandwidth: 1.0,
+                price: 0.5 + 9.0 * ((gfa * 3) % n) as f64 / n as f64,
+            })
+            .collect()
+    }
+
+    /// Number of entries of `gfa`'s node store in `order` — exposes the
+    /// actual data placement for tests asserting the index is genuinely
+    /// partitioned.
+    #[must_use]
+    pub fn node_entries(&self, gfa: usize, order: RankOrder) -> usize {
+        self.nodes
+            .get(gfa)
+            .map_or(0, |n| n.entries[order.index()].len())
+    }
+
+    /// Routed messages from `publisher`'s node to the owner of `key`
+    /// (measured closest-preceding-finger hops).
+    fn route_hops_from(&self, publisher: usize, key: u64) -> u64 {
+        let (_, hops) = self.overlay.lookup(publisher % self.overlay.len(), key);
+        u64::from(hops)
+    }
+
+    /// Messages of a routed rank-1 lookup from `origin`: route to the start
+    /// of the attribute partition, then walk successor arcs to the first
+    /// populated one.
+    fn route_to_rank1(&self, origin: usize, order: RankOrder) -> u64 {
+        let start = keys::range_start_key(order);
+        let hops = self.route_hops_from(origin, start);
+        let walk = self.flat[order.index()]
+            .first()
+            .map_or(0, |head| (head.arc - self.overlay.walk_arc_of(start)) as u64);
+        hops + walk
+    }
+
+    /// Messages to advance a range walk from rank `r - 1` to rank `r`
+    /// (`r ≥ 2`): one cursor-advance (result delivery) message — the cost
+    /// the modelled backends charge — **plus one message per successor hop**
+    /// when the walk crosses node boundaries (including empty intermediate
+    /// arcs), which is how a distributed range walk exceeds the modelled
+    /// `+1` per rank.  Past-the-end advances probe the end-of-range marker
+    /// locally: one message.
+    fn advance_messages(&self, order: RankOrder, r: usize) -> u64 {
+        debug_assert!(r >= 2, "rank-1 lookups route, they do not advance");
+        let flat = &self.flat[order.index()];
+        if r > flat.len() {
+            return 1;
+        }
+        1 + (flat[r - 1].arc - flat[r - 2].arc) as u64
+    }
+
+    /// The single place rank-dependent query charges are applied, so the
+    /// oracle path, the cursor path and cache replays cannot drift apart:
+    /// rank 1 charges `route()` (lazily) and records the routed lookup;
+    /// every higher rank charges the walk's advance cost.  Rank 0 must be
+    /// short-circuited by callers.
+    #[inline]
+    fn charge_ranked(&self, order: RankOrder, r: usize, route: impl FnOnce() -> u64) -> u64 {
+        debug_assert!(r >= 1, "rank 0 is answered locally and never charged");
+        let messages = if r == 1 {
+            let hops = route();
+            self.routes.set(self.routes.get() + 1);
+            self.route_hops.set(self.route_hops.get() + hops);
+            hops
+        } else {
+            self.advance_messages(order, r)
+        };
+        self.hops_total.set(self.hops_total.get() + messages);
+        messages
+    }
+
+    /// Resolves the `r`-th quote of `order` from the flattened walk index,
+    /// counting the served query.
+    #[inline]
+    fn resolve_ranked(&self, order: RankOrder, r: usize) -> Option<Quote> {
+        if r == 0 {
+            return None;
+        }
+        self.queries.set(self.queries.get() + 1);
+        self.flat[order.index()].get(r - 1).map(|e| e.quote)
+    }
+
+    /// Inserts `quote` into the owner node's store for `order` under `key`.
+    fn insert_entry(&mut self, order: RankOrder, key: u64, quote: Quote) {
+        let node = self.overlay.owner_of(key);
+        let store = &mut self.nodes[node].entries[order.index()];
+        let probe = (key, quote);
+        let at = store
+            .binary_search_by(|e| entry_cmp(order, e, &probe))
+            .unwrap_or_else(|pos| pos);
+        store.insert(at, probe);
+    }
+
+    /// Removes `quote`'s entry (published under `key`) from its owner node.
+    fn remove_entry(&mut self, order: RankOrder, key: u64, quote: Quote) {
+        let node = self.overlay.owner_of(key);
+        let store = &mut self.nodes[node].entries[order.index()];
+        let probe = (key, quote);
+        let at = store
+            .binary_search_by(|e| entry_cmp(order, e, &probe))
+            .expect("a published entry is present at its owner node");
+        store.remove(at);
+    }
+
+    /// Rebuilds the flattened walk indexes from the node stores: nodes are
+    /// visited in walk-arc order (ascending key ranges, wrap arc last) and
+    /// contribute the entries whose keys fall in that arc.  Because node
+    /// stores are kept sorted by `(key, attribute, gfa)` and the arc index
+    /// is monotone in the key, the concatenation is the exact ranking.
+    fn rebuild_flat(&mut self) {
+        for order in RankOrder::ALL {
+            let dim = order.index();
+            self.flat[dim].clear();
+            for arc in 0..self.overlay.walk_arcs() {
+                let node = self.overlay.walk_arc_owner(arc);
+                for &(key, quote) in &self.nodes[node].entries[dim] {
+                    if self.overlay.walk_arc_of(key) == arc {
+                        self.flat[dim].push(FlatEntry { arc, quote });
+                    }
+                }
+            }
+            debug_assert_eq!(
+                self.flat[dim].len(),
+                self.published.len(),
+                "every published quote appears exactly once per attribute index"
+            );
+        }
+    }
+}
+
+impl FederationDirectory for MaanDirectory {
+    fn subscribe(&mut self, quote: Quote) -> u64 {
+        let publisher = quote.gfa;
+        let new_pk = keys::price_key(quote.price);
+        let new_sk = keys::speed_key(quote.mips);
+        let mut messages = 0u64;
+        if let Some(slot) = self.published.iter().position(|q| q.gfa == quote.gfa) {
+            let old = self.published[slot];
+            let old_pk = keys::price_key(old.price);
+            let old_sk = keys::speed_key(old.mips);
+            self.remove_entry(RankOrder::Cheapest, old_pk, old);
+            self.remove_entry(RankOrder::Fastest, old_sk, old);
+            // Stale entries whose key moved to a different owner need their
+            // own routed removes; same-owner overwrites ride on the put.
+            if self.overlay.owner_of(old_pk) != self.overlay.owner_of(new_pk) {
+                messages += self.route_hops_from(publisher, old_pk);
+            }
+            if self.overlay.owner_of(old_sk) != self.overlay.owner_of(new_sk) {
+                messages += self.route_hops_from(publisher, old_sk);
+            }
+            self.published[slot] = quote;
+        } else {
+            self.published.push(quote);
+        }
+        self.insert_entry(RankOrder::Cheapest, new_pk, quote);
+        self.insert_entry(RankOrder::Fastest, new_sk, quote);
+        messages += self.route_hops_from(publisher, new_pk);
+        messages += self.route_hops_from(publisher, new_sk);
+        self.rebuild_flat();
+        self.epoch += 1;
+        self.publish_messages += messages;
+        messages
+    }
+
+    fn unsubscribe(&mut self, gfa: usize) -> u64 {
+        let Some(slot) = self.published.iter().position(|q| q.gfa == gfa) else {
+            return 0; // unknown GFA: nothing changed, keep caches valid
+        };
+        let old = self.published.remove(slot);
+        let pk = keys::price_key(old.price);
+        let sk = keys::speed_key(old.mips);
+        self.remove_entry(RankOrder::Cheapest, pk, old);
+        self.remove_entry(RankOrder::Fastest, sk, old);
+        let messages = self.route_hops_from(gfa, pk) + self.route_hops_from(gfa, sk);
+        self.rebuild_flat();
+        self.epoch += 1;
+        self.publish_messages += messages;
+        messages
+    }
+
+    fn update_price(&mut self, gfa: usize, price: f64) -> u64 {
+        let Some(slot) = self.published.iter().position(|q| q.gfa == gfa) else {
+            return 0;
+        };
+        let old = self.published[slot];
+        if old.price.to_bits() == price.to_bits() {
+            // Identical reprice: nothing observable changes — no epoch bump,
+            // no publish traffic (mirrors the ideal backend's no-op rule).
+            return 0;
+        }
+        let old_pk = keys::price_key(old.price);
+        let new_pk = keys::price_key(price);
+        let mut new_quote = old;
+        new_quote.price = price;
+        self.remove_entry(RankOrder::Cheapest, old_pk, old);
+        self.insert_entry(RankOrder::Cheapest, new_pk, new_quote);
+        // The speed register stores a full replica of the quote; its key
+        // (and therefore its owner and position) depends only on the MIPS,
+        // so the reprice refreshes the replica's payload in place — the
+        // update rides along with the price move, costing no extra routed
+        // messages.
+        let sk = keys::speed_key(old.mips);
+        let speed_node = self.overlay.owner_of(sk);
+        let store = &mut self.nodes[speed_node].entries[RankOrder::Fastest.index()];
+        let probe = (sk, old);
+        let at = store
+            .binary_search_by(|e| entry_cmp(RankOrder::Fastest, e, &probe))
+            .expect("a published quote has a speed-register replica at its owner node");
+        store[at].1 = new_quote;
+        self.published[slot] = new_quote;
+        // A *move*: one routed message when the entry stays on its owner,
+        // a routed remove plus a routed put when it migrates.  The speed
+        // entry does not depend on the price and never moves.
+        let messages = if self.overlay.owner_of(old_pk) == self.overlay.owner_of(new_pk) {
+            self.route_hops_from(gfa, new_pk)
+        } else {
+            self.route_hops_from(gfa, old_pk) + self.route_hops_from(gfa, new_pk)
+        };
+        self.rebuild_flat();
+        self.epoch += 1;
+        self.publish_messages += messages;
+        messages
+    }
+
+    fn query_cheapest(&self, origin: usize, r: usize) -> TracedQuote {
+        if r == 0 {
+            return TracedQuote { quote: None, messages: 0 };
+        }
+        let messages = self.charge_ranked(RankOrder::Cheapest, r, || {
+            self.route_to_rank1(origin, RankOrder::Cheapest)
+        });
+        TracedQuote {
+            quote: self.resolve_ranked(RankOrder::Cheapest, r),
+            messages,
+        }
+    }
+
+    fn query_fastest(&self, origin: usize, r: usize) -> TracedQuote {
+        if r == 0 {
+            return TracedQuote { quote: None, messages: 0 };
+        }
+        let messages = self.charge_ranked(RankOrder::Fastest, r, || {
+            self.route_to_rank1(origin, RankOrder::Fastest)
+        });
+        TracedQuote {
+            quote: self.resolve_ranked(RankOrder::Fastest, r),
+            messages,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.published.len()
+    }
+
+    fn query_message_cost(&self) -> u64 {
+        // Report the measured average, falling back to the model before any
+        // query has been served.
+        let avg = self.average_hops_per_query();
+        if avg > 0.0 {
+            avg.round() as u64
+        } else {
+            let n = self.published.len().max(1) as f64;
+            n.log2().ceil().max(1.0) as u64
+        }
+    }
+
+    fn queries_served(&self) -> u64 {
+        self.queries.get()
+    }
+
+    fn epoch(&self) -> u64 {
+        // The node stores are the content; the overlay ring is a static
+        // routing substrate and contributes nothing to the epoch.
+        self.epoch
+    }
+
+    fn open_cursor(&self, origin: usize, order: RankOrder) -> RankCursor {
+        // The genuinely expensive step: route to the start of the attribute
+        // partition and walk to the first populated arc.
+        RankCursor::opened(origin, order, self.epoch, self.route_to_rank1(origin, order))
+    }
+
+    #[inline]
+    fn cursor_next(&self, cursor: &mut RankCursor) -> TracedQuote {
+        if cursor.epoch != self.epoch {
+            // The distributed store mutated under the cursor: positional
+            // reads below already see the rebuilt walk index, and a cursor
+            // that has not yielded its head yet re-routes against the
+            // current rank-1 placement (quotes relocate when their keys
+            // change), exactly like a fresh rank-1 query would charge.
+            if cursor.yielded == 0 {
+                cursor.route_messages = self.route_to_rank1(cursor.origin, cursor.order);
+            }
+            cursor.epoch = self.epoch;
+        }
+        cursor.yielded += 1;
+        let r = cursor.yielded;
+        let quote = self.resolve_ranked(cursor.order, r);
+        let messages = self.charge_ranked(cursor.order, r, || cursor.route_messages);
+        TracedQuote { quote, messages }
+    }
+
+    #[inline]
+    fn note_replayed_query(&self, _origin: usize, _order: RankOrder, r: usize, messages: u64) {
+        if r == 0 {
+            return;
+        }
+        self.queries.set(self.queries.get() + 1);
+        if r == 1 {
+            self.routes.set(self.routes.get() + 1);
+            self.route_hops.set(self.route_hops.get() + messages);
+        }
+        self.hops_total.set(self.hops_total.get() + messages);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::IdealDirectory;
+    use grid_cluster::paper_resources;
+
+    fn paper_maan(n_nodes: usize) -> MaanDirectory {
+        let mut dir = MaanDirectory::new(n_nodes, 11);
+        for (i, r) in paper_resources().iter().enumerate() {
+            dir.subscribe(Quote::from_spec(i, &r.spec));
+        }
+        dir
+    }
+
+    fn spread_quotes(n: usize) -> Vec<Quote> {
+        MaanDirectory::spread_population(n)
+    }
+
+    #[test]
+    fn rankings_match_the_ideal_oracle() {
+        let maan = paper_maan(8);
+        let ideal = IdealDirectory::with_quotes(
+            paper_resources()
+                .iter()
+                .enumerate()
+                .map(|(i, r)| Quote::from_spec(i, &r.spec)),
+        );
+        for r in 0..=9 {
+            assert_eq!(maan.kth_cheapest(r), ideal.kth_cheapest(r), "rank {r} cheapest");
+            assert_eq!(maan.kth_fastest(r), ideal.kth_fastest(r), "rank {r} fastest");
+        }
+    }
+
+    #[test]
+    fn quotes_are_actually_partitioned_across_nodes() {
+        let mut dir = MaanDirectory::new(16, 3);
+        for q in spread_quotes(16) {
+            dir.subscribe(q);
+        }
+        for order in RankOrder::ALL {
+            let occupied = (0..16).filter(|&g| dir.node_entries(g, order) > 0).count();
+            let total: usize = (0..16).map(|g| dir.node_entries(g, order)).sum();
+            assert_eq!(total, 16, "{order:?}: every quote stored exactly once");
+            assert!(
+                occupied >= 3,
+                "{order:?}: a spread population must occupy several ring nodes (got {occupied})"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_crossing_advances_cost_more_than_one_message() {
+        let mut dir = MaanDirectory::new(16, 3);
+        for q in spread_quotes(16) {
+            dir.subscribe(q);
+        }
+        for order in RankOrder::ALL {
+            let advances: Vec<u64> = (2..=16).map(|r| dir.query_ranked(0, order, r).messages).collect();
+            assert!(advances.iter().all(|&m| m >= 1));
+            assert!(
+                advances.iter().any(|&m| m > 1),
+                "{order:?}: a multi-node range walk must cross at least one boundary (got {advances:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn full_sweep_costs_log_n_plus_k_messages() {
+        // Acceptance bound: streaming all k ranks costs the routed open plus
+        // k - 1 advances plus at most one extra message per ring node (each
+        // boundary is crossed at most once per sweep) — O(log n + k).
+        for n in [8usize, 16, 32, 50] {
+            let mut dir = MaanDirectory::new(n, 9);
+            for q in spread_quotes(n) {
+                dir.subscribe(q);
+            }
+            for order in RankOrder::ALL {
+                let mut cursor = dir.open_cursor(1, order);
+                let mut total = 0u64;
+                for _ in 1..=n {
+                    total += dir.cursor_next(&mut cursor).messages;
+                }
+                let route_bound = 2 * (n as f64).log2().ceil() as u64 + 4;
+                let bound = route_bound + (n as u64 - 1) + (n as u64 + 1);
+                assert!(
+                    total <= bound,
+                    "n={n} {order:?}: full sweep cost {total} exceeds the O(log n + k) bound {bound}"
+                );
+                assert!(total >= n as u64, "k ranks cost at least k messages");
+            }
+        }
+    }
+
+    #[test]
+    fn publish_operations_charge_routed_messages() {
+        let mut dir = MaanDirectory::new(8, 11);
+        let mut q = Quote { gfa: 0, processors: 64, mips: 700.0, bandwidth: 1.0, price: 3.0 };
+        let put = dir.subscribe(q);
+        assert!(put >= 2, "a publish routes one put per attribute (got {put})");
+        assert_eq!(dir.publish_messages_total(), put);
+
+        // A reprice is a move: ≥ 1 routed message, speed entry untouched.
+        let moved = dir.update_price(0, 8.5);
+        assert!(moved >= 1);
+        assert_eq!(dir.kth_cheapest(1).unwrap().price, 8.5);
+
+        // Identical reprice and unknown GFAs are free no-ops.
+        let e = dir.epoch();
+        assert_eq!(dir.update_price(0, 8.5), 0);
+        assert_eq!(dir.update_price(99, 1.0), 0);
+        assert_eq!(dir.unsubscribe(99), 0);
+        assert_eq!(dir.epoch(), e);
+
+        // Republishing with moved keys pays for the stale entries too.
+        q.price = 0.2;
+        q.mips = 1_900.0;
+        let republish = dir.subscribe(q);
+        assert!(republish >= 2);
+        assert_eq!(dir.len(), 1);
+
+        // Withdrawal routes a remove per attribute.
+        let removed = dir.unsubscribe(0);
+        assert!(removed >= 2);
+        assert!(dir.is_empty());
+        assert_eq!(
+            dir.publish_messages_total(),
+            put + moved + republish + removed
+        );
+    }
+
+    #[test]
+    fn mutations_keep_the_ranking_equal_to_a_sorted_oracle() {
+        let mut dir = MaanDirectory::new(12, 5);
+        let mut quotes = spread_quotes(12);
+        for q in &quotes {
+            dir.subscribe(*q);
+        }
+        for step in 0..60usize {
+            let gfa = (step * 5) % 12;
+            match step % 4 {
+                0 => {
+                    let price = 0.1 + ((step * 11) % 97) as f64 * 0.09;
+                    dir.update_price(gfa, price);
+                    quotes[gfa].price = price;
+                }
+                1 => {
+                    // Withdraw and immediately re-publish with fresh values.
+                    dir.unsubscribe(gfa);
+                    quotes[gfa].mips = 300.0 + ((step * 13) % 140) as f64 * 10.0;
+                    dir.subscribe(quotes[gfa]);
+                }
+                _ => {
+                    quotes[gfa].price = 0.3 + ((step * 7) % 31) as f64 * 0.25;
+                    dir.subscribe(quotes[gfa]);
+                }
+            }
+            let mut by_price: Vec<&Quote> = quotes.iter().collect();
+            by_price.sort_by(|a, b| a.price.total_cmp(&b.price).then(a.gfa.cmp(&b.gfa)));
+            let mut by_speed: Vec<&Quote> = quotes.iter().collect();
+            by_speed.sort_by(|a, b| b.mips.total_cmp(&a.mips).then(a.gfa.cmp(&b.gfa)));
+            for r in 1..=12 {
+                assert_eq!(
+                    dir.kth_cheapest(r).unwrap().gfa,
+                    by_price[r - 1].gfa,
+                    "step {step}: rank {r} cheapest diverged"
+                );
+                let fast = dir.kth_fastest(r).unwrap();
+                assert_eq!(fast.gfa, by_speed[r - 1].gfa, "step {step}: rank {r} fastest diverged");
+                // Regression: a reprice must refresh the speed register's
+                // replica, or streamed quotes would carry stale prices.
+                assert_eq!(
+                    fast.price.to_bits(),
+                    quotes[fast.gfa].price.to_bits(),
+                    "step {step}: rank {r} speed replica carries a stale price"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_telemetry_tracks_rank1_lookups() {
+        let dir = paper_maan(8);
+        assert_eq!(dir.average_route_hops(), 0.0);
+        let head = dir.query_cheapest(2, 1);
+        assert!(head.messages >= 1);
+        assert_eq!(dir.average_route_hops(), head.messages as f64);
+        let _ = dir.query_cheapest(2, 2);
+        assert_eq!(dir.routes.get(), 1, "advances are not routed lookups");
+        assert!(dir.hops_total() > head.messages);
+        assert!(dir.query_message_cost() >= 1);
+        assert!(dir.queries_served() >= 2);
+    }
+
+    #[test]
+    fn same_arc_ties_resolve_through_the_node_local_comparator() {
+        // Quotes far beyond the calibrated domain clamp onto the same
+        // boundary key — one owner node — and must still rank exactly.
+        let mut dir = MaanDirectory::new(6, 7);
+        for (gfa, price) in [(0, 50.0), (1, 80.0), (2, 50.0), (3, 11.0)] {
+            dir.subscribe(Quote { gfa, processors: 8, mips: 500.0, bandwidth: 1.0, price });
+        }
+        let order: Vec<usize> = (1..=4).map(|r| dir.kth_cheapest(r).unwrap().gfa).collect();
+        assert_eq!(order, vec![3, 0, 2, 1], "ties break by price then GFA");
+        // All four clamped price entries share one owner node.
+        let owners: Vec<usize> = (0..6)
+            .filter(|&g| dir.node_entries(g, RankOrder::Cheapest) > 0)
+            .collect();
+        assert_eq!(
+            owners.len(),
+            1,
+            "every price here clamps onto the domain boundary key, so one node owns all of them: {owners:?}"
+        );
+    }
+}

@@ -100,16 +100,26 @@ pub struct TracedQuote {
 /// the algorithm ("query the federation directory for the r-th fastest
 /// cluster", r = 1, 2, …).
 pub trait FederationDirectory {
-    /// Publishes (or republishes) a quote.  A GFA republishing overwrites its
-    /// previous quote.
-    fn subscribe(&mut self, quote: Quote);
+    /// Publishes (or republishes) a quote, returning the **publish-side
+    /// message cost**: the routed overlay messages the operation took.  The
+    /// modelled backends (`Ideal`, `Chord`) keep the quote store central and
+    /// charge `0`; the MAAN backend routes one put per attribute key (plus
+    /// routed removes for relocated stale entries on a republish).  The
+    /// federation accounts these as a separate *publish* traffic class.
+    /// A GFA republishing overwrites its previous quote.
+    fn subscribe(&mut self, quote: Quote) -> u64;
 
-    /// Removes a GFA's quote from the directory.
-    fn unsubscribe(&mut self, gfa: usize);
+    /// Removes a GFA's quote from the directory, returning the publish-side
+    /// message cost (see [`Self::subscribe`]; a no-op on an unknown GFA
+    /// costs 0).
+    fn unsubscribe(&mut self, gfa: usize) -> u64;
 
     /// Updates just the price of an existing quote (the paper's
-    /// "quote" primitive).  Does nothing if the GFA is not subscribed.
-    fn update_price(&mut self, gfa: usize, price: f64);
+    /// "quote" primitive), returning the publish-side message cost — under
+    /// MAAN a routed *move* of the price entry between its old and new key
+    /// owners.  Does nothing (and costs 0) if the GFA is not subscribed or
+    /// the price is bit-identical.
+    fn update_price(&mut self, gfa: usize, price: f64) -> u64;
 
     /// The `r`-th cheapest quote (1-based), queried from GFA `origin`,
     /// together with the number of directory messages the query cost.  Ties
@@ -177,9 +187,12 @@ pub trait FederationDirectory {
     /// Records a ranking query that was answered from a GFA-side cache
     /// ([`crate::cursor::QuoteCache`]) without touching the rank data: bumps
     /// the same internal statistics — queries served, routed lookups, route
-    /// messages — that a live query at rank `r` would have, so cached runs
-    /// report bit-identical directory telemetry.  `route_messages` is the
-    /// cached cost of the routed open and is only consulted for `r == 1`.
+    /// messages, hop totals — that a live query at rank `r` would have, so
+    /// cached runs report bit-identical directory telemetry.
+    /// `route_messages` is the message charge the cache replayed for this
+    /// rank (the routed-open cost for `r == 1`, the cursor-advance cost —
+    /// which MAAN's boundary crossings can make exceed 1 — for deeper
+    /// ranks).
     fn note_replayed_query(&self, origin: usize, order: RankOrder, r: usize, route_messages: u64);
 
     /// Convenience wrapper around [`Self::query_cheapest`] that discards the

@@ -1,10 +1,12 @@
 //! Trait-conformance suite for [`FederationDirectory`] implementations.
 //!
-//! Every check runs against **both** backends through the same generic
-//! harness, so the `Ideal` and `Chord` directories cannot drift apart in
-//! ranking semantics, mutation behaviour (`subscribe` / `unsubscribe` /
-//! `update_price`) or traced-query bookkeeping.  Backends are allowed to
-//! differ only in the *message cost* their queries report.
+//! Every check runs against **all three** backends (`Ideal`, `Chord`,
+//! `Maan`) through the same generic harness, so the directories cannot
+//! drift apart in ranking semantics, mutation behaviour (`subscribe` /
+//! `unsubscribe` / `update_price`) or traced-query bookkeeping.  Backends
+//! are allowed to differ only in the *message costs* they report — the
+//! query-side charges and, for the distributed MAAN index, the publish-side
+//! cost its routed put/remove/move mutations return.
 
 use grid_directory::{AnyDirectory, DirectoryBackend, FederationDirectory, Quote, RankOrder};
 
@@ -35,7 +37,7 @@ fn populated(backend: DirectoryBackend) -> AnyDirectory {
     dir
 }
 
-fn for_both(check: impl Fn(DirectoryBackend, AnyDirectory)) {
+fn for_each_backend(check: impl Fn(DirectoryBackend, AnyDirectory)) {
     for backend in DirectoryBackend::ALL {
         check(backend, populated(backend));
     }
@@ -43,7 +45,7 @@ fn for_both(check: impl Fn(DirectoryBackend, AnyDirectory)) {
 
 #[test]
 fn rankings_agree_with_sorted_oracles() {
-    for_both(|backend, dir| {
+    for_each_backend(|backend, dir| {
         let mut by_price = population();
         by_price.sort_by(|a, b| a.price.total_cmp(&b.price).then(a.gfa.cmp(&b.gfa)));
         let mut by_speed = population();
@@ -69,7 +71,7 @@ fn rankings_agree_with_sorted_oracles() {
 
 #[test]
 fn resubscription_overwrites_in_place() {
-    for_both(|backend, mut dir| {
+    for_each_backend(|backend, mut dir| {
         let mut q = quote(5, 9_999.0, 0.01);
         dir.subscribe(q);
         assert_eq!(dir.len(), N, "{backend:?}: republish must not grow the directory");
@@ -86,7 +88,7 @@ fn resubscription_overwrites_in_place() {
 
 #[test]
 fn unsubscribe_removes_and_reranks() {
-    for_both(|backend, mut dir| {
+    for_each_backend(|backend, mut dir| {
         let cheapest = dir.kth_cheapest(1).unwrap().gfa;
         dir.unsubscribe(cheapest);
         assert_eq!(dir.len(), N - 1, "{backend:?}");
@@ -104,7 +106,7 @@ fn unsubscribe_removes_and_reranks() {
 
 #[test]
 fn update_price_reranks_without_touching_speed() {
-    for_both(|backend, mut dir| {
+    for_each_backend(|backend, mut dir| {
         let fastest_before = dir.kth_fastest(1).unwrap().gfa;
         let target = dir.kth_cheapest(N).unwrap().gfa; // most expensive
         dir.update_price(target, 0.001);
@@ -119,7 +121,7 @@ fn update_price_reranks_without_touching_speed() {
 
 #[test]
 fn traced_queries_match_untraced_results_and_cost_messages() {
-    for_both(|backend, dir| {
+    for_each_backend(|backend, dir| {
         for origin in 0..N {
             for r in 1..=N {
                 let cheap = dir.query_cheapest(origin, r);
@@ -143,7 +145,7 @@ fn traced_queries_match_untraced_results_and_cost_messages() {
 
 #[test]
 fn cursors_stream_what_per_rank_queries_answer() {
-    for_both(|backend, dir| {
+    for_each_backend(|backend, dir| {
         for order in RankOrder::ALL {
             for origin in [0usize, 3, N - 1] {
                 let mut cursor = dir.open_cursor(origin, order);
@@ -163,7 +165,7 @@ fn cursors_stream_what_per_rank_queries_answer() {
 
 #[test]
 fn every_mutation_kind_bumps_the_epoch_exactly_once() {
-    for_both(|backend, mut dir| {
+    for_each_backend(|backend, mut dir| {
         let e0 = dir.epoch();
         dir.update_price(1, 123.0);
         assert_eq!(dir.epoch(), e0 + 1, "{backend:?}");
@@ -185,11 +187,15 @@ fn every_mutation_kind_bumps_the_epoch_exactly_once() {
 
 #[test]
 fn backends_resolve_identical_quotes_for_identical_mutations() {
-    // Drive both backends through the same mutation script and assert the
+    // Drive every backend through the same mutation script and assert the
     // rank data never diverges — the invariant the federation's differential
-    // test relies on.
+    // test relies on.  The ideal directory is the oracle.
     let mut ideal = populated(DirectoryBackend::Ideal);
-    let mut chord = populated(DirectoryBackend::Chord);
+    let mut others: Vec<(DirectoryBackend, AnyDirectory)> =
+        [DirectoryBackend::Chord, DirectoryBackend::Maan]
+            .iter()
+            .map(|&b| (b, populated(b)))
+            .collect();
     let script: Vec<(&str, usize, f64)> = vec![
         ("price", 2, 0.2),
         ("unsub", 4, 0.0),
@@ -198,26 +204,95 @@ fn backends_resolve_identical_quotes_for_identical_mutations() {
         ("unsub", 0, 0.0),
     ];
     for (op, gfa, value) in script {
-        match op {
+        let apply = |dir: &mut AnyDirectory| match op {
             "price" => {
-                ideal.update_price(gfa, value);
-                chord.update_price(gfa, value);
+                dir.update_price(gfa, value);
             }
             "unsub" => {
-                ideal.unsubscribe(gfa);
-                chord.unsubscribe(gfa);
+                dir.unsubscribe(gfa);
             }
             "sub" => {
-                let q = quote(gfa, 777.0, 1.5);
-                ideal.subscribe(q);
-                chord.subscribe(q);
+                dir.subscribe(quote(gfa, 777.0, 1.5));
             }
             _ => unreachable!(),
-        }
-        assert_eq!(ideal.len(), chord.len());
-        for r in 1..=ideal.len() + 1 {
-            assert_eq!(ideal.kth_cheapest(r), chord.kth_cheapest(r), "after {op}({gfa})");
-            assert_eq!(ideal.kth_fastest(r), chord.kth_fastest(r), "after {op}({gfa})");
+        };
+        apply(&mut ideal);
+        for (backend, dir) in &mut others {
+            apply(dir);
+            assert_eq!(ideal.len(), dir.len(), "{backend:?}");
+            for r in 1..=ideal.len() + 1 {
+                assert_eq!(
+                    ideal.kth_cheapest(r),
+                    dir.kth_cheapest(r),
+                    "{backend:?} after {op}({gfa})"
+                );
+                assert_eq!(
+                    ideal.kth_fastest(r),
+                    dir.kth_fastest(r),
+                    "{backend:?} after {op}({gfa})"
+                );
+            }
         }
     }
+}
+
+#[test]
+fn publish_costs_are_zero_for_central_stores_and_routed_for_maan() {
+    for backend in DirectoryBackend::ALL {
+        let mut dir = backend.build(N, 2_005);
+        let mut publish = 0u64;
+        for q in population() {
+            publish += dir.subscribe(q);
+        }
+        publish += dir.update_price(3, 9.1);
+        publish += dir.unsubscribe(5);
+        // No-ops are free everywhere.
+        assert_eq!(dir.unsubscribe(42), 0, "{backend:?}");
+        assert_eq!(dir.update_price(3, 9.1), 0, "{backend:?}: identical reprice is a no-op");
+        match backend {
+            DirectoryBackend::Maan => {
+                assert!(
+                    publish >= 2 * N as u64 + 2,
+                    "{backend:?}: N publishes, a move and a withdrawal must route (got {publish})"
+                );
+                assert_eq!(dir.publish_messages_total(), publish);
+            }
+            _ => {
+                assert_eq!(publish, 0, "{backend:?}: central stores mutate for free");
+                assert_eq!(dir.publish_messages_total(), 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn maan_range_walks_cross_node_boundaries() {
+    // The cost signature that distinguishes the distributed index from the
+    // modelled backends: some cursor advance past rank 1 must pay for a
+    // node-boundary crossing (> 1 message), while the modelled backends
+    // charge exactly 1 per advance.  The shared spread population (full
+    // price/speed calibration range, 16 ring nodes) guarantees the keys
+    // span several ownership arcs.
+    let wide = 16usize;
+    let harvest = |backend: DirectoryBackend| -> Vec<u64> {
+        let mut dir = backend.build(wide, 2_005);
+        for q in grid_directory::MaanDirectory::spread_population(wide) {
+            dir.subscribe(q);
+        }
+        let mut cursor = dir.open_cursor(0, RankOrder::Cheapest);
+        let _ = dir.cursor_next(&mut cursor);
+        (2..=wide).map(|_| dir.cursor_next(&mut cursor).messages).collect()
+    };
+    for backend in [DirectoryBackend::Ideal, DirectoryBackend::Chord] {
+        assert!(
+            harvest(backend).iter().all(|&m| m == 1),
+            "{backend:?}: modelled advances are exactly one message"
+        );
+    }
+    let maan = harvest(DirectoryBackend::Maan);
+    assert!(maan.iter().all(|&m| m >= 1));
+    assert!(
+        maan.iter().any(|&m| m > 1),
+        "Maan: a walk over distributed rank data must cross a node boundary (got {maan:?})"
+    );
 }

@@ -1,5 +1,6 @@
 //! Differential property tests: the cursor/cache path vs. the
-//! query-per-rank oracle.
+//! query-per-rank oracle, and the distributed MAAN store vs. the ideal
+//! oracle.
 //!
 //! Random interleavings of `subscribe` / `unsubscribe` / `update_price`
 //! mutations and ranking queries are driven against two identically-built
@@ -9,6 +10,12 @@
 //! **bit-identical** [`TracedQuote`] — same quote, same message charge — and
 //! at the end of each case the two directories must be indistinguishable
 //! through their public telemetry (queries served, routed-lookup averages).
+//!
+//! A second differential pits the MAAN backend against the ideal backend
+//! over the same interleavings: quotes must come out bit-identical (the
+//! distributed range index never diverges from the central store), while
+//! MAAN's message charges are merely required to be well-formed (≥ 1 per
+//! served rank) — the traffic model is exactly where backends may differ.
 
 use std::collections::HashMap;
 
@@ -106,6 +113,67 @@ fn drive(backend: DirectoryBackend, ops: &[Op]) {
     prop_assert_eq!(cached.query_message_cost(), oracle.query_message_cost(), "{:?}", backend);
 }
 
+/// Applies one mutation op to a directory (queries are handled by callers).
+fn apply_mutation(dir: &mut AnyDirectory, op: Op) {
+    match op {
+        Op::Subscribe { gfa, mips, price } => {
+            dir.subscribe(Quote { gfa, processors: 64, mips, bandwidth: 1.0, price });
+        }
+        Op::Unsubscribe { gfa } => {
+            dir.unsubscribe(gfa);
+        }
+        Op::Reprice { gfa, price } => {
+            dir.update_price(gfa, price);
+        }
+        Op::Query { .. } => unreachable!("queries are driven by the caller"),
+    }
+}
+
+/// The Maan-vs-Ideal differential: identical interleavings must resolve
+/// identical quotes through the genuinely distributed store, with only the
+/// message charges free to differ (MAAN's must still be well-formed: every
+/// served rank costs at least one message, and rank-1 charges route).
+fn drive_maan_vs_ideal(ops: &[Op]) {
+    let mut maan = populated(DirectoryBackend::Maan);
+    let mut ideal = populated(DirectoryBackend::Ideal);
+    for (step, op) in ops.iter().copied().enumerate() {
+        match op {
+            Op::Query { origin, fastest, ranks } => {
+                let order = if fastest { RankOrder::Fastest } else { RankOrder::Cheapest };
+                for r in 1..=ranks {
+                    let got = maan.query_ranked(origin, order, r);
+                    let want = ideal.query_ranked(origin, order, r);
+                    prop_assert_eq!(
+                        got.quote,
+                        want.quote,
+                        "step {}: origin {} {:?} rank {}: distributed rank data diverged",
+                        step,
+                        origin,
+                        order,
+                        r
+                    );
+                    prop_assert!(
+                        got.messages >= 1,
+                        "step {}: a served MAAN query must cost at least one message",
+                        step
+                    );
+                }
+            }
+            mutation => {
+                apply_mutation(&mut maan, mutation);
+                apply_mutation(&mut ideal, mutation);
+            }
+        }
+        prop_assert_eq!(maan.len(), ideal.len());
+        prop_assert_eq!(maan.is_empty(), ideal.is_empty());
+    }
+    // The ideal store never charges publish traffic; the distributed one
+    // reports whatever its routed mutations cost (monotone, and positive as
+    // soon as any mutation ran — the populated() build already subscribed).
+    prop_assert_eq!(ideal.publish_messages_total(), 0);
+    prop_assert!(maan.publish_messages_total() >= 2 * GFAS as u64);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -121,5 +189,20 @@ proptest! {
     #[test]
     fn chord_cursor_path_matches_query_per_rank(ops in proptest::collection::vec(op(), 1..60)) {
         drive(DirectoryBackend::Chord, &ops);
+    }
+
+    /// MAAN backend: the cursor/cache fast path is bit-identical to the
+    /// query-per-rank oracle even though advances carry boundary-crossing
+    /// charges and mutations rebuild the distributed walk index.
+    #[test]
+    fn maan_cursor_path_matches_query_per_rank(ops in proptest::collection::vec(op(), 1..60)) {
+        drive(DirectoryBackend::Maan, &ops);
+    }
+
+    /// The distributed MAAN store resolves the same quotes as the central
+    /// ideal store under arbitrary sub/unsub/reprice/query interleavings.
+    #[test]
+    fn maan_store_matches_ideal_store(ops in proptest::collection::vec(op(), 1..60)) {
+        drive_maan_vs_ideal(&ops);
     }
 }

@@ -97,7 +97,7 @@ fn main() {
         table.write_csv(&out.join(name)).expect("write exp4 figure");
     }
 
-    eprintln!("[5/5] experiment 5: system size 10–50, both directory backends");
+    eprintln!("[5/5] experiment 5: system size 10–50, all three directory backends");
     let (sizes, exp5_profiles): (Vec<usize>, Vec<PopulationProfile>) = if quick {
         (
             vec![10, 20, 30],

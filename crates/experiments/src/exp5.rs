@@ -7,12 +7,14 @@
 //! counts are summarised as min / average / max, matching the six panels of
 //! Fig. 10 and Fig. 11.
 //!
-//! On top of the paper's negotiation panels, the sweep runs against both
-//! [`DirectoryBackend`]s and summarises the per-job **directory** message
+//! On top of the paper's negotiation panels, the sweep runs against every
+//! [`DirectoryBackend`] and summarises the per-job **directory** message
 //! counts, validating the paper's `O(log n)` query-cost assumption with the
-//! Chord overlay's *measured* hops instead of the idealised `⌈log₂ n⌉`
-//! model.  Backends resolve identical quotes, so their job outcomes are
-//! bitwise-identical and only the directory traffic differs.
+//! Chord overlay's *measured* hops — and, under the MAAN backend, with
+//! genuinely distributed rank data whose range walks pay extra hops on node
+//! boundaries and whose quote mutations cost routed **publish** traffic.
+//! Backends resolve identical quotes, so their job outcomes are
+//! bitwise-identical and only the directory/publish traffic differs.
 
 use grid_federation_core::federation::{run_federation, FederationConfig, SchedulingMode};
 use grid_federation_core::{DirectoryBackend, FederationReport};
@@ -257,7 +259,9 @@ pub fn figure11(sweep: &ScalabilitySweep, stat: Stat) -> DataTable {
 
 /// The new directory panel: min/average/max **directory** messages per job
 /// vs. system size, for the sweep's backend.  Under the ideal backend these
-/// are modelled `⌈log₂ n⌉` costs; under Chord they are measured overlay hops.
+/// are modelled `⌈log₂ n⌉` costs; under Chord they are measured overlay
+/// hops; under MAAN they are measured walks over the distributed range
+/// index, boundary crossings included.
 #[must_use]
 pub fn figure_directory(sweep: &ScalabilitySweep, stat: Stat) -> DataTable {
     panel(
@@ -273,12 +277,16 @@ pub fn figure_directory(sweep: &ScalabilitySweep, stat: Stat) -> DataTable {
 }
 
 /// Cross-backend validation table: for every system size, the average cost
-/// of one *routed* ranking lookup and the average directory messages per
-/// job under each backend (averaged over the sweep's profiles), next to the
-/// idealised `⌈log₂ n⌉` reference.  The Chord route column growing like the
-/// reference — rather than like `n` — is the paper's scalability argument
-/// made measurable; the per-job column adds the `+k` cursor cost of the
-/// ranks the DBC loop actually probed.
+/// of one *routed* ranking lookup, the average directory messages per job
+/// and the average **publish-side** messages per GFA under each backend
+/// (averaged over the sweep's profiles), next to the idealised `⌈log₂ n⌉`
+/// reference.  The overlay route columns growing like the reference —
+/// rather than like `n` — is the paper's scalability argument made
+/// measurable; the per-job column adds the `+k` cursor cost of the ranks
+/// the DBC loop actually probed (under MAAN including the extra hops of
+/// boundary-crossing advances), and the publish column is the routed
+/// put/remove/move traffic only the MAAN backend pays (the centrally-stored
+/// backends publish for free).
 ///
 /// # Panics
 /// Panics if the sweeps disagree on sizes or profiles.
@@ -301,6 +309,7 @@ pub fn backend_directory_comparison(sweeps: &[ScalabilitySweep]) -> DataTable {
         columns.push(format!("{} avg msgs/route", s.backend.label()));
         columns.push(format!("{} avg dir msgs/job", s.backend.label()));
         columns.push(format!("{} avg lookup s/job", s.backend.label()));
+        columns.push(format!("{} avg publish msgs/gfa", s.backend.label()));
     }
     let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     let mut table = DataTable::new(
@@ -337,9 +346,14 @@ pub fn backend_directory_comparison(sweeps: &[ScalabilitySweep]) -> DataTable {
                 })
                 .sum::<f64>()
                 / profiles;
+            let publish_per_gfa: f64 = (0..sweep.profiles.len())
+                .map(|pi| sweep.reports[si][pi].avg_publish_messages_per_gfa())
+                .sum::<f64>()
+                / profiles;
             row.push(f2(per_route));
             row.push(f2(per_job));
             row.push(f2(secs_per_job));
+            row.push(f2(publish_per_gfa));
         }
         table.push_row(row);
     }
@@ -450,34 +464,48 @@ mod tests {
     #[test]
     fn backends_produce_identical_job_outcomes() {
         // The acceptance criterion's differential check at sweep level: same
-        // seed + workload under Ideal and Chord must yield bitwise-identical
-        // job outcomes and bank balances, differing only in directory
-        // message counts and the lookup latency they account.
+        // seed + workload under Ideal, Chord and MAAN must yield
+        // bitwise-identical job outcomes and bank balances, differing only
+        // in directory/publish message counts and the lookup latency they
+        // account.
         let options = WorkloadOptions::quick();
         let sizes = [10usize];
         let profiles = [PopulationProfile::new(50)];
         let ideal = run_sweep_with_backend(&options, &sizes, &profiles, DirectoryBackend::Ideal);
-        let chord = run_sweep_with_backend(&options, &sizes, &profiles, DirectoryBackend::Chord);
-        let (a, b) = (&ideal.reports[0][0], &chord.reports[0][0]);
-        assert_eq!(a.jobs.len(), b.jobs.len());
-        for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
-            assert_eq!(ja.id, jb.id);
-            assert_eq!(ja.outcome, jb.outcome, "job {} outcome diverged", ja.id);
-            assert_eq!(ja.messages, jb.messages, "job {} negotiation traffic diverged", ja.id);
+        let a = &ideal.reports[0][0];
+        for backend in [DirectoryBackend::Chord, DirectoryBackend::Maan] {
+            let other = run_sweep_with_backend(&options, &sizes, &profiles, backend);
+            let b = &other.reports[0][0];
+            assert_eq!(a.jobs.len(), b.jobs.len());
+            for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+                assert_eq!(ja.id, jb.id);
+                assert_eq!(ja.outcome, jb.outcome, "{backend:?}: job {} outcome diverged", ja.id);
+                assert_eq!(
+                    ja.messages, jb.messages,
+                    "{backend:?}: job {} negotiation traffic diverged",
+                    ja.id
+                );
+            }
+            assert_eq!(a.messages.total_messages(), b.messages.total_messages());
+            assert_eq!(a.messages.per_job_summary(), b.messages.per_job_summary());
+            for i in 0..a.resources.len() {
+                assert!((a.bank.earnings(i) - b.bank.earnings(i)).abs() < 1e-9, "{backend:?}");
+                assert_eq!(a.resources[i].accepted, b.resources[i].accepted);
+                assert_eq!(a.resources[i].rejected, b.resources[i].rejected);
+            }
+            // Every backend accounts directory traffic; the measured overlay
+            // hops need not equal the modelled ⌈log₂ n⌉ aggregate.  Only the
+            // distributed MAAN store pays publish-side traffic.
+            assert!(a.messages.directory_messages() > 0);
+            assert!(b.messages.directory_messages() > 0);
+            assert!(b.messages.directory_seconds() > 0.0);
+            assert_eq!(a.messages.publish_messages(), 0);
+            if backend == DirectoryBackend::Maan {
+                assert!(b.messages.publish_messages() > 0, "MAAN must charge its initial publishes");
+            } else {
+                assert_eq!(b.messages.publish_messages(), 0);
+            }
         }
-        assert_eq!(a.messages.total_messages(), b.messages.total_messages());
-        assert_eq!(a.messages.per_job_summary(), b.messages.per_job_summary());
-        for i in 0..a.resources.len() {
-            assert!((a.bank.earnings(i) - b.bank.earnings(i)).abs() < 1e-9);
-            assert_eq!(a.resources[i].accepted, b.resources[i].accepted);
-            assert_eq!(a.resources[i].rejected, b.resources[i].rejected);
-        }
-        // Both backends account directory traffic; the measured overlay hops
-        // need not equal the modelled ⌈log₂ n⌉ aggregate.
-        assert!(a.messages.directory_messages() > 0);
-        assert!(b.messages.directory_messages() > 0);
-        assert!(a.messages.directory_seconds() > 0.0);
-        assert!(b.messages.directory_seconds() > 0.0);
     }
 
     #[test]
@@ -528,34 +556,61 @@ mod tests {
             .collect();
         let table = backend_directory_comparison(&sweeps);
         assert_eq!(table.len(), 2);
-        // size, log₂ ref, then (msgs/route, msgs/job, lookup s/job) per
-        // backend.
-        assert_eq!(table.columns.len(), 8);
+        // size, log₂ ref, then (msgs/route, msgs/job, lookup s/job,
+        // publish msgs/gfa) for each of the three backends.
+        assert_eq!(table.columns.len(), 2 + 4 * DirectoryBackend::ALL.len());
+        let col = |backend: DirectoryBackend, offset: usize| -> usize {
+            let bi = DirectoryBackend::ALL.iter().position(|&b| b == backend).unwrap();
+            2 + 4 * bi + offset
+        };
         for (row, size) in table.rows.iter().zip([10f64, 20.0]) {
             let log_ref: f64 = row[1].parse().unwrap();
             assert_eq!(log_ref, size.log2().ceil());
             // The ideal backend charges exactly the modelled ⌈log₂ n⌉ per
-            // routed lookup; Chord's measured hops must be positive and of
-            // the same order (within 2× of the model).
-            let ideal_per_route: f64 = row[2].parse().unwrap();
-            let chord_per_route: f64 = row[5].parse().unwrap();
+            // routed lookup; the overlay backends' measured route costs must
+            // be positive and of the same order as the model (Chord within
+            // 2×; MAAN adds the walk to the first populated arc, within 3×).
+            let ideal_per_route: f64 = row[col(DirectoryBackend::Ideal, 0)].parse().unwrap();
+            let chord_per_route: f64 = row[col(DirectoryBackend::Chord, 0)].parse().unwrap();
+            let maan_per_route: f64 = row[col(DirectoryBackend::Maan, 0)].parse().unwrap();
             assert!((ideal_per_route - log_ref).abs() < 1e-9);
             assert!(chord_per_route >= 1.0);
             assert!(
                 chord_per_route < 2.0 * log_ref,
                 "measured hops {chord_per_route:.2} far from the O(log n) model {log_ref}"
             );
+            assert!(maan_per_route >= 1.0);
+            assert!(
+                maan_per_route < 3.0 * log_ref,
+                "MAAN route cost {maan_per_route:.2} far from the O(log n) model {log_ref}"
+            );
             // Per-job totals add the +k cursor cost of the ranks probed, so
-            // they are at least one routed lookup each.
-            let ideal_per_job: f64 = row[3].parse().unwrap();
-            let chord_per_job: f64 = row[6].parse().unwrap();
+            // they are at least one routed lookup each.  MAAN's per-job
+            // figure also carries boundary-crossing advances, so it cannot
+            // undercut a single message per job either.
+            let ideal_per_job: f64 = row[col(DirectoryBackend::Ideal, 1)].parse().unwrap();
+            let chord_per_job: f64 = row[col(DirectoryBackend::Chord, 1)].parse().unwrap();
+            let maan_per_job: f64 = row[col(DirectoryBackend::Maan, 1)].parse().unwrap();
             assert!(ideal_per_job >= log_ref);
             assert!(chord_per_job >= 1.0);
+            assert!(maan_per_job >= 1.0);
             // Lookup time is charged at hops × latency (default 0.05 s).
-            let ideal_secs: f64 = row[4].parse().unwrap();
-            let chord_secs: f64 = row[7].parse().unwrap();
+            let ideal_secs: f64 = row[col(DirectoryBackend::Ideal, 2)].parse().unwrap();
+            let chord_secs: f64 = row[col(DirectoryBackend::Chord, 2)].parse().unwrap();
             assert!((ideal_secs - ideal_per_job * 0.05).abs() < 0.01);
             assert!(chord_secs > 0.0);
+            // Publish traffic: only the MAAN backend routes its quote
+            // mutations (here the n initial subscribes), so its per-GFA
+            // publish average is positive while the central stores report 0.
+            let ideal_publish: f64 = row[col(DirectoryBackend::Ideal, 3)].parse().unwrap();
+            let chord_publish: f64 = row[col(DirectoryBackend::Chord, 3)].parse().unwrap();
+            let maan_publish: f64 = row[col(DirectoryBackend::Maan, 3)].parse().unwrap();
+            assert_eq!(ideal_publish, 0.0);
+            assert_eq!(chord_publish, 0.0);
+            assert!(
+                maan_publish >= 2.0,
+                "every GFA publishes one put per attribute at minimum (got {maan_publish:.2})"
+            );
         }
     }
 }

@@ -1,8 +1,9 @@
 //! Differential test between the directory backends on the calibrated paper
-//! workload: for the same seed and workload, the `Ideal` and `Chord`
-//! backends must produce **identical** job outcomes (accepted/dropped,
-//! completion times, GridBank balances) and differ only in directory-message
-//! counts and the simulated lookup latency those messages account.
+//! workload: for the same seed and workload, the `Ideal`, `Chord` and
+//! `Maan` backends must produce **identical** job outcomes
+//! (accepted/dropped, completion times, GridBank balances) and differ only
+//! in directory/publish message counts and the simulated lookup latency
+//! those messages account.
 
 use grid_experiments::workloads::{paper_workloads, WorkloadOptions};
 use grid_federation_core::federation::{run_federation, FederationConfig, SchedulingMode};
@@ -28,69 +29,91 @@ fn run_with(backend: DirectoryBackend) -> FederationReport {
 #[test]
 fn backends_differ_only_in_directory_traffic() {
     let ideal = run_with(DirectoryBackend::Ideal);
-    let chord = run_with(DirectoryBackend::Chord);
     assert_eq!(ideal.backend, DirectoryBackend::Ideal);
-    assert_eq!(chord.backend, DirectoryBackend::Chord);
-
-    // Job outcomes are bitwise-identical: same records in the same order,
-    // modulo the directory_messages field.
-    assert_eq!(ideal.jobs.len(), chord.jobs.len());
     assert!(!ideal.jobs.is_empty());
-    for (a, b) in ideal.jobs.iter().zip(&chord.jobs) {
-        assert_eq!(a.id, b.id);
-        assert_eq!(a.outcome, b.outcome, "job {} outcome diverged", a.id);
-        assert_eq!(a.messages, b.messages, "job {} negotiation traffic diverged", a.id);
-        assert_eq!(a.strategy, b.strategy);
-        assert_eq!(a.submit, b.submit);
-        assert_eq!(a.budget, b.budget);
-        assert_eq!(a.deadline, b.deadline);
-    }
-    assert_eq!(ideal.sim_end, chord.sim_end);
-
-    // Per-resource statistics and GridBank balances agree exactly.
-    for (ra, rb) in ideal.resources.iter().zip(&chord.resources) {
-        assert_eq!(ra.accepted, rb.accepted);
-        assert_eq!(ra.rejected, rb.rejected);
-        assert_eq!(ra.processed_locally, rb.processed_locally);
-        assert_eq!(ra.migrated, rb.migrated);
-        assert_eq!(ra.remote_jobs_processed, rb.remote_jobs_processed);
-        assert_eq!(ra.utilization, rb.utilization);
-        assert!((ra.incentive - rb.incentive).abs() < 1e-12);
-    }
-    assert!(ideal.bank.is_balanced() && chord.bank.is_balanced());
-
-    // Negotiation traffic is identical at every granularity…
-    assert_eq!(ideal.messages.total_messages(), chord.messages.total_messages());
-    assert_eq!(ideal.messages.per_job(), chord.messages.per_job());
-    assert_eq!(ideal.messages.per_gfa_summary(), chord.messages.per_gfa_summary());
-
-    // …while directory traffic is where the backends are allowed (and
-    // expected) to differ: both issued the same queries; the ideal backend
-    // charged the ⌈log₂ 8⌉ = 3 model per routed lookup, Chord charged
-    // measured overlay hops (cursor advances cost 1 on both).
-    assert_eq!(ideal.directory_queries, chord.directory_queries);
-    assert!(ideal.directory_queries > 0);
     assert!(
         (ideal.directory_avg_route_messages - 3.0).abs() < 1e-9,
         "ideal backend must charge exactly the modelled routing cost"
     );
-    assert!(chord.directory_avg_route_messages >= 1.0);
-    assert!(chord.messages.directory_messages() > 0);
-    // (No assert that the totals *differ*: nothing forbids the measured hop
-    // total from coinciding with the model for some seed — the invariant is
-    // that directory traffic is the only place backends may diverge.)
     // Lookup latency follows the message counts (0.05 s per hop by default).
     assert!((ideal.messages.directory_seconds()
         - ideal.messages.directory_messages() as f64 * 0.05)
         .abs()
         < 1e-6);
-    assert!(chord.messages.directory_seconds() > 0.0);
+    assert_eq!(ideal.messages.publish_messages(), 0, "central stores publish for free");
+
+    for backend in [DirectoryBackend::Chord, DirectoryBackend::Maan] {
+        let other = run_with(backend);
+        assert_eq!(other.backend, backend);
+
+        // Job outcomes are bitwise-identical: same records in the same
+        // order, modulo the directory_messages field.
+        assert_eq!(ideal.jobs.len(), other.jobs.len());
+        for (a, b) in ideal.jobs.iter().zip(&other.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.outcome, b.outcome, "{backend:?}: job {} outcome diverged", a.id);
+            assert_eq!(
+                a.messages, b.messages,
+                "{backend:?}: job {} negotiation traffic diverged",
+                a.id
+            );
+            assert_eq!(a.strategy, b.strategy);
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(a.budget, b.budget);
+            assert_eq!(a.deadline, b.deadline);
+        }
+        assert_eq!(ideal.sim_end, other.sim_end);
+
+        // Per-resource statistics and GridBank balances agree exactly.
+        for (ra, rb) in ideal.resources.iter().zip(&other.resources) {
+            assert_eq!(ra.accepted, rb.accepted, "{backend:?}");
+            assert_eq!(ra.rejected, rb.rejected);
+            assert_eq!(ra.processed_locally, rb.processed_locally);
+            assert_eq!(ra.migrated, rb.migrated);
+            assert_eq!(ra.remote_jobs_processed, rb.remote_jobs_processed);
+            assert_eq!(ra.utilization, rb.utilization);
+            assert!((ra.incentive - rb.incentive).abs() < 1e-12);
+        }
+        assert!(ideal.bank.is_balanced() && other.bank.is_balanced());
+
+        // Negotiation traffic is identical at every granularity…
+        assert_eq!(ideal.messages.total_messages(), other.messages.total_messages());
+        assert_eq!(ideal.messages.per_job(), other.messages.per_job());
+        assert_eq!(ideal.messages.per_gfa_summary(), other.messages.per_gfa_summary());
+
+        // …while directory (and, for MAAN, publish) traffic is where the
+        // backends are allowed — and expected — to differ: both issued the
+        // same queries; the ideal backend charged the ⌈log₂ 8⌉ = 3 model
+        // per routed lookup, the overlay backends charged measured hops
+        // (under MAAN the advances also carry boundary crossings over the
+        // distributed rank data).
+        assert_eq!(ideal.directory_queries, other.directory_queries, "{backend:?}");
+        assert!(ideal.directory_queries > 0);
+        assert!(other.directory_avg_route_messages >= 1.0);
+        assert!(other.messages.directory_messages() > 0);
+        // (No assert that the totals *differ*: nothing forbids the measured
+        // hop total from coinciding with the model for some seed — the
+        // invariant is that directory/publish traffic is the only place
+        // backends may diverge.)
+        assert!(other.messages.directory_seconds() > 0.0);
+        if backend == DirectoryBackend::Maan {
+            // 8 resources × ≥ 2 routed puts each: the publish class is live.
+            assert!(
+                other.directory_publish_messages() >= 16,
+                "MAAN must charge its initial publishes (got {})",
+                other.directory_publish_messages()
+            );
+            assert!(other.messages.publish_seconds() > 0.0);
+        } else {
+            assert_eq!(other.directory_publish_messages(), 0);
+        }
+    }
 }
 
 #[test]
 fn departures_are_outcome_identical_across_backends() {
-    // The unsubscribe primitive must behave identically through both
-    // backends when exercised mid-run.
+    // The unsubscribe primitive must behave identically through every
+    // backend when exercised mid-run.
     let options = WorkloadOptions::quick();
     let run = |backend| {
         let setup = paper_workloads(PopulationProfile::new(50), &options);
@@ -111,14 +134,25 @@ fn departures_are_outcome_identical_across_backends() {
         )
     };
     let ideal = run(DirectoryBackend::Ideal);
-    let chord = run(DirectoryBackend::Chord);
-    assert_eq!(ideal.jobs.len(), chord.jobs.len());
-    for (a, b) in ideal.jobs.iter().zip(&chord.jobs) {
-        assert_eq!(a.id, b.id);
-        assert_eq!(a.outcome, b.outcome);
+    for backend in [DirectoryBackend::Chord, DirectoryBackend::Maan] {
+        let other = run(backend);
+        assert_eq!(ideal.jobs.len(), other.jobs.len());
+        for (a, b) in ideal.jobs.iter().zip(&other.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.outcome, b.outcome, "{backend:?}");
+        }
+        assert_eq!(ideal.messages.total_messages(), other.messages.total_messages());
+        assert!(ideal.bank.is_balanced() && other.bank.is_balanced());
+        if backend == DirectoryBackend::Maan {
+            // The departure's routed removes and the repricing's routed move
+            // land in the publish class on top of the initial subscribes.
+            assert!(
+                other.directory_publish_messages() > 16,
+                "mid-run mutations must add publish traffic (got {})",
+                other.directory_publish_messages()
+            );
+        }
     }
-    assert_eq!(ideal.messages.total_messages(), chord.messages.total_messages());
-    assert!(ideal.bank.is_balanced() && chord.bank.is_balanced());
     // The departed resource executed strictly less remote work than in the
     // undisturbed run of `backends_differ_only_in_directory_traffic`.
     let undisturbed = run_with(DirectoryBackend::Ideal);
