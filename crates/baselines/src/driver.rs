@@ -8,8 +8,8 @@
 //! closure so the S-I/R-I/Sy-I and flock variants share all bookkeeping.
 
 use std::cmp::Reverse;
+use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
 
 use grid_cluster::{completion_time, ClusterJob, LocalScheduler, ResourceSpec, SpaceSharedFcfs};
 use grid_workload::{Job, JobId};
@@ -168,8 +168,10 @@ where
     let mut response_sum = 0.0;
     let mut accepted = 0usize;
     let mut rejected = 0usize;
-    // Executing job → (origin, submit time).
-    let mut executing: HashMap<JobId, (usize, f64)> = HashMap::new();
+    // Executing job → (origin, submit time).  Ordered map: the simulation
+    // crates keep hash collections out so no state ever depends on a
+    // nondeterministic iteration order (fedlint `hash-iteration`).
+    let mut executing: BTreeMap<JobId, (usize, f64)> = BTreeMap::new();
     let mut last_time = 0.0f64;
     // Reused for LRMS start notifications so the loop never allocates.
     let mut started: Vec<grid_cluster::StartedJob> = Vec::new();

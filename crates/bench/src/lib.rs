@@ -33,7 +33,7 @@ pub fn bench_options() -> WorkloadOptions {
 pub fn populated_directory(backend: DirectoryBackend, n: usize) -> AnyDirectory {
     let mut dir = backend.build(n, 0xD1CE);
     for gfa in 0..n {
-        dir.subscribe(Quote {
+        let _ = dir.subscribe(Quote {
             gfa,
             processors: 128,
             mips: 400.0 + 9.0 * ((gfa * 13) % n) as f64,

@@ -119,6 +119,9 @@ impl QuoteCache {
         let mut t = now;
         for q in queue {
             while free < q.processors {
+                // The LRMS admits only jobs that fit the cluster, so enough
+                // finish events always remain to free the requested PEs.
+                // fedlint: allow(hot-path-unwrap)
                 let Reverse(ev) = self.scratch.pop().expect("not enough processors ever free");
                 if ev.time > t {
                     t = ev.time;
@@ -196,6 +199,8 @@ pub(crate) fn replay_estimate(
 
     let mut simulate_start = |procs: u32, service: f64, free: &mut u32, t: &mut f64| -> f64 {
         while *free < procs {
+            // Capacity is prechecked above, so the replay can always free
+            // enough PEs.  fedlint: allow(hot-path-unwrap)
             let Reverse(ev) = heap.pop().expect("not enough processors ever free");
             if ev.time > *t {
                 *t = ev.time;

@@ -172,6 +172,15 @@ impl GridBank {
         self.transfers
     }
 
+    /// Corrupting test double: credits `amount` Grid Dollars to `owner`
+    /// without debiting anyone, leaking currency into the federation.  Only
+    /// exists so the invariant tests can prove the conservation check
+    /// fires.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_leak(&mut self, owner: usize, amount: f64) {
+        self.owner_earnings[owner] += amount;
+    }
+
     /// Currency conservation check: total earnings must equal total spending
     /// (up to floating-point error).  Used by tests and debug assertions.
     #[must_use]

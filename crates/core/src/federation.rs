@@ -79,6 +79,9 @@ pub struct SharedState {
     pub remote_processed: Vec<usize>,
     /// Quote-cache hit/miss counters, merged in by each GFA at end of run.
     pub directory_cache: CacheStats,
+    /// Runtime invariant observer, consulted after every delivered event.
+    #[cfg(feature = "invariants")]
+    pub invariants: crate::invariants::InvariantSentry,
 }
 
 /// End-of-run per-resource snapshot captured by each GFA.
@@ -301,6 +304,8 @@ impl FederationBuilder {
             resource_snapshots: vec![None; n],
             remote_processed: vec![0; n],
             directory_cache: CacheStats::default(),
+            #[cfg(feature = "invariants")]
+            invariants: crate::invariants::InvariantSentry::new(),
         }));
 
         let mut sim: Simulation<FedMessage> = Simulation::new(config.seed);
@@ -379,6 +384,7 @@ fn assemble_report(
         resource_snapshots,
         remote_processed,
         directory_cache,
+        ..
     } = state;
     let directory_queries = directory.queries_served();
     let directory_avg_route_messages = directory.average_route_messages();

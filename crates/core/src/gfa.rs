@@ -35,7 +35,7 @@
 //! designed to provide.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use grid_cluster::{completion_time, ClusterJob, LocalScheduler, ResourceSpec, StartedJob};
@@ -127,9 +127,9 @@ pub struct Gfa {
     /// directory; invalidated automatically when the directory mutates.
     quote_cache: QuoteCache,
     shared: Rc<RefCell<SharedState>>,
-    pending: HashMap<JobId, PendingJob>,
-    awaiting_remote: HashMap<JobId, AwaitingRemote>,
-    executing: HashMap<JobId, ExecutingJob>,
+    pending: BTreeMap<JobId, PendingJob>,
+    awaiting_remote: BTreeMap<JobId, AwaitingRemote>,
+    executing: BTreeMap<JobId, ExecutingJob>,
     /// Reusable buffer for LRMS start notifications, so the steady-state
     /// event loop performs no per-event allocation.
     scratch: Vec<StartedJob>,
@@ -174,9 +174,9 @@ impl Gfa {
             charge_publish,
             quote_cache: QuoteCache::new(),
             shared,
-            pending: HashMap::new(),
-            awaiting_remote: HashMap::new(),
-            executing: HashMap::new(),
+            pending: BTreeMap::new(),
+            awaiting_remote: BTreeMap::new(),
+            executing: BTreeMap::new(),
             scratch: Vec::new(),
         }
     }
@@ -668,6 +668,8 @@ impl Gfa {
         }
 
         if entry.origin == self.index {
+            // Every locally submitted job stores its seed in `on_submit`
+            // before it can ever finish.  fedlint: allow(hot-path-unwrap)
             let seed = entry
                 .local_seed
                 .expect("locally originated jobs carry their record seed");
@@ -841,6 +843,20 @@ impl Entity<FedMessage> for Gfa {
             FedMessage::LocalJobFinished { job } => self.on_local_job_finished(job, ctx),
             FedMessage::Depart => self.on_depart(),
             FedMessage::Reprice { price } => self.on_reprice(price),
+        }
+        // Under the `invariants` feature every delivered event ends with a
+        // sweep of the federation's global accounting invariants (currency
+        // conservation, traffic/epoch monotonicity) over the shared state.
+        #[cfg(feature = "invariants")]
+        {
+            let crate::federation::SharedState {
+                ref directory,
+                ref bank,
+                ref ledger,
+                ref mut invariants,
+                ..
+            } = *self.shared.borrow_mut();
+            invariants.check(ctx.now().as_secs(), bank, ledger, directory);
         }
     }
 

@@ -1,0 +1,112 @@
+//! Runtime invariant checking (the `invariants` feature).
+//!
+//! When the feature is on, every GFA runs an [`InvariantSentry`] pass over
+//! the shared federation state after each delivered event.  The sentry is a
+//! pure observer: it holds the high-water marks of the monotone quantities
+//! and asserts that the federation's global accounting identities still
+//! hold.  Four invariants are checked:
+//!
+//! 1. **Grid-Dollar conservation** — every payment debits a user account
+//!    and credits an owner account, so total earnings must equal total
+//!    spending at every instant ([`GridBank::is_balanced`]).
+//! 2. **Payment monotonicity** — completed-job payments are never
+//!    reversed, so the bank's total volume may only grow.
+//! 3. **Traffic monotonicity** — message counters (negotiation, directory,
+//!    publish) only accumulate.
+//! 4. **Epoch monotonicity** — the directory epoch is bumped by mutations
+//!    and never rewinds, which is what cursor/cache revalidation relies on.
+//!
+//! Event-*time* monotonicity is the engine's own invariant and is enforced
+//! inside `grid-des` (promoted to a hard assert under the same feature).
+//! Companion corrupting test doubles — [`GridBank::corrupt_leak`],
+//! `AnyDirectory::corrupt_epoch_rewind`, the event-time corruptor in
+//! `grid-des` — exist so the test suite can prove each check actually
+//! fires.
+
+use grid_directory::{AnyDirectory, FederationDirectory};
+
+use crate::economy::GridBank;
+use crate::messages::MessageLedger;
+
+/// Per-run observer asserting the federation's global accounting
+/// invariants after every delivered event (see the module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InvariantSentry {
+    /// Highest simulation time observed so far.
+    last_time: f64,
+    /// Bank volume at the previous check.
+    last_volume: f64,
+    /// Ledger traffic (negotiation + directory + publish) at the previous
+    /// check.
+    last_traffic: u64,
+    /// Directory epoch at the previous check.
+    last_epoch: u64,
+    /// Checks executed, for test observability.
+    checks: u64,
+}
+
+impl InvariantSentry {
+    /// Creates a sentry with empty high-water marks.
+    #[must_use]
+    pub fn new() -> Self {
+        InvariantSentry::default()
+    }
+
+    /// Number of checks executed so far.
+    #[must_use]
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Asserts every invariant against the shared state as of `now`,
+    /// updating the high-water marks.
+    ///
+    /// # Panics
+    /// Panics when an invariant is violated — that is the whole point.
+    pub fn check(
+        &mut self,
+        now: f64,
+        bank: &GridBank,
+        ledger: &MessageLedger,
+        directory: &AnyDirectory,
+    ) {
+        assert!(
+            now >= self.last_time,
+            "time ran backwards: checked at {now} after {}",
+            self.last_time
+        );
+        self.last_time = now;
+
+        assert!(
+            bank.is_balanced(),
+            "Grid Dollars leaked at t={now}: owners earned {} but users spent {}",
+            bank.total_volume(),
+            bank.all_spending().iter().sum::<f64>(),
+        );
+        let volume = bank.total_volume();
+        assert!(
+            volume >= self.last_volume,
+            "bank volume shrank at t={now}: {volume} after {}",
+            self.last_volume
+        );
+        self.last_volume = volume;
+
+        let traffic = ledger.total_messages() + ledger.directory_messages() + ledger.publish_messages();
+        assert!(
+            traffic >= self.last_traffic,
+            "message counters ran backwards at t={now}: {traffic} after {}",
+            self.last_traffic
+        );
+        self.last_traffic = traffic;
+
+        let epoch = directory.epoch();
+        assert!(
+            epoch >= self.last_epoch,
+            "directory epoch rewound at t={now}: {epoch} after {}",
+            self.last_epoch
+        );
+        self.last_epoch = epoch;
+
+        self.checks += 1;
+    }
+}

@@ -58,6 +58,8 @@
 pub mod economy;
 pub mod federation;
 pub mod gfa;
+#[cfg(feature = "invariants")]
+pub mod invariants;
 pub mod messages;
 pub mod metrics;
 
@@ -68,5 +70,7 @@ pub use federation::{
 };
 pub use grid_directory::{CacheStats, DirectoryBackend};
 pub use gfa::Gfa;
+#[cfg(feature = "invariants")]
+pub use invariants::InvariantSentry;
 pub use messages::{FedMessage, GfaMessageCounters, MessageLedger, MessageType};
 pub use metrics::{ExecutionOutcome, FederationReport, JobRecord, ResourceMetrics};

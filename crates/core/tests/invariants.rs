@@ -1,0 +1,163 @@
+//! Invariant-checker coverage (the `invariants` feature).
+//!
+//! Two kinds of test live here: end-to-end runs proving a healthy
+//! federation passes every per-event check, and deliberately-corrupting
+//! test doubles — a bank that leaks one Grid Dollar, a directory that
+//! rewinds its epoch — proving each invariant actually fires.
+#![cfg(feature = "invariants")]
+
+use grid_cluster::ResourceSpec;
+use grid_directory::{AnyDirectory, FederationDirectory, Quote};
+use grid_federation_core::{
+    run_federation, DirectoryBackend, FederationConfig, GridBank, InvariantSentry, MessageLedger,
+    SchedulingMode,
+};
+use grid_workload::{Job, JobId, Strategy, UserId};
+
+fn healthy_state() -> (GridBank, MessageLedger, AnyDirectory) {
+    let mut bank = GridBank::new(3);
+    bank.pay(0, 1, 40.0);
+    bank.pay(2, 0, 2.5);
+    let mut ledger = MessageLedger::new(3);
+    ledger.record_directory(0, 4, 0.2);
+    let mut dir = DirectoryBackend::Ideal.build(3, 0xBEEF);
+    let _ = dir.subscribe(Quote {
+        gfa: 0,
+        processors: 16,
+        mips: 500.0,
+        bandwidth: 1.0,
+        price: 2.0,
+    });
+    (bank, ledger, dir)
+}
+
+#[test]
+fn healthy_state_passes_repeated_checks() {
+    let (bank, ledger, dir) = healthy_state();
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir);
+    sentry.check(10.0, &bank, &ledger, &dir);
+    sentry.check(10.0, &bank, &ledger, &dir); // equal time is fine
+    assert_eq!(sentry.checks(), 3);
+}
+
+#[test]
+#[should_panic(expected = "Grid Dollars leaked")]
+fn leaked_grid_dollar_fires_conservation() {
+    let (mut bank, ledger, dir) = healthy_state();
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir);
+    // The corrupting double credits an owner without debiting any user.
+    bank.corrupt_leak(1, 1.0);
+    sentry.check(1.0, &bank, &ledger, &dir);
+}
+
+#[test]
+#[should_panic(expected = "bank volume shrank")]
+fn shrinking_volume_fires_monotonicity() {
+    let (bank, ledger, dir) = healthy_state();
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir);
+    // A *fresh* bank stands in for one that forgot recorded payments.
+    let empty = GridBank::new(3);
+    sentry.check(1.0, &empty, &ledger, &dir);
+}
+
+#[test]
+#[should_panic(expected = "time ran backwards")]
+fn reordered_check_fires_time_monotonicity() {
+    let (bank, ledger, dir) = healthy_state();
+    let mut sentry = InvariantSentry::new();
+    sentry.check(10.0, &bank, &ledger, &dir);
+    sentry.check(5.0, &bank, &ledger, &dir);
+}
+
+#[test]
+#[should_panic(expected = "message counters ran backwards")]
+fn forgotten_traffic_fires_ledger_monotonicity() {
+    let (bank, ledger, dir) = healthy_state();
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir);
+    let empty = MessageLedger::new(3);
+    sentry.check(1.0, &bank, &empty, &dir);
+}
+
+#[test]
+#[should_panic(expected = "directory epoch rewound")]
+fn epoch_rewind_fires_on_every_backend() {
+    let (bank, ledger, mut dir) = healthy_state();
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir);
+    // The corrupting double forgets every mutation's epoch bump.
+    dir.corrupt_epoch_rewind();
+    sentry.check(1.0, &bank, &ledger, &dir);
+}
+
+#[test]
+fn epoch_rewind_double_works_on_overlay_backends() {
+    for backend in [DirectoryBackend::Chord, DirectoryBackend::Maan] {
+        let mut dir = backend.build(4, 0xF00D);
+        let _ = dir.subscribe(Quote {
+            gfa: 1,
+            processors: 8,
+            mips: 700.0,
+            bandwidth: 1.0,
+            price: 3.0,
+        });
+        assert!(dir.epoch() > 0, "{backend:?}: mutation must bump the epoch");
+        dir.corrupt_epoch_rewind();
+        assert_eq!(dir.epoch(), 0, "{backend:?}: double must rewind the epoch");
+    }
+}
+
+fn job(origin: usize, seq: usize, submit: f64, strategy: Strategy) -> Job {
+    let mips = if origin == 0 { 500.0 } else { 1_000.0 };
+    let mut j = Job::from_runtime(
+        JobId { origin, seq },
+        UserId { origin, local: seq % 4 },
+        submit,
+        4,
+        120.0,
+        mips,
+        0.10,
+    );
+    j.qos.strategy = strategy;
+    j
+}
+
+/// End to end: a real federation run executes the sentry after every
+/// delivered event and finishes cleanly on every backend — the economy
+/// workload conserves currency and keeps every counter monotone.
+#[test]
+fn federation_runs_pass_under_invariant_checking() {
+    for backend in [
+        DirectoryBackend::Ideal,
+        DirectoryBackend::Chord,
+        DirectoryBackend::Maan,
+    ] {
+        let resources = vec![
+            ResourceSpec::new("slow-cheap", 32, 500.0, 1.0, 2.0),
+            ResourceSpec::new("fast-pricey", 32, 1_000.0, 2.0, 4.0),
+        ];
+        let workloads = vec![
+            vec![
+                job(0, 0, 10.0, Strategy::Ofc),
+                job(0, 1, 40.0, Strategy::Oft),
+            ],
+            vec![job(1, 0, 25.0, Strategy::Ofc)],
+        ];
+        let config = FederationConfig {
+            mode: SchedulingMode::Economy,
+            directory: backend,
+            seed: 0xFED5EED,
+            ..FederationConfig::default()
+        };
+        let report = run_federation(resources, workloads, config);
+        assert_eq!(
+            report.jobs.len(),
+            3,
+            "{backend:?}: the run must process jobs for the sentry to see events"
+        );
+        assert!(report.bank.is_balanced());
+    }
+}

@@ -105,6 +105,9 @@ impl<M> EventQueue<M> {
                     slot
                 }
                 None => {
+                    // Documented capacity limit (see `# Panics`): the 4-byte
+                    // heap key is what makes the queue cache-friendly.
+                    // fedlint: allow(hot-path-unwrap)
                     let slot = u32::try_from(self.slots.len())
                         .expect("more than u32::MAX pending events");
                     self.slots.push(Some(event));
@@ -119,14 +122,17 @@ impl<M> EventQueue<M> {
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<Event<M>> {
         let root = *self.heap.first()?;
-        let last = self.heap.pop().expect("heap is non-empty");
+        // `first()` just returned, so the heap is non-empty and neither `?`
+        // below can actually bail — written `?`-style to keep panicking
+        // branches off the dispatch hot path.
+        let last = self.heap.pop()?;
         if !self.heap.is_empty() {
             self.heap[0] = last;
             self.sift_down(0);
         }
-        let event = self.slots[root.slot as usize]
-            .take()
-            .expect("heap key references a filled slot");
+        let slot = &mut self.slots[root.slot as usize];
+        debug_assert!(slot.is_some(), "heap key references a filled slot");
+        let event = slot.take()?;
         self.free.push(root.slot);
         Some(event)
     }
@@ -164,6 +170,24 @@ impl<M> EventQueue<M> {
     #[must_use]
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Corrupting test double: rewrites the earliest pending event's
+    /// timestamp to `new_time` **without** restoring heap order, emulating a
+    /// scheduler bug that delivers an event from the past.  Returns `false`
+    /// on an empty queue.  Only exists so the invariant tests can prove the
+    /// engine's time-monotonicity check fires; never compiled into normal
+    /// builds.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_earliest_time(&mut self, new_time: SimTime) -> bool {
+        let Some(root) = self.heap.first() else {
+            return false;
+        };
+        if let Some(event) = self.slots[root.slot as usize].as_mut() {
+            event.time = new_time;
+        }
+        self.heap[0].time = new_time;
+        true
     }
 
     /// Drops every pending event, e.g. when a run is aborted at its horizon.

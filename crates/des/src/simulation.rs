@@ -117,6 +117,15 @@ impl<M: std::fmt::Debug> Simulation<M> {
         &self.stats
     }
 
+    /// Corrupting test double: rewinds the earliest pending event to
+    /// `new_time` (see [`EventQueue::corrupt_earliest_time`]), so the next
+    /// delivery trips the engine's time-monotonicity assert if `new_time`
+    /// lies in the simulated past.  Returns `false` on an empty queue.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_earliest_event_time(&mut self, new_time: SimTime) -> bool {
+        self.queue.corrupt_earliest_time(new_time)
+    }
+
     /// Immutable access to a registered entity, downcast by the caller.
     ///
     /// Returns `None` while that entity is being invoked (i.e. from within
@@ -207,6 +216,17 @@ impl<M: std::fmt::Debug> Simulation<M> {
                     }
                 },
             };
+            // Time monotonicity: a debug assertion normally, promoted to a
+            // hard assert under the `invariants` feature so release-mode CI
+            // test runs still catch a clock running backwards.
+            #[cfg(feature = "invariants")]
+            assert!(
+                event.time >= self.clock,
+                "event queue returned an event from the past ({:?} < {:?})",
+                event.time,
+                self.clock
+            );
+            #[cfg(not(feature = "invariants"))]
             debug_assert!(
                 event.time >= self.clock,
                 "event queue returned an event from the past"

@@ -132,6 +132,14 @@ impl AnyDirectory {
         }
     }
 
+    /// Corrupting test double: rewinds the content epoch to zero, whatever
+    /// the backend.  Only exists so the invariant tests can prove the epoch
+    /// monotonicity check fires.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_epoch_rewind(&mut self) {
+        dispatch!(self, d => d.corrupt_epoch_rewind())
+    }
+
     /// Total routed publish-side messages charged by mutations so far: zero
     /// for the centrally-stored backends, the measured put/remove/move
     /// routing cost for MAAN.
@@ -228,7 +236,7 @@ mod tests {
                 .iter()
                 .enumerate()
             {
-                dir.subscribe(quote(i, *mips, *price));
+                let _ = dir.subscribe(quote(i, *mips, *price));
             }
             assert_eq!(dir.len(), 4);
             assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 3);
@@ -238,9 +246,9 @@ mod tests {
             assert!(traced.messages >= 1);
             assert!(dir.queries_served() >= 3);
             assert!(dir.average_route_messages() >= 1.0);
-            dir.unsubscribe(3);
+            let _ = dir.unsubscribe(3);
             assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 1);
-            dir.update_price(0, 0.1);
+            let _ = dir.update_price(0, 0.1);
             assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 0);
         }
     }

@@ -280,6 +280,14 @@ impl ChordDirectory {
         &self.overlay
     }
 
+    /// Corrupting test double: rewinds the content epoch (held by the exact
+    /// store this backend wraps) to zero.  Only exists so the invariant
+    /// tests can prove the epoch monotonicity check fires.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_epoch_rewind(&mut self) {
+        self.exact.corrupt_epoch_rewind();
+    }
+
     /// Total directory messages spent on ranking queries so far (routed
     /// lookups plus cursor advances).
     #[must_use]
@@ -571,7 +579,7 @@ mod tests {
     fn chord_directory_returns_exact_results_with_measured_cost() {
         let mut dir = ChordDirectory::new(8, 11);
         for (i, r) in paper_resources().iter().enumerate() {
-            dir.subscribe(Quote::from_spec(i, &r.spec));
+            let _ = dir.subscribe(Quote::from_spec(i, &r.spec));
         }
         assert_eq!(dir.len(), 8);
         assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 3); // LANL Origin
@@ -621,7 +629,7 @@ mod tests {
     fn range_cursor_model_charges_log_plus_k() {
         let mut dir = ChordDirectory::new(8, 11);
         for (i, r) in paper_resources().iter().enumerate() {
-            dir.subscribe(Quote::from_spec(i, &r.spec));
+            let _ = dir.subscribe(Quote::from_spec(i, &r.spec));
         }
         // Rank 1 establishes the cursor: a routed lookup of ≥ 1 hop.
         let head = dir.query_cheapest(2, 1);
@@ -645,7 +653,7 @@ mod tests {
     fn traced_queries_route_from_the_given_origin() {
         let mut dir = ChordDirectory::new(8, 11);
         for (i, r) in paper_resources().iter().enumerate() {
-            dir.subscribe(Quote::from_spec(i, &r.spec));
+            let _ = dir.subscribe(Quote::from_spec(i, &r.spec));
         }
         // The same (dimension, rank) key from different origins resolves the
         // same quote; only the measured hop count may differ.

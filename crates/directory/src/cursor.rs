@@ -27,6 +27,7 @@ use crate::quote::{FederationDirectory, RankOrder, TracedQuote};
 /// directory, so a GFA can keep one per in-flight job while the directory
 /// lives in shared state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "an opened cursor carries a pre-paid route charge that must be yielded"]
 pub struct RankCursor {
     pub(crate) origin: usize,
     pub(crate) order: RankOrder,
@@ -41,7 +42,6 @@ pub struct RankCursor {
 impl RankCursor {
     /// Builds a cursor positioned before rank 1 with a pre-paid route cost.
     /// Backends construct these in `open_cursor`.
-    #[must_use]
     pub(crate) fn opened(origin: usize, order: RankOrder, epoch: u64, route_messages: u64) -> Self {
         RankCursor {
             origin,
@@ -61,7 +61,6 @@ impl RankCursor {
     /// # Panics
     /// Panics if `next_rank < 2` — resuming *at* the head must go through a
     /// routed [`FederationDirectory::open_cursor`] instead.
-    #[must_use]
     pub fn resume(origin: usize, order: RankOrder, epoch: u64, next_rank: usize) -> Self {
         assert!(next_rank >= 2, "resuming at rank {next_rank}: the head needs a routed open");
         RankCursor {
@@ -219,25 +218,20 @@ impl QuoteCache {
         // Miss: stream the rank through the job's cursor.
         self.stats.misses += 1;
         let cur = match cursor {
-            Some(c) if c.order() == order && c.origin() == origin => {
-                if r == 1 {
-                    // A live cursor never rewinds to the head (jobs probe
-                    // strictly increasing ranks); a rank-1 miss with a
-                    // cursor in hand means the epoch moved — re-open.
-                    *cursor = Some(dir.open_cursor(origin, order));
-                } else {
-                    c.seek(r);
-                }
-                cursor.as_mut().expect("just ensured")
+            Some(c) if c.order() == order && c.origin() == origin && r > 1 => {
+                c.seek(r);
+                c
             }
-            _ => {
-                *cursor = Some(if r == 1 {
-                    dir.open_cursor(origin, order)
-                } else {
-                    RankCursor::resume(origin, order, epoch, r)
-                });
-                cursor.as_mut().expect("just inserted")
-            }
+            // A live cursor never rewinds to the head (jobs probe strictly
+            // increasing ranks); a rank-1 miss with a cursor in hand means
+            // the epoch moved — re-open (routed).  `Option::insert` hands
+            // back the freshly stored cursor without an unwrap on the hot
+            // path.
+            _ => cursor.insert(if r == 1 {
+                dir.open_cursor(origin, order)
+            } else {
+                RankCursor::resume(origin, order, epoch, r)
+            }),
         };
         let traced = dir.cursor_next(cur);
         if oc.ranks.len() < r {
@@ -267,7 +261,7 @@ mod tests {
     fn populated(backend: DirectoryBackend, n: usize) -> crate::backend::AnyDirectory {
         let mut dir = backend.build(n, 77);
         for i in 0..n {
-            dir.subscribe(quote(i, 400.0 + 13.0 * ((i * 7) % n) as f64, 1.0 + 0.3 * ((i * 3) % n) as f64));
+            let _ = dir.subscribe(quote(i, 400.0 + 13.0 * ((i * 7) % n) as f64, 1.0 + 0.3 * ((i * 3) % n) as f64));
         }
         dir
     }
@@ -306,7 +300,7 @@ mod tests {
             // Reprice the current head out of first place: the stale cursor
             // must resolve rank 2 of the *new* ranking.
             let old_head = head.quote.unwrap().gfa;
-            dir.update_price(old_head, 1_000.0);
+            let _ = dir.update_price(old_head, 1_000.0);
             let next = dir.cursor_next(&mut cursor);
             let fresh = dir.query_ranked(0, RankOrder::Cheapest, 2);
             assert_eq!(next.quote, fresh.quote, "{backend:?}");
@@ -325,7 +319,7 @@ mod tests {
         let mut dir = populated(DirectoryBackend::Ideal, 32);
         let mut cursor = dir.open_cursor(0, RankOrder::Fastest);
         for gfa in 16..32 {
-            dir.unsubscribe(gfa);
+            let _ = dir.unsubscribe(gfa);
         }
         let head = dir.cursor_next(&mut cursor);
         assert_eq!(head.messages, 4, "⌈log₂ 16⌉, not the stale ⌈log₂ 32⌉");
@@ -382,13 +376,13 @@ mod tests {
             let mut cache = QuoteCache::new();
             let mutate: [&dyn Fn(&mut crate::backend::AnyDirectory); 3] = [
                 &|d| {
-                    d.update_price(2, 0.05);
+                    let _ = d.update_price(2, 0.05);
                 },
                 &|d| {
-                    d.unsubscribe(5);
+                    let _ = d.unsubscribe(5);
                 },
                 &|d| {
-                    d.subscribe(Quote { gfa: 5, processors: 8, mips: 9_000.0, bandwidth: 1.0, price: 9.0 });
+                    let _ = d.subscribe(Quote { gfa: 5, processors: 8, mips: 9_000.0, bandwidth: 1.0, price: 9.0 });
                 },
             ];
             for (step, m) in mutate.iter().enumerate() {

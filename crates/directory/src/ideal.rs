@@ -41,9 +41,18 @@ impl IdealDirectory {
     pub fn with_quotes(quotes: impl IntoIterator<Item = Quote>) -> Self {
         let mut dir = IdealDirectory::new();
         for q in quotes {
-            dir.subscribe(q);
+            let _ = dir.subscribe(q);
         }
         dir
+    }
+
+    /// Corrupting test double: rewinds the content epoch to zero without
+    /// touching the quote store, emulating a backend that forgets
+    /// mutations.  Only exists so the invariant tests can prove the epoch
+    /// monotonicity check fires.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_epoch_rewind(&mut self) {
+        self.epoch = 0;
     }
 
     fn rebuild_if_dirty(&mut self) {
@@ -339,10 +348,10 @@ mod tests {
         // Make GFA 0 the cheapest by republishing with a lower price.
         let mut q = *dir.quotes().iter().find(|q| q.gfa == 0).unwrap();
         q.price = 1.0;
-        dir.subscribe(q);
+        let _ = dir.subscribe(q);
         assert_eq!(dir.len(), 8);
         assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 0);
-        dir.unsubscribe(0);
+        let _ = dir.unsubscribe(0);
         assert_eq!(dir.len(), 7);
         assert_ne!(dir.kth_cheapest(1).unwrap().gfa, 0);
     }
@@ -350,10 +359,10 @@ mod tests {
     #[test]
     fn update_price_rebuilds_ranking() {
         let mut dir = paper_directory();
-        dir.update_price(1, 0.5);
+        let _ = dir.update_price(1, 0.5);
         assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 1);
         // Updating an unknown GFA is a no-op.
-        dir.update_price(99, 0.1);
+        let _ = dir.update_price(99, 0.1);
         assert_eq!(dir.len(), 8);
     }
 
@@ -373,7 +382,7 @@ mod tests {
                 3 => dir.quotes()[gfa.min(dir.len() - 1)].price, // no-op reprice
                 _ => 2.0 + ((step * 7) % 11) as f64 * 0.25,
             };
-            dir.update_price(gfa, price);
+            let _ = dir.update_price(gfa, price);
             let mut oracle: Vec<(f64, usize)> =
                 dir.quotes().iter().map(|q| (q.price, q.gfa)).collect();
             oracle.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
@@ -399,17 +408,17 @@ mod tests {
         let _ = dir.kth_cheapest(3);
         assert_eq!(dir.epoch(), e0);
         // Mutations do.
-        dir.update_price(2, 9.9);
+        let _ = dir.update_price(2, 9.9);
         assert_eq!(dir.epoch(), e0 + 1);
-        dir.unsubscribe(2);
+        let _ = dir.unsubscribe(2);
         assert_eq!(dir.epoch(), e0 + 2);
-        dir.subscribe(Quote { gfa: 2, processors: 8, mips: 500.0, bandwidth: 1.0, price: 2.0 });
+        let _ = dir.subscribe(Quote { gfa: 2, processors: 8, mips: 500.0, bandwidth: 1.0, price: 2.0 });
         assert_eq!(dir.epoch(), e0 + 3);
         // No-op mutations (unknown GFA, unchanged price) leave caches valid.
-        dir.unsubscribe(99);
-        dir.update_price(99, 1.0);
+        let _ = dir.unsubscribe(99);
+        let _ = dir.update_price(99, 1.0);
         let current = dir.kth_cheapest(4).unwrap();
-        dir.update_price(current.gfa, current.price);
+        let _ = dir.update_price(current.gfa, current.price);
         assert_eq!(dir.epoch(), e0 + 3);
         assert_eq!(dir.kth_cheapest(4).unwrap().gfa, current.gfa);
     }
@@ -419,7 +428,7 @@ mod tests {
         let dir = paper_directory();
         assert_eq!(dir.query_message_cost(), 3); // ceil(log2(8))
         let mut small = IdealDirectory::new();
-        small.subscribe(Quote {
+        let _ = small.subscribe(Quote {
             gfa: 0,
             processors: 1,
             mips: 1.0,
@@ -450,7 +459,7 @@ mod tests {
         // routes; the average reflects what was actually charged.
         let mut dir = dir;
         for gfa in 4..8 {
-            dir.unsubscribe(gfa);
+            let _ = dir.unsubscribe(gfa);
         }
         assert_eq!(dir.query_message_cost(), 2); // ⌈log₂ 4⌉
         assert_eq!(dir.query_fastest(0, 1).messages, 2);

@@ -128,6 +128,14 @@ impl MaanDirectory {
         }
     }
 
+    /// Corrupting test double: rewinds the content epoch to zero without
+    /// touching the distributed store.  Only exists so the invariant tests
+    /// can prove the epoch monotonicity check fires.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_epoch_rewind(&mut self) {
+        self.epoch = 0;
+    }
+
     /// The underlying overlay (for inspection in benches and tests).
     #[must_use]
     pub fn overlay(&self) -> &ChordOverlay {
@@ -509,7 +517,7 @@ mod tests {
     fn paper_maan(n_nodes: usize) -> MaanDirectory {
         let mut dir = MaanDirectory::new(n_nodes, 11);
         for (i, r) in paper_resources().iter().enumerate() {
-            dir.subscribe(Quote::from_spec(i, &r.spec));
+            let _ = dir.subscribe(Quote::from_spec(i, &r.spec));
         }
         dir
     }
@@ -537,7 +545,7 @@ mod tests {
     fn quotes_are_actually_partitioned_across_nodes() {
         let mut dir = MaanDirectory::new(16, 3);
         for q in spread_quotes(16) {
-            dir.subscribe(q);
+            let _ = dir.subscribe(q);
         }
         for order in RankOrder::ALL {
             let occupied = (0..16).filter(|&g| dir.node_entries(g, order) > 0).count();
@@ -554,7 +562,7 @@ mod tests {
     fn boundary_crossing_advances_cost_more_than_one_message() {
         let mut dir = MaanDirectory::new(16, 3);
         for q in spread_quotes(16) {
-            dir.subscribe(q);
+            let _ = dir.subscribe(q);
         }
         for order in RankOrder::ALL {
             let advances: Vec<u64> = (2..=16).map(|r| dir.query_ranked(0, order, r).messages).collect();
@@ -574,7 +582,7 @@ mod tests {
         for n in [8usize, 16, 32, 50] {
             let mut dir = MaanDirectory::new(n, 9);
             for q in spread_quotes(n) {
-                dir.subscribe(q);
+                let _ = dir.subscribe(q);
             }
             for order in RankOrder::ALL {
                 let mut cursor = dir.open_cursor(1, order);
@@ -635,25 +643,25 @@ mod tests {
         let mut dir = MaanDirectory::new(12, 5);
         let mut quotes = spread_quotes(12);
         for q in &quotes {
-            dir.subscribe(*q);
+            let _ = dir.subscribe(*q);
         }
         for step in 0..60usize {
             let gfa = (step * 5) % 12;
             match step % 4 {
                 0 => {
                     let price = 0.1 + ((step * 11) % 97) as f64 * 0.09;
-                    dir.update_price(gfa, price);
+                    let _ = dir.update_price(gfa, price);
                     quotes[gfa].price = price;
                 }
                 1 => {
                     // Withdraw and immediately re-publish with fresh values.
-                    dir.unsubscribe(gfa);
+                    let _ = dir.unsubscribe(gfa);
                     quotes[gfa].mips = 300.0 + ((step * 13) % 140) as f64 * 10.0;
-                    dir.subscribe(quotes[gfa]);
+                    let _ = dir.subscribe(quotes[gfa]);
                 }
                 _ => {
                     quotes[gfa].price = 0.3 + ((step * 7) % 31) as f64 * 0.25;
-                    dir.subscribe(quotes[gfa]);
+                    let _ = dir.subscribe(quotes[gfa]);
                 }
             }
             let mut by_price: Vec<&Quote> = quotes.iter().collect();
@@ -699,7 +707,7 @@ mod tests {
         // boundary key — one owner node — and must still rank exactly.
         let mut dir = MaanDirectory::new(6, 7);
         for (gfa, price) in [(0, 50.0), (1, 80.0), (2, 50.0), (3, 11.0)] {
-            dir.subscribe(Quote { gfa, processors: 8, mips: 500.0, bandwidth: 1.0, price });
+            let _ = dir.subscribe(Quote { gfa, processors: 8, mips: 500.0, bandwidth: 1.0, price });
         }
         let order: Vec<usize> = (1..=4).map(|r| dir.kth_cheapest(r).unwrap().gfa).collect();
         assert_eq!(order, vec![3, 0, 2, 1], "ties break by price then GFA");

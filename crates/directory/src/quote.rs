@@ -85,6 +85,7 @@ impl Quote {
 /// *directory traffic* — kept separate from the four negotiation message
 /// types so the paper's Fig. 10/11 panels stay comparable across backends.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "a TracedQuote carries a message charge that must be accounted"]
 pub struct TracedQuote {
     /// The quote at the requested rank, or `None` for rank 0 or a rank past
     /// the end of the directory.
@@ -107,11 +108,13 @@ pub trait FederationDirectory {
     /// routed removes for relocated stale entries on a republish).  The
     /// federation accounts these as a separate *publish* traffic class.
     /// A GFA republishing overwrites its previous quote.
+    #[must_use = "the publish-side message cost must be charged into the ledger or explicitly dropped"]
     fn subscribe(&mut self, quote: Quote) -> u64;
 
     /// Removes a GFA's quote from the directory, returning the publish-side
     /// message cost (see [`Self::subscribe`]; a no-op on an unknown GFA
     /// costs 0).
+    #[must_use = "the publish-side message cost must be charged into the ledger or explicitly dropped"]
     fn unsubscribe(&mut self, gfa: usize) -> u64;
 
     /// Updates just the price of an existing quote (the paper's
@@ -119,6 +122,7 @@ pub trait FederationDirectory {
     /// MAAN a routed *move* of the price entry between its old and new key
     /// owners.  Does nothing (and costs 0) if the GFA is not subscribed or
     /// the price is bit-identical.
+    #[must_use = "the publish-side message cost must be charged into the ledger or explicitly dropped"]
     fn update_price(&mut self, gfa: usize, price: f64) -> u64;
 
     /// The `r`-th cheapest quote (1-based), queried from GFA `origin`,
@@ -157,6 +161,7 @@ pub trait FederationDirectory {
     /// (`subscribe`, `unsubscribe`, `update_price`).  Open cursors and
     /// GFA-side quote caches compare epochs to detect that their view of the
     /// rank data went stale and must be revalidated.
+    #[must_use]
     fn epoch(&self) -> u64;
 
     /// Opens a streaming rank cursor at the head of `order` for GFA
@@ -210,9 +215,11 @@ pub trait FederationDirectory {
     }
 
     /// Number of subscribed GFAs.
+    #[must_use]
     fn len(&self) -> usize;
 
     /// Whether the directory is empty.
+    #[must_use]
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -221,9 +228,11 @@ pub trait FederationDirectory {
     /// establishment) is modelled to cost in this directory implementation
     /// (the paper assumes `O(log n)`).  Traced queries report their actual
     /// cost, which for measured backends may differ per query.
+    #[must_use]
     fn query_message_cost(&self) -> u64;
 
     /// Total ranking queries served since construction.
+    #[must_use]
     fn queries_served(&self) -> u64;
 }
 

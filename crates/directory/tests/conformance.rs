@@ -32,7 +32,7 @@ fn population() -> Vec<Quote> {
 fn populated(backend: DirectoryBackend) -> AnyDirectory {
     let mut dir = backend.build(N, 2_005);
     for q in population() {
-        dir.subscribe(q);
+        let _ = dir.subscribe(q);
     }
     dir
 }
@@ -73,14 +73,14 @@ fn rankings_agree_with_sorted_oracles() {
 fn resubscription_overwrites_in_place() {
     for_each_backend(|backend, mut dir| {
         let mut q = quote(5, 9_999.0, 0.01);
-        dir.subscribe(q);
+        let _ = dir.subscribe(q);
         assert_eq!(dir.len(), N, "{backend:?}: republish must not grow the directory");
         assert_eq!(dir.kth_cheapest(1).unwrap().gfa, 5);
         assert_eq!(dir.kth_fastest(1).unwrap().gfa, 5);
         // Republish again with mid-range values: the old extreme quote is gone.
         q.mips = 1.0;
         q.price = 1_000.0;
-        dir.subscribe(q);
+        let _ = dir.subscribe(q);
         assert_eq!(dir.kth_cheapest(N).unwrap().gfa, 5);
         assert_eq!(dir.kth_fastest(N).unwrap().gfa, 5);
     });
@@ -90,15 +90,15 @@ fn resubscription_overwrites_in_place() {
 fn unsubscribe_removes_and_reranks() {
     for_each_backend(|backend, mut dir| {
         let cheapest = dir.kth_cheapest(1).unwrap().gfa;
-        dir.unsubscribe(cheapest);
+        let _ = dir.unsubscribe(cheapest);
         assert_eq!(dir.len(), N - 1, "{backend:?}");
         assert_ne!(dir.kth_cheapest(1).unwrap().gfa, cheapest);
         assert!(dir.kth_cheapest(N).is_none());
         // Unsubscribing an unknown GFA is a no-op.
-        dir.unsubscribe(cheapest);
+        let _ = dir.unsubscribe(cheapest);
         assert_eq!(dir.len(), N - 1);
         // The departed GFA can rejoin.
-        dir.subscribe(quote(cheapest, 600.0, 0.5));
+        let _ = dir.subscribe(quote(cheapest, 600.0, 0.5));
         assert_eq!(dir.len(), N);
         assert_eq!(dir.kth_cheapest(1).unwrap().gfa, cheapest);
     });
@@ -109,11 +109,11 @@ fn update_price_reranks_without_touching_speed() {
     for_each_backend(|backend, mut dir| {
         let fastest_before = dir.kth_fastest(1).unwrap().gfa;
         let target = dir.kth_cheapest(N).unwrap().gfa; // most expensive
-        dir.update_price(target, 0.001);
+        let _ = dir.update_price(target, 0.001);
         assert_eq!(dir.kth_cheapest(1).unwrap().gfa, target, "{backend:?}");
         assert_eq!(dir.kth_fastest(1).unwrap().gfa, fastest_before);
         // Updating an unknown GFA is a no-op.
-        dir.update_price(999, 0.000_1);
+        let _ = dir.update_price(999, 0.000_1);
         assert_eq!(dir.len(), N);
         assert_ne!(dir.kth_cheapest(1).unwrap().gfa, 999);
     });
@@ -167,15 +167,15 @@ fn cursors_stream_what_per_rank_queries_answer() {
 fn every_mutation_kind_bumps_the_epoch_exactly_once() {
     for_each_backend(|backend, mut dir| {
         let e0 = dir.epoch();
-        dir.update_price(1, 123.0);
+        let _ = dir.update_price(1, 123.0);
         assert_eq!(dir.epoch(), e0 + 1, "{backend:?}");
-        dir.unsubscribe(1);
+        let _ = dir.unsubscribe(1);
         assert_eq!(dir.epoch(), e0 + 2, "{backend:?}");
-        dir.subscribe(quote(1, 700.0, 2.0));
+        let _ = dir.subscribe(quote(1, 700.0, 2.0));
         assert_eq!(dir.epoch(), e0 + 3, "{backend:?}");
         // No-ops on unknown GFAs leave cursors and caches valid.
-        dir.unsubscribe(77);
-        dir.update_price(77, 1.0);
+        let _ = dir.unsubscribe(77);
+        let _ = dir.update_price(77, 1.0);
         assert_eq!(dir.epoch(), e0 + 3, "{backend:?}");
         // Queries never move the epoch.
         let _ = dir.query_cheapest(0, 1);
@@ -206,13 +206,13 @@ fn backends_resolve_identical_quotes_for_identical_mutations() {
     for (op, gfa, value) in script {
         let apply = |dir: &mut AnyDirectory| match op {
             "price" => {
-                dir.update_price(gfa, value);
+                let _ = dir.update_price(gfa, value);
             }
             "unsub" => {
-                dir.unsubscribe(gfa);
+                let _ = dir.unsubscribe(gfa);
             }
             "sub" => {
-                dir.subscribe(quote(gfa, 777.0, 1.5));
+                let _ = dir.subscribe(quote(gfa, 777.0, 1.5));
             }
             _ => unreachable!(),
         };
@@ -277,7 +277,7 @@ fn maan_range_walks_cross_node_boundaries() {
     let harvest = |backend: DirectoryBackend| -> Vec<u64> {
         let mut dir = backend.build(wide, 2_005);
         for q in grid_directory::MaanDirectory::spread_population(wide) {
-            dir.subscribe(q);
+            let _ = dir.subscribe(q);
         }
         let mut cursor = dir.open_cursor(0, RankOrder::Cheapest);
         let _ = dir.cursor_next(&mut cursor);

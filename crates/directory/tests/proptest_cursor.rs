@@ -17,7 +17,7 @@
 //! MAAN's message charges are merely required to be well-formed (≥ 1 per
 //! served rank) — the traffic model is exactly where backends may differ.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use grid_directory::{
     AnyDirectory, DirectoryBackend, FederationDirectory, QuoteCache, Quote, RankCursor, RankOrder,
@@ -49,7 +49,7 @@ fn op() -> impl Strategy<Value = Op> {
 fn populated(backend: DirectoryBackend) -> AnyDirectory {
     let mut dir = backend.build(GFAS, 0xCAFE);
     for gfa in 0..GFAS {
-        dir.subscribe(Quote {
+        let _ = dir.subscribe(Quote {
             gfa,
             processors: 64,
             mips: 400.0 + 57.0 * ((gfa * 3) % GFAS) as f64,
@@ -64,21 +64,21 @@ fn drive(backend: DirectoryBackend, ops: &[Op]) {
     let mut cached = populated(backend);
     let mut oracle = populated(backend);
     // One quote cache per origin GFA, exactly as the federation holds them.
-    let mut caches: HashMap<usize, QuoteCache> = HashMap::new();
+    let mut caches: BTreeMap<usize, QuoteCache> = BTreeMap::new();
     for (step, op) in ops.iter().copied().enumerate() {
         match op {
             Op::Subscribe { gfa, mips, price } => {
                 let q = Quote { gfa, processors: 64, mips, bandwidth: 1.0, price };
-                cached.subscribe(q);
-                oracle.subscribe(q);
+                let _ = cached.subscribe(q);
+                let _ = oracle.subscribe(q);
             }
             Op::Unsubscribe { gfa } => {
-                cached.unsubscribe(gfa);
-                oracle.unsubscribe(gfa);
+                let _ = cached.unsubscribe(gfa);
+                let _ = oracle.unsubscribe(gfa);
             }
             Op::Reprice { gfa, price } => {
-                cached.update_price(gfa, price);
-                oracle.update_price(gfa, price);
+                let _ = cached.update_price(gfa, price);
+                let _ = oracle.update_price(gfa, price);
             }
             Op::Query { origin, fastest, ranks } => {
                 let order = if fastest { RankOrder::Fastest } else { RankOrder::Cheapest };
@@ -117,13 +117,13 @@ fn drive(backend: DirectoryBackend, ops: &[Op]) {
 fn apply_mutation(dir: &mut AnyDirectory, op: Op) {
     match op {
         Op::Subscribe { gfa, mips, price } => {
-            dir.subscribe(Quote { gfa, processors: 64, mips, bandwidth: 1.0, price });
+            let _ = dir.subscribe(Quote { gfa, processors: 64, mips, bandwidth: 1.0, price });
         }
         Op::Unsubscribe { gfa } => {
-            dir.unsubscribe(gfa);
+            let _ = dir.unsubscribe(gfa);
         }
         Op::Reprice { gfa, price } => {
-            dir.update_price(gfa, price);
+            let _ = dir.update_price(gfa, price);
         }
         Op::Query { .. } => unreachable!("queries are driven by the caller"),
     }

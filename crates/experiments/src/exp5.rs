@@ -115,11 +115,42 @@ pub fn run_sweep_with_backend_jobs(
     backend: DirectoryBackend,
     jobs: usize,
 ) -> ScalabilitySweep {
+    run_sweep_inner(options, sizes, profiles, backend, jobs, None)
+}
+
+/// Runs the scalability sweep with the worker pool claiming points through
+/// an explicit [`parallel::ClaimSchedule`] instead of ascending cursor
+/// order.
+///
+/// This is the schedule-permutation regression harness: every claim order —
+/// reversed, strided, shuffled, stall-injected — must render sweep CSVs
+/// byte-identical to the sequential run, because results are merged by
+/// index, never by completion order (asserted by `parallel_determinism`).
+#[must_use]
+pub fn run_sweep_with_backend_schedule(
+    options: &WorkloadOptions,
+    sizes: &[usize],
+    profiles: &[PopulationProfile],
+    backend: DirectoryBackend,
+    jobs: usize,
+    schedule: &parallel::ClaimSchedule,
+) -> ScalabilitySweep {
+    run_sweep_inner(options, sizes, profiles, backend, jobs, Some(schedule))
+}
+
+fn run_sweep_inner(
+    options: &WorkloadOptions,
+    sizes: &[usize],
+    profiles: &[PopulationProfile],
+    backend: DirectoryBackend,
+    jobs: usize,
+    schedule: Option<&parallel::ClaimSchedule>,
+) -> ScalabilitySweep {
     let points: Vec<(usize, PopulationProfile)> = sizes
         .iter()
         .flat_map(|&size| profiles.iter().map(move |&profile| (size, profile)))
         .collect();
-    let mut flat = parallel::run_indexed(points.len(), jobs, |i| {
+    let point = |i: usize| {
         let (size, profile) = points[i];
         let setup = replicated_workloads(size, profile, options);
         run_federation(
@@ -133,7 +164,13 @@ pub fn run_sweep_with_backend_jobs(
                 ..FederationConfig::default()
             },
         )
-    })
+    };
+    let mut flat = match schedule {
+        None => parallel::run_indexed(points.len(), jobs, point),
+        Some(schedule) => {
+            parallel::run_indexed_with_schedule(points.len(), jobs, schedule, point)
+        }
+    }
     .into_iter();
     let reports: Vec<Vec<FederationReport>> = sizes
         .iter()

@@ -1,10 +1,12 @@
-//! Regression test for the acceptance criterion that parallel sweeps are
+//! Regression tests for the acceptance criterion that parallel sweeps are
 //! **bitwise-deterministic**: running the Experiment 5 sweep sequentially
-//! (`jobs = 1`) and through the worker pool (`jobs = 4`) must render
-//! byte-identical CSVs for every panel and for the backend comparison table
-//! (the same CSV set `bench_perf` gates CI on, via `exp5::render_all_csvs`).
+//! (`jobs = 1`), through the worker pool (`jobs = 4`), and through every
+//! adversarial claim-order permutation must render byte-identical CSVs for
+//! every panel and for the backend comparison table (the same CSV set
+//! `bench_perf` gates CI on, via `exp5::render_all_csvs`).
 
 use grid_experiments::exp5;
+use grid_experiments::parallel::ClaimSchedule;
 use grid_experiments::workloads::WorkloadOptions;
 use grid_federation_core::DirectoryBackend;
 use grid_workload::PopulationProfile;
@@ -36,5 +38,39 @@ fn parallel_sweep_csvs_are_bitwise_identical_to_sequential() {
             csv_s, csv_p,
             "CSV {name_s} differs between sequential and parallel sweeps"
         );
+    }
+}
+
+/// The schedule-permutation harness: the worker pool claims sweep points in
+/// adversarial orders (reversed, strided, seeded shuffles, with OS-yield
+/// stalls injected) that the production cursor would only reach under
+/// pathological thread scheduling, and the merged CSVs must remain
+/// byte-identical to the sequential reference under every one of them.
+#[test]
+fn adversarial_claim_schedules_render_identical_csvs() {
+    let options = WorkloadOptions::quick();
+    let sizes = [8usize, 16];
+    let profiles = [PopulationProfile::new(50)];
+    let backend = DirectoryBackend::Chord;
+    let point_count = sizes.len() * profiles.len();
+
+    let reference = exp5::render_all_csvs(&[exp5::run_sweep_with_backend_jobs(
+        &options, &sizes, &profiles, backend, 1,
+    )]);
+
+    for schedule in ClaimSchedule::adversarial_suite(point_count) {
+        let sweep = exp5::run_sweep_with_backend_schedule(
+            &options, &sizes, &profiles, backend, 4, &schedule,
+        );
+        let permuted = exp5::render_all_csvs(&[sweep]);
+        assert_eq!(reference.len(), permuted.len());
+        for ((name_r, csv_r), (name_p, csv_p)) in reference.iter().zip(&permuted) {
+            assert_eq!(name_r, name_p);
+            assert_eq!(
+                csv_r, csv_p,
+                "CSV {name_r} differs under claim schedule {}",
+                schedule.label()
+            );
+        }
     }
 }

@@ -1,0 +1,20 @@
+//! Seeded violations for the `charge-drop` rule.  Never compiled.
+
+/// Mutates the directory, dropping some publish-side message costs.
+pub fn churn(dir: &mut AnyDirectory, q: Quote) {
+    dir.subscribe(q);
+    let _ = dir.unsubscribe(3);
+    let paid = dir.update_price(1, 2.0);
+    let mut total = paid;
+    total += dir.subscribe(q);
+    dir.subscribe(Quote {
+        gfa: 1,
+        price: 4.0,
+    });
+    // fedlint: allow(charge-drop)
+    dir.update_price(2, 9.0);
+    if dir.subscribe(q) > 0 {
+        total += 1;
+    }
+    self.shared.dir.unsubscribe(total as usize);
+}

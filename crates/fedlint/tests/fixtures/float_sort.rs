@@ -1,0 +1,14 @@
+//! Seeded violations for the `float-sort` rule.  Never compiled.
+
+/// Sorts floats through `partial_cmp`, which panics or misorders on NaN.
+pub fn order(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let max = xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap());
+    let _ = max;
+    xs.sort_unstable_by(|a, b| {
+        a.partial_cmp(b).unwrap()
+    });
+    // fedlint: allow(float-sort)
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,36 @@
+//! Seeded violations for the `hash-iteration` rule.  Never compiled —
+//! scanned by the fixture tests under a pretended sim-crate path.
+
+use std::collections::{HashMap, HashSet};
+
+/// Sums values in hasher order (twice), which is nondeterministic.
+pub fn totals() -> u64 {
+    let mut m: HashMap<usize, f64> = HashMap::new();
+    m.insert(1, 2.0);
+    let mut sum = 0.0;
+    for (_k, v) in &m {
+        sum += v;
+    }
+    let mut seen: HashSet<usize> = HashSet::new();
+    seen.insert(3);
+    let first = seen.iter().next();
+    let keys: Vec<_> = m.keys().collect();
+    // fedlint: allow(hash-iteration)
+    let vals: Vec<_> = m.values().collect();
+    let _ = (first, keys, vals);
+    sum as u64
+}
+
+struct Index {
+    by_owner: HashMap<u32, u32>,
+}
+
+impl Index {
+    fn walk(&self) -> u32 {
+        let mut total = 0;
+        for (_k, v) in &self.by_owner {
+            total += v;
+        }
+        total
+    }
+}

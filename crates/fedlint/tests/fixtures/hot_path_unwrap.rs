@@ -1,0 +1,24 @@
+//! Seeded violations for the `hot-path-unwrap` rule.  Never compiled —
+//! scanned under a pretended hot-path file name.
+
+fn pop(v: &mut Vec<u32>) -> u32 {
+    v.pop().unwrap()
+}
+
+fn take(o: Option<u32>) -> u32 {
+    o.expect("present")
+}
+
+fn justified(o: Option<u32>) -> u32 {
+    // The caller checked `is_some` one line above.
+    // fedlint: allow(hot-path-unwrap)
+    o.expect("checked by caller")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        let _ = Some(1).unwrap();
+    }
+}

@@ -1,0 +1,22 @@
+//! Seeded violations for the `undocumented-pub` rule.  Never compiled.
+
+/// Documented.
+pub fn fine() {}
+
+pub fn missing() {}
+
+#[derive(Debug)]
+pub struct AlsoMissing;
+
+/// Documented struct (attributes between doc and item are fine).
+#[derive(Debug)]
+pub struct FineToo;
+
+pub(crate) fn internal() {}
+
+pub mod queue;
+
+#[cfg(test)]
+mod tests {
+    pub fn test_helper() {}
+}

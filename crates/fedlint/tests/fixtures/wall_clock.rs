@@ -1,0 +1,14 @@
+//! Seeded violations for the `wall-clock` rule.  Never compiled.
+
+use std::time::Instant;
+
+/// Reads the host clock and forks an OS thread mid-simulation.
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _ = wall;
+    std::thread::spawn(|| ());
+    // fedlint: allow(wall-clock)
+    let _t1 = Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,157 @@
+//! Fixture tests: every rule must fire on its seeded violations, respect
+//! its `fedlint: allow(...)` escapes, and stay silent outside its scope —
+//! and the real workspace must scan clean.
+
+use std::path::Path;
+
+use fedlint::{scan_source, scan_workspace, Finding, Rule};
+
+/// Lines at which `rule` fired when scanning `content` as `path`.
+fn lines(path: &str, content: &str, rule: Rule) -> Vec<usize> {
+    scan_source(path, content)
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+/// Findings of rules *other* than `rule` (fixtures must not trip rules they
+/// don't exercise).
+fn other_rules(path: &str, content: &str, rule: Rule) -> Vec<Finding> {
+    scan_source(path, content)
+        .into_iter()
+        .filter(|f| f.rule != rule)
+        .collect()
+}
+
+#[test]
+fn hash_iteration_fires_on_fixture() {
+    let src = include_str!("fixtures/hash_iteration.rs");
+    let path = "crates/core/src/fixture.rs";
+    // `for` over a local map, `.iter()` on a set, `.keys()` on a map, and
+    // `for` over a hash field through `self.`; the `.values()` call is
+    // allowlisted.
+    assert_eq!(lines(path, src, Rule::HashIteration), vec![11, 16, 17, 31]);
+    assert_eq!(other_rules(path, src, Rule::HashIteration), vec![]);
+}
+
+#[test]
+fn hash_iteration_is_scoped_to_sim_crates() {
+    let src = include_str!("fixtures/hash_iteration.rs");
+    assert_eq!(lines("crates/baselines/src/fixture.rs", src, Rule::HashIteration), vec![]);
+}
+
+#[test]
+fn wall_clock_fires_on_fixture() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let path = "crates/experiments/src/fixture.rs";
+    // `Instant::now`, `SystemTime`, `thread::spawn`; the second
+    // `Instant::now` is allowlisted, and the plain `Instant` import is not
+    // a clock read.
+    assert_eq!(lines(path, src, Rule::WallClock), vec![7, 8, 10]);
+    assert_eq!(other_rules(path, src, Rule::WallClock), vec![]);
+}
+
+#[test]
+fn wall_clock_exempts_parallel_driver_and_benches() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    assert_eq!(lines("crates/experiments/src/parallel.rs", src, Rule::WallClock), vec![]);
+    assert_eq!(lines("crates/bench/src/fixture.rs", src, Rule::WallClock), vec![]);
+}
+
+#[test]
+fn float_sort_fires_on_fixture() {
+    let src = include_str!("fixtures/float_sort.rs");
+    let path = "crates/cluster/src/fixture.rs";
+    // `sort_by`, `max_by`, and a multi-line `sort_unstable_by` comparator;
+    // the `total_cmp` sort passes and the last sort is allowlisted.
+    assert_eq!(lines(path, src, Rule::FloatSort), vec![5, 7, 9]);
+    assert_eq!(other_rules(path, src, Rule::FloatSort), vec![]);
+}
+
+#[test]
+fn charge_drop_fires_on_fixture() {
+    let src = include_str!("fixtures/charge_drop.rs");
+    let path = "crates/experiments/src/fixture.rs";
+    // A bare statement call, a multi-line struct-literal call, and a call
+    // through a field chain; `let _ =`, `+=`, `let`, and `if` consumers
+    // pass, and one drop is allowlisted.
+    assert_eq!(lines(path, src, Rule::ChargeDrop), vec![5, 10, 19]);
+    assert_eq!(other_rules(path, src, Rule::ChargeDrop), vec![]);
+}
+
+#[test]
+fn charge_drop_applies_in_sim_crates_too() {
+    let src = include_str!("fixtures/charge_drop.rs");
+    assert_eq!(lines("crates/directory/src/fixture.rs", src, Rule::ChargeDrop), vec![5, 10, 19]);
+}
+
+#[test]
+fn undocumented_pub_fires_on_fixture() {
+    let src = include_str!("fixtures/undocumented_pub.rs");
+    let path = "crates/des/src/fixture.rs";
+    // An undocumented `pub fn` and an undocumented `pub struct` behind a
+    // derive; documented items, `pub(crate)`, `pub mod file;` declarations
+    // and `#[cfg(test)]` helpers all pass.
+    assert_eq!(lines(path, src, Rule::UndocumentedPub), vec![6, 9]);
+    assert_eq!(other_rules(path, src, Rule::UndocumentedPub), vec![]);
+}
+
+#[test]
+fn undocumented_pub_is_scoped_to_sim_crate_sources() {
+    let src = include_str!("fixtures/undocumented_pub.rs");
+    assert_eq!(lines("crates/experiments/src/fixture.rs", src, Rule::UndocumentedPub), vec![]);
+    assert_eq!(lines("crates/des/tests/fixture.rs", src, Rule::UndocumentedPub), vec![]);
+}
+
+#[test]
+fn hot_path_unwrap_fires_on_fixture() {
+    let src = include_str!("fixtures/hot_path_unwrap.rs");
+    let path = "crates/des/src/queue.rs";
+    // `.unwrap()` and `.expect(` on the per-event path; the justified
+    // expect is allowlisted and test-module unwraps are exempt.
+    assert_eq!(lines(path, src, Rule::HotPathUnwrap), vec![5, 9]);
+    assert_eq!(other_rules(path, src, Rule::HotPathUnwrap), vec![]);
+}
+
+#[test]
+fn hot_path_unwrap_only_applies_to_listed_files() {
+    let src = include_str!("fixtures/hot_path_unwrap.rs");
+    assert_eq!(lines("crates/des/src/rng.rs", src, Rule::HotPathUnwrap), vec![]);
+}
+
+#[test]
+fn shims_and_fixtures_are_out_of_scope() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    assert_eq!(scan_source("crates/shims/criterion/src/lib.rs", src), vec![]);
+    assert_eq!(scan_source("crates/fedlint/tests/fixtures/wall_clock.rs", src), vec![]);
+}
+
+#[test]
+fn allow_escape_parses_multiple_rules() {
+    let src = "\
+fn f(v: &mut Vec<f64>) {
+    // fedlint: allow(float-sort, hot-path-unwrap)
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+";
+    assert_eq!(scan_source("crates/cluster/src/estimate.rs", src), vec![]);
+}
+
+/// The linter's own acceptance gate: the real workspace must be clean.
+/// This is the same scan CI runs via `cargo run -p fedlint -- check`, so a
+/// violation anywhere in the tree fails `cargo test` too.
+#[test]
+fn workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = scan_workspace(&root).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "fedlint found violations:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
