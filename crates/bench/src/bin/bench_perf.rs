@@ -18,8 +18,10 @@
 //!   three backends (ideal, chord, and the distributed MAAN range index) —
 //!   quotes are asserted identical while measuring;
 //! * **workload generation**: jobs/sec of building a replicated Experiment-5
-//!   federation's synthetic traces (informational — tracked for the perf
-//!   trajectory, not yet gated);
+//!   federation's synthetic traces (gated by `perf_gate` alongside engine
+//!   dispatch), plus the streaming path: jobs/sec of draining a million-job
+//!   synthetic stream without materialising a `Vec<Job>`, with the
+//!   peak-memory proxy (bytes the stream holds vs. the eager allocation);
 //! * **parallel sweep**: wall-clock of the Experiment 5 smoke sweep run
 //!   sequentially vs. with `--jobs N`, asserting the rendered CSVs are
 //!   **bitwise-identical** (the determinism gate CI relies on).
@@ -37,7 +39,7 @@ use grid_des::{BinaryHeapEventQueue, Context, Entity, EntityId, Event, EventKind
 use grid_bench::populated_directory;
 use grid_directory::{FederationDirectory, RankOrder};
 use grid_experiments::exp5::{self, ScalabilitySweep};
-use grid_experiments::workloads::{replicated_workloads, WorkloadOptions};
+use grid_experiments::workloads::{replicated_workloads, scaled_stream_config, WorkloadOptions};
 use grid_federation_core::{DirectoryBackend, FedMessage};
 use grid_workload::{JobId, PopulationProfile};
 
@@ -381,6 +383,32 @@ fn main() {
     });
     let workload_jobs_per_sec = workload_jobs as f64 / workload_secs;
 
+    // Streaming path: drain a scaled synthetic stream through a counting
+    // consumer without ever materialising the `Vec<Job>`.  Peak working
+    // memory is the stream's three scalar calibration arrays (20 B/job)
+    // instead of `size_of::<Job>()` per job, which is what lets the
+    // million-job smoke (`exp5_scalability --stream-smoke`) run flat.
+    let stream_jobs = if args.smoke { 100_000usize } else { 1_000_000 };
+    eprintln!("    streaming generation ({stream_jobs} jobs, no materialisation)…");
+    let stream_cfg = scaled_stream_config(0, stream_jobs, &workload_options);
+    let stream_secs = best_of(workload_reps, || {
+        let (secs, drained) = timed(|| {
+            let mut drained = 0usize;
+            let mut bits = 0u64;
+            for job in stream_cfg.stream() {
+                bits ^= job.submit.to_bits();
+                drained += 1;
+            }
+            std::hint::black_box(bits);
+            drained
+        });
+        assert_eq!(drained, stream_jobs, "the stream must yield every requested job");
+        secs
+    });
+    let stream_jobs_per_sec = stream_jobs as f64 / stream_secs;
+    let stream_peak_bytes = stream_jobs * (8 + 4 + 8);
+    let eager_peak_bytes = stream_jobs * std::mem::size_of::<grid_workload::Job>();
+
     eprintln!("[6/6] exp5 smoke sweep: sequential vs --jobs {}…", args.jobs);
     let options = WorkloadOptions::quick();
     // Full mode uses a 3×3 grid so the pool has enough comparable points to
@@ -433,6 +461,11 @@ fn main() {
          = {workload_jobs_per_sec:.0} jobs/s"
     );
     eprintln!(
+        "workload streaming: {stream_jobs} jobs in {stream_secs:.3}s = {stream_jobs_per_sec:.0} jobs/s, \
+         peak {stream_peak_bytes} B streamed vs {eager_peak_bytes} B eager ({:.2}x)",
+        eager_peak_bytes as f64 / stream_peak_bytes as f64
+    );
+    eprintln!(
         "sweep: sequential {seq_secs:.2}s vs --jobs {} {par_secs:.2}s ({sweep_speedup:.2}x), CSVs bitwise-identical",
         args.jobs
     );
@@ -482,7 +515,11 @@ fn main() {
     let _ = writeln!(json, "  \"workload\": {{");
     let _ = writeln!(json, "    \"federation_size\": {workload_size},");
     let _ = writeln!(json, "    \"jobs\": {workload_jobs},");
-    let _ = writeln!(json, "    \"jobs_per_sec\": {}", json_num(workload_jobs_per_sec));
+    let _ = writeln!(json, "    \"jobs_per_sec\": {},", json_num(workload_jobs_per_sec));
+    let _ = writeln!(json, "    \"stream_jobs\": {stream_jobs},");
+    let _ = writeln!(json, "    \"stream_jobs_per_sec\": {},", json_num(stream_jobs_per_sec));
+    let _ = writeln!(json, "    \"stream_peak_bytes\": {stream_peak_bytes},");
+    let _ = writeln!(json, "    \"eager_peak_bytes\": {eager_peak_bytes}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"sweep\": {{");
     // Context for the speedup figure: on a single-core host the parallel

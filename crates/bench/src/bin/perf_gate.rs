@@ -11,7 +11,13 @@
 //! * **directory cursor-advance ns/rank** (`advance_ns`, all three
 //!   backends including the distributed MAAN range index) — lower is
 //!   better, gated so the cursor path cannot silently decay back into
-//!   query-per-rank costs.
+//!   query-per-rank costs;
+//! * **engine dispatch events/s** (`dispatch.events_per_sec`) — higher is
+//!   better;
+//! * **workload generation jobs/s** (`workload.jobs_per_sec`) — higher is
+//!   better, promoted from informational to gated once the streaming
+//!   refactor landed so eager-materialisation regressions in the
+//!   generation path fail CI instead of only moving a tracked number.
 //!
 //! The gated figures are *absolute* per-op numbers, so the comparison is
 //! only meaningful when baseline and current ran on comparable hardware.
@@ -130,7 +136,7 @@ struct Gate {
     direction: Direction,
 }
 
-const GATES: [Gate; 6] = [
+const GATES: [Gate; 8] = [
     Gate {
         label: "event queue (4-ary heap events/s)",
         anchor: None,
@@ -166,6 +172,18 @@ const GATES: [Gate; 6] = [
         anchor: Some("maan"),
         key: "advance_ns",
         direction: Direction::LowerIsBetter,
+    },
+    Gate {
+        label: "engine dispatch (events/s)",
+        anchor: Some("dispatch"),
+        key: "events_per_sec",
+        direction: Direction::HigherIsBetter,
+    },
+    Gate {
+        label: "workload generation (jobs/s)",
+        anchor: Some("workload"),
+        key: "jobs_per_sec",
+        direction: Direction::HigherIsBetter,
     },
 ];
 
@@ -245,6 +263,12 @@ mod tests {
     "ideal": { "advance_ns": 2.00, "fresh_query_ns": 14.00 },
     "chord": { "advance_ns": 2.50, "fresh_query_ns": 60.00 },
     "maan": { "advance_ns": 3.00, "fresh_query_ns": 70.00 }
+  },
+  "dispatch": { "events": 200000, "events_per_sec": 30000000.00 },
+  "workload": {
+    "jobs": 6655,
+    "jobs_per_sec": 6000000.00,
+    "stream_jobs_per_sec": 4500000.00
   }
 }"#;
 
@@ -334,6 +358,24 @@ mod tests {
         let failures = run_gates(SAMPLE, &current, 0.30);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("chord"));
+    }
+
+    #[test]
+    fn workload_throughput_drop_fails() {
+        // Gated via the "workload" anchor; the sibling stream_jobs_per_sec
+        // key (whose name *contains* jobs_per_sec) must not shadow it.
+        let current = tweaked("\"jobs_per_sec\": 6000000.00", "\"jobs_per_sec\": 3000000.00");
+        let failures = run_gates(SAMPLE, &current, 0.30);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("workload generation"));
+    }
+
+    #[test]
+    fn dispatch_throughput_drop_fails() {
+        let current = tweaked("\"events_per_sec\": 30000000.00", "\"events_per_sec\": 15000000.00");
+        let failures = run_gates(SAMPLE, &current, 0.30);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("dispatch"));
     }
 
     #[test]

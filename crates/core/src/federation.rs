@@ -15,10 +15,12 @@ use grid_des::{RunOutcome, Simulation};
 use grid_directory::{AnyDirectory, CacheStats, DirectoryBackend, FederationDirectory, Quote};
 use grid_workload::Job;
 
+use crate::audit::AuditLedger;
 use crate::economy::{ChargingPolicy, GridBank};
 use crate::gfa::Gfa;
-use crate::messages::{FedMessage, MessageLedger};
+use crate::messages::{FedMessage, MessageLedger, MessageType};
 use crate::metrics::{FederationReport, JobRecord, ResourceMetrics};
+use grid_workload::JobId;
 
 /// Which resource-sharing environment to simulate (the paper's three
 /// experiment families).
@@ -79,9 +81,54 @@ pub struct SharedState {
     pub remote_processed: Vec<usize>,
     /// Quote-cache hit/miss counters, merged in by each GFA at end of run.
     pub directory_cache: CacheStats,
+    /// Hash-chained audit ledger folding every outcome, charge and bank
+    /// mutation (see [`crate::audit`]).
+    pub audit: AuditLedger,
     /// Runtime invariant observer, consulted after every delivered event.
     #[cfg(feature = "invariants")]
     pub invariants: crate::invariants::InvariantSentry,
+}
+
+impl SharedState {
+    /// Records one negotiation-protocol message in the ledger *and* folds it
+    /// into the audit chain.  All charge paths go through these helpers so
+    /// the two ledgers cannot drift.
+    pub fn charge_message(&mut self, ty: MessageType, origin: usize, counterpart: usize) {
+        self.ledger.record(ty, origin, counterpart);
+        self.audit.record_message(ty, origin, counterpart);
+    }
+
+    /// Records a routed directory-query charge in both ledgers.
+    pub fn charge_directory(&mut self, gfa: usize, messages: u64, seconds: f64) {
+        self.ledger.record_directory(gfa, messages, seconds);
+        self.audit.record_directory(gfa, messages);
+    }
+
+    /// Records a publish-side directory charge in both ledgers.
+    pub fn charge_publish(&mut self, gfa: usize, messages: u64, seconds: f64) {
+        self.ledger.record_publish(gfa, messages, seconds);
+        self.audit.record_publish(gfa, messages);
+    }
+
+    /// Finalises a job's per-job message totals in both ledgers.
+    pub fn conclude_job(&mut self, job: JobId, messages: u32, directory_messages: u32) {
+        self.ledger.finish_job(job, messages, directory_messages);
+        self.audit.record_job_messages(job, messages, directory_messages);
+    }
+
+    /// Transfers Grid Dollars through the bank and folds the transfer into
+    /// the payer's outcome chain.
+    pub fn pay(&mut self, payer_origin: usize, payee_owner: usize, amount: f64) {
+        self.bank.pay(payer_origin, payee_owner, amount);
+        self.audit.record_payment(payer_origin, payee_owner, amount);
+    }
+
+    /// Appends a finished job record, folding it into the origin's outcome
+    /// chain first.
+    pub fn push_job_record(&mut self, record: JobRecord) {
+        self.audit.record_outcome(&record);
+        self.jobs.push(record);
+    }
 }
 
 /// End-of-run per-resource snapshot captured by each GFA.
@@ -285,6 +332,7 @@ impl FederationBuilder {
         // Decorrelate the overlay's ring placement from the workload seed.
         let mut directory = config.directory.build(n, config.seed ^ 0xD1EC_70B5_EED5_EED5);
         let mut ledger = MessageLedger::new(n);
+        let mut audit = AuditLedger::new(n);
         for (i, spec) in resources.iter().enumerate() {
             // The initial publish: under a distributed backend the quote is
             // routed to the nodes owning its attribute keys, and that
@@ -292,6 +340,7 @@ impl FederationBuilder {
             let publish = directory.subscribe(Quote::from_spec(i, spec));
             if config.charge_publish_traffic && publish > 0 {
                 ledger.record_publish(i, publish, publish as f64 * config.latency);
+                audit.record_publish(i, publish);
             }
         }
 
@@ -304,6 +353,7 @@ impl FederationBuilder {
             resource_snapshots: vec![None; n],
             remote_processed: vec![0; n],
             directory_cache: CacheStats::default(),
+            audit,
             #[cfg(feature = "invariants")]
             invariants: crate::invariants::InvariantSentry::new(),
         }));
@@ -384,6 +434,7 @@ fn assemble_report(
         resource_snapshots,
         remote_processed,
         directory_cache,
+        audit,
         ..
     } = state;
     let directory_queries = directory.queries_served();
@@ -433,6 +484,7 @@ fn assemble_report(
     }
 
     debug_assert!(bank.is_balanced(), "GridBank must conserve currency");
+    debug_assert!(audit.is_consistent(), "audit chains must stay consistent");
 
     FederationReport {
         resources: metrics,
@@ -444,6 +496,7 @@ fn assemble_report(
         directory_queries,
         directory_avg_route_messages,
         directory_cache,
+        digest: audit.digest(),
     }
 }
 
@@ -636,6 +689,9 @@ mod tests {
         assert_eq!(a.messages.total_messages(), b.messages.total_messages());
         assert!((a.total_incentive() - b.total_incentive()).abs() < 1e-9);
         assert_eq!(a.sim_end, b.sim_end);
+        // The O(1) differential: identical runs fold to identical digests.
+        assert_eq!(a.digest, b.digest);
+        assert!(a.digest.entries > 0);
     }
 
     #[test]
@@ -691,6 +747,9 @@ mod tests {
         assert!(ideal.messages.directory_messages() > 0);
         assert!(chord.messages.directory_messages() > 0);
         assert!(chord.messages.directory_seconds() > 0.0);
+        // Digest view of the same conformance statement: outcome chains are
+        // backend-invariant even when traffic accounting differs.
+        assert_eq!(ideal.digest.outcomes, chord.digest.outcomes);
     }
 
     #[test]

@@ -299,7 +299,7 @@ impl Gfa {
             }
         };
         if traced.messages > 0 {
-            self.shared.borrow_mut().ledger.record_directory(
+            self.shared.borrow_mut().charge_directory(
                 self.index,
                 traced.messages,
                 traced.messages as f64 * self.latency,
@@ -402,8 +402,8 @@ impl Gfa {
                 // per-job message model.
                 {
                     let mut shared = self.shared.borrow_mut();
-                    shared.ledger.record(MessageType::Negotiate, self.index, self.index);
-                    shared.ledger.record(MessageType::Reply, self.index, self.index);
+                    shared.charge_message(MessageType::Negotiate, self.index, self.index);
+                    shared.charge_message(MessageType::Reply, self.index, self.index);
                 }
                 pending.messages += 2;
                 let estimate = self.lrms.estimate_completion(job.processors, service, now);
@@ -427,7 +427,7 @@ impl Gfa {
             // wait for the reply event.
             {
                 let mut shared = self.shared.borrow_mut();
-                shared.ledger.record(MessageType::Negotiate, self.index, quote.gfa);
+                shared.charge_message(MessageType::Negotiate, self.index, quote.gfa);
             }
             pending.messages += 1;
             pending.candidate_service = service;
@@ -492,8 +492,7 @@ impl Gfa {
         self.scratch = started;
         self.shared
             .borrow_mut()
-            .ledger
-            .finish_job(job.id, messages, directory_messages);
+            .conclude_job(job.id, messages, directory_messages);
     }
 
     /// Records a rejected job.
@@ -506,8 +505,8 @@ impl Gfa {
         expected_local_cost: f64,
     ) {
         let mut shared = self.shared.borrow_mut();
-        shared.ledger.finish_job(job.id, messages, directory_messages);
-        shared.jobs.push(JobRecord {
+        shared.conclude_job(job.id, messages, directory_messages);
+        shared.push_job_record(JobRecord {
             id: job.id,
             origin: self.index,
             strategy: job.qos.strategy,
@@ -575,8 +574,7 @@ impl Gfa {
         }
         self.shared
             .borrow_mut()
-            .ledger
-            .record(MessageType::Reply, origin, self.index);
+            .charge_message(MessageType::Reply, origin, self.index);
         ctx.send(
             self.entity_of(origin),
             self.message_delay(origin),
@@ -606,9 +604,7 @@ impl Gfa {
             let cost = pending.candidate_cost;
             {
                 let mut shared = self.shared.borrow_mut();
-                shared
-                    .ledger
-                    .record(MessageType::JobSubmission, self.index, candidate);
+                shared.charge_message(MessageType::JobSubmission, self.index, candidate);
             }
             pending.messages += 1;
             ctx.send(
@@ -661,7 +657,7 @@ impl Gfa {
 
         {
             let mut shared = self.shared.borrow_mut();
-            shared.bank.pay(entry.origin, self.index, entry.cost);
+            shared.pay(entry.origin, self.index, entry.cost);
             if entry.origin != self.index {
                 shared.remote_processed[self.index] += 1;
             }
@@ -693,12 +689,11 @@ impl Gfa {
                     cost: entry.cost,
                 },
             };
-            self.shared.borrow_mut().jobs.push(record);
+            self.shared.borrow_mut().push_job_record(record);
         } else {
             self.shared
                 .borrow_mut()
-                .ledger
-                .record(MessageType::JobCompletion, entry.origin, self.index);
+                .charge_message(MessageType::JobCompletion, entry.origin, self.index);
             ctx.send(
                 self.entity_of(entry.origin),
                 self.message_delay(entry.origin),
@@ -739,10 +734,8 @@ impl Gfa {
             },
         };
         let mut shared = self.shared.borrow_mut();
-        shared
-            .ledger
-            .finish_job(job, awaiting.messages, awaiting.directory_messages);
-        shared.jobs.push(record);
+        shared.conclude_job(job, awaiting.messages, awaiting.directory_messages);
+        shared.push_job_record(record);
     }
 
     /// Accounts the publish-side message cost of a quote mutation into the
@@ -751,9 +744,7 @@ impl Gfa {
     /// centrally-stored backends, or no-ops) record nothing.
     fn record_publish(shared: &mut SharedState, gfa: usize, messages: u64, latency: f64, charge: bool) {
         if charge && messages > 0 {
-            shared
-                .ledger
-                .record_publish(gfa, messages, messages as f64 * latency);
+            shared.charge_publish(gfa, messages, messages as f64 * latency);
         }
     }
 
@@ -853,10 +844,11 @@ impl Entity<FedMessage> for Gfa {
                 ref directory,
                 ref bank,
                 ref ledger,
+                ref audit,
                 ref mut invariants,
                 ..
             } = *self.shared.borrow_mut();
-            invariants.check(ctx.now().as_secs(), bank, ledger, directory);
+            invariants.check(ctx.now().as_secs(), bank, ledger, directory, audit);
         }
     }
 

@@ -15,16 +15,21 @@
 //!    publish) only accumulate.
 //! 4. **Epoch monotonicity** — the directory epoch is bumped by mutations
 //!    and never rewinds, which is what cursor/cache revalidation relies on.
+//! 5. **Audit-chain consistency** — every audit chain's witness matches its
+//!    digest and entry count ([`AuditLedger::is_consistent`]), and the
+//!    number of audited records only grows; out-of-band tampering with a
+//!    chain digest trips the sentry on the next event.
 //!
 //! Event-*time* monotonicity is the engine's own invariant and is enforced
 //! inside `grid-des` (promoted to a hard assert under the same feature).
 //! Companion corrupting test doubles — [`GridBank::corrupt_leak`],
-//! `AnyDirectory::corrupt_epoch_rewind`, the event-time corruptor in
-//! `grid-des` — exist so the test suite can prove each check actually
-//! fires.
+//! `AnyDirectory::corrupt_epoch_rewind`, [`AuditLedger::corrupt_chain`],
+//! the event-time corruptor in `grid-des` — exist so the test suite can
+//! prove each check actually fires.
 
 use grid_directory::{AnyDirectory, FederationDirectory};
 
+use crate::audit::AuditLedger;
 use crate::economy::GridBank;
 use crate::messages::MessageLedger;
 
@@ -41,6 +46,8 @@ pub struct InvariantSentry {
     last_traffic: u64,
     /// Directory epoch at the previous check.
     last_epoch: u64,
+    /// Audited record count at the previous check.
+    last_audit_entries: u64,
     /// Checks executed, for test observability.
     checks: u64,
 }
@@ -69,6 +76,7 @@ impl InvariantSentry {
         bank: &GridBank,
         ledger: &MessageLedger,
         directory: &AnyDirectory,
+        audit: &AuditLedger,
     ) {
         assert!(
             now >= self.last_time,
@@ -106,6 +114,19 @@ impl InvariantSentry {
             self.last_epoch
         );
         self.last_epoch = epoch;
+
+        assert!(
+            audit.is_consistent(),
+            "audit chain corrupted at t={now}: a chain's witness no longer \
+             matches its digest and entry count"
+        );
+        let audit_entries = audit.entries();
+        assert!(
+            audit_entries >= self.last_audit_entries,
+            "audit records vanished at t={now}: {audit_entries} after {}",
+            self.last_audit_entries
+        );
+        self.last_audit_entries = audit_entries;
 
         self.checks += 1;
     }

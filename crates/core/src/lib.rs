@@ -20,6 +20,10 @@
 //!   with economy).
 //! * [`metrics`] — per-job, per-resource and federation-wide statistics
 //!   matching the paper's tables and figures.
+//! * [`audit`] — the hash-chained audit ledger: every job outcome, message
+//!   charge and bank mutation folds into per-GFA chained digests, and the
+//!   run-level [`RunDigest`] turns whole-run differentials into a single
+//!   integer comparison.
 //!
 //! ## Quick example
 //!
@@ -55,6 +59,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod audit;
 pub mod economy;
 pub mod federation;
 pub mod gfa;
@@ -63,6 +68,7 @@ pub mod invariants;
 pub mod messages;
 pub mod metrics;
 
+pub use audit::{AuditLedger, RunDigest};
 pub use economy::{apply_commodity_pricing, quote_price, ChargingPolicy, GridBank, PAPER_ACCESS_PRICE};
 pub use federation::{
     run_federation, DirectoryQueryPath, FederationBuilder, FederationConfig, GfaSchedule, LrmsKind,

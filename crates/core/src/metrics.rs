@@ -10,6 +10,7 @@
 use grid_directory::{CacheStats, DirectoryBackend};
 use grid_workload::{JobId, Strategy};
 
+use crate::audit::RunDigest;
 use crate::economy::GridBank;
 use crate::messages::MessageLedger;
 
@@ -190,6 +191,11 @@ pub struct FederationReport {
     /// on this field.  Always zero under
     /// [`crate::federation::DirectoryQueryPath::PerRank`].
     pub directory_cache: CacheStats,
+    /// The run's hash-chained audit digest (see [`crate::audit`]): two runs
+    /// with equal `digest.full` executed the same audited history; equal
+    /// `digest.outcomes` means identical job outcomes and bank transfers
+    /// regardless of directory-backend traffic.
+    pub digest: RunDigest,
 }
 
 impl FederationReport {
@@ -456,6 +462,7 @@ mod tests {
             directory_queries: 0,
             directory_avg_route_messages: 0.0,
             directory_cache: CacheStats::default(),
+            digest: crate::audit::AuditLedger::new(2).digest(),
         }
     }
 
@@ -526,6 +533,7 @@ mod tests {
             directory_queries: 0,
             directory_avg_route_messages: 0.0,
             directory_cache: CacheStats::default(),
+            digest: crate::audit::AuditLedger::new(0).digest(),
         };
         assert_eq!(rep.mean_acceptance_rate(), 0.0);
         assert_eq!(rep.total_incentive(), 0.0);

@@ -3,18 +3,19 @@
 //! Two kinds of test live here: end-to-end runs proving a healthy
 //! federation passes every per-event check, and deliberately-corrupting
 //! test doubles — a bank that leaks one Grid Dollar, a directory that
-//! rewinds its epoch — proving each invariant actually fires.
+//! rewinds its epoch, an audit ledger with a tampered chain — proving each
+//! invariant actually fires.
 #![cfg(feature = "invariants")]
 
 use grid_cluster::ResourceSpec;
 use grid_directory::{AnyDirectory, FederationDirectory, Quote};
 use grid_federation_core::{
-    run_federation, DirectoryBackend, FederationConfig, GridBank, InvariantSentry, MessageLedger,
-    SchedulingMode,
+    run_federation, AuditLedger, DirectoryBackend, FederationConfig, GridBank, InvariantSentry,
+    MessageLedger, MessageType, SchedulingMode,
 };
 use grid_workload::{Job, JobId, Strategy, UserId};
 
-fn healthy_state() -> (GridBank, MessageLedger, AnyDirectory) {
+fn healthy_state() -> (GridBank, MessageLedger, AnyDirectory, AuditLedger) {
     let mut bank = GridBank::new(3);
     bank.pay(0, 1, 40.0);
     bank.pay(2, 0, 2.5);
@@ -28,69 +29,107 @@ fn healthy_state() -> (GridBank, MessageLedger, AnyDirectory) {
         bandwidth: 1.0,
         price: 2.0,
     });
-    (bank, ledger, dir)
+    let mut audit = AuditLedger::new(3);
+    audit.record_payment(0, 1, 40.0);
+    audit.record_payment(2, 0, 2.5);
+    audit.record_directory(0, 4);
+    (bank, ledger, dir, audit)
 }
 
 #[test]
 fn healthy_state_passes_repeated_checks() {
-    let (bank, ledger, dir) = healthy_state();
+    let (bank, ledger, dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir);
-    sentry.check(10.0, &bank, &ledger, &dir);
-    sentry.check(10.0, &bank, &ledger, &dir); // equal time is fine
+    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    sentry.check(10.0, &bank, &ledger, &dir, &audit);
+    sentry.check(10.0, &bank, &ledger, &dir, &audit); // equal time is fine
     assert_eq!(sentry.checks(), 3);
 }
 
 #[test]
 #[should_panic(expected = "Grid Dollars leaked")]
 fn leaked_grid_dollar_fires_conservation() {
-    let (mut bank, ledger, dir) = healthy_state();
+    let (mut bank, ledger, dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit);
     // The corrupting double credits an owner without debiting any user.
     bank.corrupt_leak(1, 1.0);
-    sentry.check(1.0, &bank, &ledger, &dir);
+    sentry.check(1.0, &bank, &ledger, &dir, &audit);
 }
 
 #[test]
 #[should_panic(expected = "bank volume shrank")]
 fn shrinking_volume_fires_monotonicity() {
-    let (bank, ledger, dir) = healthy_state();
+    let (bank, ledger, dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit);
     // A *fresh* bank stands in for one that forgot recorded payments.
     let empty = GridBank::new(3);
-    sentry.check(1.0, &empty, &ledger, &dir);
+    sentry.check(1.0, &empty, &ledger, &dir, &audit);
 }
 
 #[test]
 #[should_panic(expected = "time ran backwards")]
 fn reordered_check_fires_time_monotonicity() {
-    let (bank, ledger, dir) = healthy_state();
+    let (bank, ledger, dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(10.0, &bank, &ledger, &dir);
-    sentry.check(5.0, &bank, &ledger, &dir);
+    sentry.check(10.0, &bank, &ledger, &dir, &audit);
+    sentry.check(5.0, &bank, &ledger, &dir, &audit);
 }
 
 #[test]
 #[should_panic(expected = "message counters ran backwards")]
 fn forgotten_traffic_fires_ledger_monotonicity() {
-    let (bank, ledger, dir) = healthy_state();
+    let (bank, ledger, dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit);
     let empty = MessageLedger::new(3);
-    sentry.check(1.0, &bank, &empty, &dir);
+    sentry.check(1.0, &bank, &empty, &dir, &audit);
 }
 
 #[test]
 #[should_panic(expected = "directory epoch rewound")]
 fn epoch_rewind_fires_on_every_backend() {
-    let (bank, ledger, mut dir) = healthy_state();
+    let (bank, ledger, mut dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit);
     // The corrupting double forgets every mutation's epoch bump.
     dir.corrupt_epoch_rewind();
-    sentry.check(1.0, &bank, &ledger, &dir);
+    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+}
+
+#[test]
+#[should_panic(expected = "audit chain corrupted")]
+fn tampered_audit_chain_fires_consistency() {
+    let (bank, ledger, dir, mut audit) = healthy_state();
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    // The corrupting double rewrites a chain digest out of band, leaving
+    // its witness stale — exactly the tamper case the chains exist to catch.
+    audit.corrupt_chain(1);
+    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+}
+
+#[test]
+#[should_panic(expected = "audit records vanished")]
+fn forgotten_audit_records_fire_monotonicity() {
+    let (bank, ledger, dir, audit) = healthy_state();
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    // A fresh ledger stands in for one that dropped audited records.
+    let empty = AuditLedger::new(3);
+    sentry.check(1.0, &bank, &ledger, &dir, &empty);
+}
+
+#[test]
+fn audit_records_keep_the_sentry_green_as_they_accumulate() {
+    let (bank, ledger, dir, mut audit) = healthy_state();
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    audit.record_message(MessageType::Negotiate, 1, 2);
+    audit.record_publish(2, 3);
+    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+    assert_eq!(sentry.checks(), 2);
 }
 
 #[test]
@@ -127,7 +166,8 @@ fn job(origin: usize, seq: usize, submit: f64, strategy: Strategy) -> Job {
 
 /// End to end: a real federation run executes the sentry after every
 /// delivered event and finishes cleanly on every backend — the economy
-/// workload conserves currency and keeps every counter monotone.
+/// workload conserves currency, keeps every counter monotone and leaves
+/// the audit chains consistent.
 #[test]
 fn federation_runs_pass_under_invariant_checking() {
     for backend in [
@@ -159,5 +199,6 @@ fn federation_runs_pass_under_invariant_checking() {
             "{backend:?}: the run must process jobs for the sentry to see events"
         );
         assert!(report.bank.is_balanced());
+        assert!(report.digest.entries > 0);
     }
 }

@@ -7,7 +7,7 @@
 //!
 //! Usage: `exp5_scalability [--quick] [--smoke]
 //!         [--backend ideal|chord|maan|all] [--seed N] [--out DIR]
-//!         [--jobs N]`
+//!         [--jobs N] [--stream-smoke] [--stream-jobs N]`
 //!
 //! `--jobs N` caps the sweep's worker pool (default: all cores).  Sweep
 //! output is bitwise-identical for every `--jobs` value.
@@ -15,13 +15,20 @@
 //! `--smoke` is the CI configuration: quick workloads on sizes 8 and 16 with
 //! a single 50 % OFT profile — small enough to run on every push, complete
 //! enough to exercise the whole sweep path.
+//!
+//! `--stream-smoke` runs the million-job streaming check instead of the
+//! sweep: it drains a `--stream-jobs N` (default 1 000 000) job synthetic
+//! stream through a digest-folding consumer without ever materialising a
+//! `Vec<Job>`, then prints throughput and the peak-memory proxy (bytes the
+//! stream holds vs. what the eager path would allocate).
 
 use std::path::PathBuf;
+use std::time::Instant;
 
 use grid_experiments::exp5::{self, ScalabilitySweep, Stat};
-use grid_experiments::workloads::WorkloadOptions;
+use grid_experiments::workloads::{scaled_stream_config, WorkloadOptions};
 use grid_federation_core::DirectoryBackend;
-use grid_workload::PopulationProfile;
+use grid_workload::{Job, PopulationProfile};
 
 struct Args {
     options: WorkloadOptions,
@@ -29,6 +36,8 @@ struct Args {
     backends: Vec<DirectoryBackend>,
     smoke: bool,
     jobs: usize,
+    stream_smoke: bool,
+    stream_jobs: usize,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +47,8 @@ fn parse_args() -> Args {
         backends: DirectoryBackend::ALL.to_vec(),
         smoke: false,
         jobs: grid_experiments::parallel::default_jobs(),
+        stream_smoke: false,
+        stream_jobs: 1_000_000,
     };
     // Applied after the loop so flag order cannot matter (`--seed 7 --smoke`
     // must not have the quick preset clobber the seed).
@@ -76,6 +87,14 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("worker count must be an integer");
             }
+            "--stream-smoke" => args.stream_smoke = true,
+            "--stream-jobs" => {
+                args.stream_jobs = argv
+                    .next()
+                    .expect("--stream-jobs needs a job count")
+                    .parse()
+                    .expect("job count must be an integer");
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -85,8 +104,62 @@ fn parse_args() -> Args {
     args
 }
 
+/// SplitMix64 finalizer — the same mixer the audit ledger uses, so the smoke
+/// digest has full avalanche and any generation drift flips it.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Drains a `total_jobs`-job synthetic stream through a digest-folding
+/// consumer.  Nothing is materialised: peak memory is the three scalar
+/// arrays the stream's calibration phases hold (20 B/job), not the
+/// `size_of::<Job>()`-per-job an eager `Vec<Job>` would pin, so the run
+/// completes in constant working memory per drained job.
+fn stream_smoke(total_jobs: usize, options: &WorkloadOptions) {
+    let cfg = scaled_stream_config(0, total_jobs, options);
+    // fedlint: allow(wall-clock) — wall-clock throughput *is* the smoke's
+    // measurement; nothing simulated depends on it.
+    let start = Instant::now();
+    let stream = cfg.stream();
+    let mut digest = 0u64;
+    let mut jobs = 0usize;
+    for job in stream {
+        digest = mix(digest ^ job.id.seq as u64);
+        digest = mix(digest ^ job.submit.to_bits());
+        digest = mix(digest ^ u64::from(job.processors));
+        digest = mix(digest ^ job.length_mi.to_bits());
+        jobs += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(jobs, total_jobs, "the stream must yield exactly the requested job count");
+    // The stream's resident state: submits (f64) + processors (u32) +
+    // runtimes (f64) per job, vs. the eager path's full Job per job.
+    let streamed_bytes = total_jobs * (8 + 4 + 8);
+    let eager_bytes = total_jobs * std::mem::size_of::<Job>();
+    println!("stream-smoke jobs={jobs} digest={digest:016x}");
+    println!(
+        "stream-smoke seconds={elapsed:.3} jobs_per_sec={:.0}",
+        jobs as f64 / elapsed.max(1e-9)
+    );
+    println!(
+        "stream-smoke peak_bytes_streamed={streamed_bytes} peak_bytes_eager={eager_bytes} ratio={:.2}",
+        eager_bytes as f64 / streamed_bytes as f64
+    );
+}
+
 fn main() {
     let args = parse_args();
+    if args.stream_smoke {
+        eprintln!(
+            "running the streaming workload smoke: {} jobs, no materialisation…",
+            args.stream_jobs
+        );
+        stream_smoke(args.stream_jobs, &args.options);
+        return;
+    }
     let backend_labels: Vec<&str> = args.backends.iter().map(|b| b.label()).collect();
     eprintln!(
         "running experiment 5 (system size sweep) against backend(s): {}…",

@@ -138,6 +138,21 @@ fn main() {
         .write_csv(&out.join("directory_backend_comparison.csv"))
         .expect("write backend comparison");
 
+    // The audit-ledger digest manifest: one line per federation run, each a
+    // hash-chained commitment to that run's full job/bank/message history.
+    // Re-running with the same options must reproduce this file byte for
+    // byte (CI asserts exactly that against the committed copy), which
+    // replaces diffing the 30+ CSVs above as the determinism check.
+    let mut manifest = String::new();
+    manifest.push_str(&format!("exp1/independent {}\n", e1.report.digest));
+    manifest.push_str(&format!("exp2/independent {}\n", e2.independent.digest));
+    manifest.push_str(&format!("exp2/federated {}\n", e2.federated.digest));
+    for (profile, report) in sweep.profiles.iter().zip(&sweep.reports) {
+        manifest.push_str(&format!("exp3/{} {}\n", profile.label(), report.digest));
+    }
+    manifest.push_str(&exp5::digest_manifest(&backend_sweeps));
+    fs::write(out.join("MANIFEST_digests.txt"), &manifest).expect("write digest manifest");
+
     let claims = HeadlineClaims::extract(&e2, &sweep);
     let claims_table = claims.to_table();
     println!("{}", claims_table.to_ascii());

@@ -435,6 +435,34 @@ pub fn render_all_csvs(sweeps: &[ScalabilitySweep]) -> Vec<(String, String)> {
     out
 }
 
+/// Renders the audit-ledger digest lines of a set of sweeps in a stable
+/// order: one line per (backend, size, profile) run, each carrying the
+/// run's [`grid_federation_core::RunDigest`] (outcome digest, full digest,
+/// entry count).
+///
+/// Two sweep executions are behaviourally identical iff their manifests are
+/// byte-identical — this is the O(runs) replacement for diffing the ~30
+/// rendered CSVs, and the format `run_all` writes to
+/// `MANIFEST_digests.txt` (which CI re-derives and compares on every push).
+#[must_use]
+pub fn digest_manifest(sweeps: &[ScalabilitySweep]) -> String {
+    let mut out = String::new();
+    for sweep in sweeps {
+        for (si, size) in sweep.sizes.iter().enumerate() {
+            for (pi, profile) in sweep.profiles.iter().enumerate() {
+                out.push_str(&format!(
+                    "exp5/{}/size{}/{} {}\n",
+                    sweep.backend.label(),
+                    size,
+                    profile.label(),
+                    sweep.reports[si][pi].digest
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +541,13 @@ mod tests {
         for backend in [DirectoryBackend::Chord, DirectoryBackend::Maan] {
             let other = run_sweep_with_backend(&options, &sizes, &profiles, backend);
             let b = &other.reports[0][0];
+            // Digest-first: the audit ledger's outcome chains commit to every
+            // job record and bank transfer, so this one comparison subsumes
+            // the field-by-field oracle below.
+            assert_eq!(
+                a.digest.outcomes, b.digest.outcomes,
+                "{backend:?}: outcome digest diverged from the ideal backend"
+            );
             assert_eq!(a.jobs.len(), b.jobs.len());
             for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
                 assert_eq!(ja.id, jb.id);
@@ -543,6 +578,19 @@ mod tests {
                 assert_eq!(b.messages.publish_messages(), 0);
             }
         }
+    }
+
+    #[test]
+    fn digest_manifest_covers_every_run_in_stable_order() {
+        let sweep = small_sweep();
+        let manifest = digest_manifest(std::slice::from_ref(&sweep));
+        // 2 sizes × 2 profiles = 4 lines, in (size, profile) order.
+        assert_eq!(manifest.lines().count(), 4);
+        let first = manifest.lines().next().unwrap();
+        assert!(first.starts_with("exp5/ideal/size10/OFC100/OFT0 "), "got {first:?}");
+        // Each line carries the three-field digest display.
+        assert!(manifest.lines().all(|l| l.split(' ').count() == 4));
+        assert_eq!(manifest, digest_manifest(std::slice::from_ref(&sweep)));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | `charge-drop` | whole workspace | dropping the `u64` message cost of `subscribe`/`unsubscribe`/`update_price` |
 //! | `undocumented-pub` | sim crates | `pub` items without a doc comment |
 //! | `hot-path-unwrap` | PR 3 hot-path files | `.unwrap()` / `.expect(` on the per-event path |
+//! | `eager-materialise` | sim + workload/experiments crates | collecting a full `Vec<Job>` outside the streaming adapter |
 //!
 //! The *sim crates* — `grid-des`, `grid-cluster`, `grid-federation-core`,
 //! `grid-directory` — are the ones whose behaviour feeds the rendered paper
@@ -56,17 +57,21 @@ pub enum Rule {
     UndocumentedPub,
     /// `.unwrap()` / `.expect(` on a PR 3 hot-path file.
     HotPathUnwrap,
+    /// A full workload collected into a `Vec<Job>` outside the streaming
+    /// adapter and test code.
+    EagerMaterialise,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::HashIteration,
         Rule::WallClock,
         Rule::FloatSort,
         Rule::ChargeDrop,
         Rule::UndocumentedPub,
         Rule::HotPathUnwrap,
+        Rule::EagerMaterialise,
     ];
 
     /// The kebab-case id used in reports and `fedlint: allow(...)` escapes.
@@ -79,6 +84,7 @@ impl Rule {
             Rule::ChargeDrop => "charge-drop",
             Rule::UndocumentedPub => "undocumented-pub",
             Rule::HotPathUnwrap => "hot-path-unwrap",
+            Rule::EagerMaterialise => "eager-materialise",
         }
     }
 
@@ -107,6 +113,9 @@ impl Rule {
             Rule::UndocumentedPub => "public sim-crate API needs a doc comment",
             Rule::HotPathUnwrap => {
                 "panicking branches on the per-event hot path cost codegen and hide invariants; restructure or justify with an allow escape"
+            }
+            Rule::EagerMaterialise => {
+                "collecting a full Vec<Job> pins the whole workload in memory; stream through JobSource and call collect_jobs() only at the engine boundary"
             }
         }
     }
@@ -154,6 +163,9 @@ struct FileClass {
     hot_path: bool,
     /// The whole file is test code (`tests/` or `benches/` target).
     test_file: bool,
+    /// `eager-materialise` applies: sim crates plus the workload and
+    /// experiments crates, minus the streaming adapter itself.
+    workload_scope: bool,
 }
 
 /// Crates whose behaviour feeds the rendered paper tables.
@@ -182,12 +194,19 @@ fn classify(rel: &str) -> Option<FileClass> {
     {
         return None;
     }
+    let sim = SIM_CRATE_PREFIXES.iter().any(|p| rel.starts_with(p));
     Some(FileClass {
-        sim: SIM_CRATE_PREFIXES.iter().any(|p| rel.starts_with(p)),
+        sim,
         wall_clock_exempt: rel.starts_with("crates/bench/")
             || rel == "crates/experiments/src/parallel.rs",
         hot_path: HOT_PATH_FILES.contains(&rel),
         test_file: rel.contains("/tests/") || rel.contains("/benches/"),
+        // The adapter is where `collect_jobs()` legitimately materialises —
+        // it is the single sanctioned sink, so the rule skips it.
+        workload_scope: (sim
+            || rel.starts_with("crates/workload/")
+            || rel.starts_with("crates/experiments/"))
+            && rel != "crates/workload/src/source.rs",
     })
 }
 
@@ -620,6 +639,20 @@ pub fn scan_source(rel_path: &str, content: &str) -> Vec<Finding> {
             }
         }
 
+        // --- scale: eager-materialise -------------------------------------
+        if class.workload_scope && !in_test && !suppressed(Rule::EagerMaterialise) {
+            if let Some(form) = eager_materialise_on(code) {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::EagerMaterialise,
+                    message: format!(
+                        "{form} pins the whole workload in memory — stream through `JobSource` and call `collect_jobs()` only at the engine boundary"
+                    ),
+                });
+            }
+        }
+
         // --- hygiene: hot-path-unwrap -------------------------------------
         if class.hot_path && !in_test && !suppressed(Rule::HotPathUnwrap) {
             let hit = if code.contains(".unwrap()") {
@@ -717,6 +750,29 @@ fn hash_iteration_on(code: &str, ident: &str) -> Option<String> {
                 return Some(format!("for … in {ident}"));
             }
         }
+    }
+    None
+}
+
+/// If `code` collects an iterator into a full `Vec<Job>`, returns the
+/// offending form: a `.collect::<Vec<Job>>()` turbofish (any path prefix on
+/// `Job`), or a plain `.collect()` on a line whose binding is annotated
+/// `Vec<Job>`.  `collect_jobs()` — the sanctioned adapter — never matches,
+/// and `Job`-compounds like `JobRecord` are excluded by token boundaries.
+fn eager_materialise_on(code: &str) -> Option<&'static str> {
+    let mut from = 0;
+    while let Some(off) = code[from..].find(".collect") {
+        let idx = from + off;
+        let after = &code[idx + ".collect".len()..];
+        if let Some(generics) = after.strip_prefix("::<") {
+            let ty = &generics[..generics.find('(').unwrap_or(generics.len())];
+            if ty.contains("Vec<") && has_token(ty, "Job") {
+                return Some("`.collect::<Vec<Job>>()`");
+            }
+        } else if after.starts_with('(') && code.contains("Vec<") && has_token(code, "Job") {
+            return Some("`.collect()` into a `Vec<Job>` binding");
+        }
+        from = idx + ".collect".len();
     }
     None
 }

@@ -1,0 +1,19 @@
+//! Seeded violations for `eager-materialise`: full-workload
+//! materialisation outside the streaming adapter and test code.
+
+fn build(stream: impl Iterator<Item = Job>) {
+    let eager: Vec<Job> = stream.collect();
+    let turbo = stream.collect::<Vec<Job>>();
+    let pathed = stream.collect::<Vec<grid_workload::Job>>();
+    let sanctioned = stream.collect_jobs();
+    let records: Vec<JobRecord> = stream.map(to_record).collect();
+    // fedlint: allow(eager-materialise) — the jobs enter the engine here
+    let allowed: Vec<Job> = stream.collect();
+}
+
+#[cfg(test)]
+mod tests {
+    fn oracle_builds_the_reference_vector() {
+        let reference: Vec<Job> = stream().collect();
+    }
+}

@@ -121,6 +121,38 @@ fn hot_path_unwrap_only_applies_to_listed_files() {
 }
 
 #[test]
+fn eager_materialise_fires_on_fixture() {
+    let src = include_str!("fixtures/eager_materialise.rs");
+    // An annotated `.collect()`, a turbofish, and a path-qualified
+    // turbofish; `collect_jobs()` (the sanctioned adapter), a
+    // `Vec<JobRecord>` collect, the allowlisted collect and the
+    // `#[cfg(test)]` oracle all pass.
+    for path in ["crates/experiments/src/fixture.rs", "crates/core/src/fixture.rs"] {
+        assert_eq!(lines(path, src, Rule::EagerMaterialise), vec![5, 6, 7], "{path}");
+    }
+    assert_eq!(
+        other_rules("crates/experiments/src/fixture.rs", src, Rule::EagerMaterialise),
+        vec![]
+    );
+}
+
+#[test]
+fn eager_materialise_exempts_the_adapter_tests_and_other_crates() {
+    let src = include_str!("fixtures/eager_materialise.rs");
+    // The streaming adapter is the one sanctioned materialisation point…
+    assert_eq!(lines("crates/workload/src/source.rs", src, Rule::EagerMaterialise), vec![]);
+    // …test targets build reference vectors freely…
+    assert_eq!(lines("crates/workload/tests/fixture.rs", src, Rule::EagerMaterialise), vec![]);
+    // …and crates outside the sim/workload/experiments scope are untouched.
+    assert_eq!(lines("crates/bench/src/fixture.rs", src, Rule::EagerMaterialise), vec![]);
+    // Elsewhere in the workload crate the rule is live.
+    assert_eq!(
+        lines("crates/workload/src/synthetic.rs", src, Rule::EagerMaterialise),
+        vec![5, 6, 7]
+    );
+}
+
+#[test]
 fn shims_and_fixtures_are_out_of_scope() {
     let src = include_str!("fixtures/wall_clock.rs");
     assert_eq!(scan_source("crates/shims/criterion/src/lib.rs", src), vec![]);

@@ -14,6 +14,13 @@
 //!    heavy-tailed runtimes) that is calibrated per resource to the job
 //!    counts and offered load reported in the paper's Tables 1 and 2.
 //!
+//! Both halves produce jobs through the streaming [`source::JobSource`]
+//! abstraction: synthetic populations and SWF traces yield jobs lazily
+//! ([`synthetic::SyntheticJobStream`], [`swf::SwfJobStream`]) so
+//! million-job workloads never need to be materialised as `Vec<Job>`, and
+//! the sanctioned [`source::JobSource::collect_jobs`] adapter marks the few
+//! consumers that still collect eagerly.
+//!
 //! The crate also defines the [`job::Job`] type shared by every other crate
 //! in the workspace, the probability distributions used by the generator
 //! ([`dist`] — implemented from scratch so no extra dependencies are needed),
@@ -27,11 +34,13 @@
 pub mod dist;
 pub mod job;
 pub mod population;
+pub mod source;
 pub mod swf;
 pub mod synthetic;
 
 pub use dist::{Distribution, Exponential, Gamma, HyperExponential, LogNormal, LogUniform, Weibull};
 pub use job::{Job, JobId, Qos, Strategy, UserId};
 pub use population::{PopulationProfile, UserPopulation};
-pub use swf::{SwfParseError, SwfRecord, SwfTrace};
-pub use synthetic::{SyntheticWorkload, SyntheticWorkloadConfig};
+pub use source::{JobSource, Populated};
+pub use swf::{SwfJobStream, SwfParseError, SwfRecord, SwfTrace};
+pub use synthetic::{SyntheticJobStream, SyntheticWorkload, SyntheticWorkloadConfig};

@@ -122,13 +122,21 @@ impl UserPopulation {
         self.strategies[user.local]
     }
 
+    /// Assigns the population's strategy to a single job in place — the
+    /// per-job primitive behind both [`UserPopulation::apply`] and the
+    /// streaming [`crate::source::JobSource::populated`] adapter.  Jobs
+    /// belonging to other origins are left untouched.
+    pub fn assign(&self, job: &mut Job) {
+        if job.user.origin == self.origin {
+            job.qos.strategy = self.strategies[job.user.local];
+        }
+    }
+
     /// Applies the population's strategies to a slice of jobs in place.
     /// Jobs belonging to other origins are left untouched.
     pub fn apply(&self, jobs: &mut [Job]) {
         for job in jobs.iter_mut() {
-            if job.user.origin == self.origin {
-                job.qos.strategy = self.strategies[job.user.local];
-            }
+            self.assign(job);
         }
     }
 }

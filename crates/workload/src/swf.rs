@@ -15,6 +15,7 @@
 //! `14` queue, `15` partition, `16` preceding job, `17` think time.
 
 use std::fmt;
+use std::io::BufRead;
 
 use crate::job::{Job, JobId, UserId};
 
@@ -72,6 +73,91 @@ impl SwfRecord {
             None
         }
     }
+
+    /// Converts the record into a simulator [`Job`] with sequence number
+    /// `seq`, or `None` when the record has no usable runtime.  This is the
+    /// single conversion point shared by [`SwfTrace::to_jobs`] and the
+    /// streaming [`SwfJobStream`], so the two paths cannot drift.
+    #[must_use]
+    pub fn to_job(
+        &self,
+        seq: usize,
+        origin: usize,
+        origin_mips: f64,
+        max_processors: u32,
+        comm_fraction: f64,
+    ) -> Option<Job> {
+        let runtime = self.effective_runtime()?;
+        let processors = self.effective_processors().clamp(1, max_processors.max(1));
+        let user_local = usize::try_from(self.user_id.max(0)).unwrap_or(0);
+        Some(Job::from_runtime(
+            JobId { origin, seq },
+            UserId {
+                origin,
+                local: user_local,
+            },
+            self.submit_time.max(0.0),
+            processors,
+            runtime,
+            origin_mips,
+            comm_fraction,
+        ))
+    }
+}
+
+/// One classified SWF line: the unit both the eager parser and the
+/// streaming job source are built from.
+enum SwfLine {
+    Blank,
+    Comment(String),
+    Record(SwfRecord),
+}
+
+/// Parses one raw SWF line (1-based `line_no` is for error reporting only).
+fn parse_swf_line(raw_line: &str, line_no: usize) -> Result<SwfLine, SwfParseError> {
+    let line = raw_line.trim();
+    if line.is_empty() {
+        return Ok(SwfLine::Blank);
+    }
+    if let Some(comment) = line.strip_prefix(';') {
+        return Ok(SwfLine::Comment(comment.trim().to_string()));
+    }
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 5 {
+        return Err(SwfParseError {
+            line: line_no,
+            message: format!("expected at least 5 fields, found {}", fields.len()),
+        });
+    }
+    let get_i = |i: usize| -> Result<i64, SwfParseError> {
+        fields.get(i).map_or(Ok(-1), |s| {
+            s.parse::<i64>().map_err(|_| SwfParseError {
+                line: line_no,
+                message: format!("field {i} is not an integer: {s:?}"),
+            })
+        })
+    };
+    let get_f = |i: usize| -> Result<f64, SwfParseError> {
+        fields.get(i).map_or(Ok(-1.0), |s| {
+            s.parse::<f64>().map_err(|_| SwfParseError {
+                line: line_no,
+                message: format!("field {i} is not a number: {s:?}"),
+            })
+        })
+    };
+    Ok(SwfLine::Record(SwfRecord {
+        job_number: get_i(0)?,
+        submit_time: get_f(1)?,
+        wait_time: get_f(2)?,
+        run_time: get_f(3)?,
+        allocated_processors: get_i(4)?,
+        requested_processors: get_i(7)?,
+        requested_time: get_f(8)?,
+        status: get_i(10)?,
+        user_id: get_i(11)?,
+        group_id: get_i(12)?,
+        queue: get_i(14)?,
+    }))
 }
 
 /// Errors produced while parsing an SWF document.
@@ -111,51 +197,11 @@ impl SwfTrace {
     pub fn parse(text: &str) -> Result<SwfTrace, SwfParseError> {
         let mut trace = SwfTrace::default();
         for (idx, raw_line) in text.lines().enumerate() {
-            let line_no = idx + 1;
-            let line = raw_line.trim();
-            if line.is_empty() {
-                continue;
+            match parse_swf_line(raw_line, idx + 1)? {
+                SwfLine::Blank => {}
+                SwfLine::Comment(c) => trace.comments.push(c),
+                SwfLine::Record(r) => trace.records.push(r),
             }
-            if let Some(comment) = line.strip_prefix(';') {
-                trace.comments.push(comment.trim().to_string());
-                continue;
-            }
-            let fields: Vec<&str> = line.split_whitespace().collect();
-            if fields.len() < 5 {
-                return Err(SwfParseError {
-                    line: line_no,
-                    message: format!("expected at least 5 fields, found {}", fields.len()),
-                });
-            }
-            let get_i = |i: usize| -> Result<i64, SwfParseError> {
-                fields.get(i).map_or(Ok(-1), |s| {
-                    s.parse::<i64>().map_err(|_| SwfParseError {
-                        line: line_no,
-                        message: format!("field {i} is not an integer: {s:?}"),
-                    })
-                })
-            };
-            let get_f = |i: usize| -> Result<f64, SwfParseError> {
-                fields.get(i).map_or(Ok(-1.0), |s| {
-                    s.parse::<f64>().map_err(|_| SwfParseError {
-                        line: line_no,
-                        message: format!("field {i} is not a number: {s:?}"),
-                    })
-                })
-            };
-            trace.records.push(SwfRecord {
-                job_number: get_i(0)?,
-                submit_time: get_f(1)?,
-                wait_time: get_f(2)?,
-                run_time: get_f(3)?,
-                allocated_processors: get_i(4)?,
-                requested_processors: get_i(7)?,
-                requested_time: get_f(8)?,
-                status: get_i(10)?,
-                user_id: get_i(11)?,
-                group_id: get_i(12)?,
-                queue: get_i(14)?,
-            });
         }
         Ok(trace)
     }
@@ -227,25 +273,118 @@ impl SwfTrace {
     ) -> Vec<Job> {
         let mut jobs = Vec::with_capacity(self.records.len());
         for (seq, rec) in self.records.iter().enumerate() {
-            let Some(runtime) = rec.effective_runtime() else {
-                continue;
-            };
-            let processors = rec.effective_processors().clamp(1, max_processors.max(1));
-            let user_local = usize::try_from(rec.user_id.max(0)).unwrap_or(0);
-            jobs.push(Job::from_runtime(
-                JobId { origin, seq },
-                UserId {
-                    origin,
-                    local: user_local,
-                },
-                rec.submit_time.max(0.0),
-                processors,
-                runtime,
-                origin_mips,
-                comm_fraction,
-            ));
+            if let Some(job) = rec.to_job(seq, origin, origin_mips, max_processors, comm_fraction) {
+                jobs.push(job);
+            }
         }
         jobs
+    }
+}
+
+/// Lazy, line-by-line SWF job source.
+///
+/// Reads one line at a time from any [`BufRead`] — a memory-mapped archive
+/// trace, a file reader, or an in-memory string via
+/// [`SwfJobStream::from_text`] — and yields the same [`Job`] sequence that
+/// `SwfTrace::parse(..)` + [`SwfTrace::to_jobs`] would materialise, without
+/// ever holding the parsed trace in memory.  Comments and blank lines are
+/// skipped; records without a usable runtime are skipped but still consume
+/// a sequence number, exactly as the eager path numbers them.
+///
+/// The iterator yields `Result` so malformed lines surface as
+/// [`SwfParseError`]s at the line that fails; after an error (including
+/// I/O errors, reported with the failing line number) the stream is fused.
+#[derive(Debug)]
+pub struct SwfJobStream<R> {
+    reader: R,
+    line: String,
+    line_no: usize,
+    seq: usize,
+    origin: usize,
+    origin_mips: f64,
+    max_processors: u32,
+    comm_fraction: f64,
+    done: bool,
+}
+
+impl<'a> SwfJobStream<&'a [u8]> {
+    /// Streams jobs out of in-memory SWF text.
+    #[must_use]
+    pub fn from_text(
+        text: &'a str,
+        origin: usize,
+        origin_mips: f64,
+        max_processors: u32,
+        comm_fraction: f64,
+    ) -> Self {
+        SwfJobStream::new(text.as_bytes(), origin, origin_mips, max_processors, comm_fraction)
+    }
+}
+
+impl<R: BufRead> SwfJobStream<R> {
+    /// Streams jobs out of `reader`, with the same conversion parameters as
+    /// [`SwfTrace::to_jobs`].
+    #[must_use]
+    pub fn new(
+        reader: R,
+        origin: usize,
+        origin_mips: f64,
+        max_processors: u32,
+        comm_fraction: f64,
+    ) -> Self {
+        SwfJobStream {
+            reader,
+            line: String::new(),
+            line_no: 0,
+            seq: 0,
+            origin,
+            origin_mips,
+            max_processors,
+            comm_fraction,
+            done: false,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for SwfJobStream<R> {
+    type Item = Result<Job, SwfParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            self.line.clear();
+            self.line_no += 1;
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => self.done = true,
+                Ok(_) => match parse_swf_line(&self.line, self.line_no) {
+                    Ok(SwfLine::Blank | SwfLine::Comment(_)) => {}
+                    Ok(SwfLine::Record(rec)) => {
+                        let seq = self.seq;
+                        self.seq += 1;
+                        if let Some(job) = rec.to_job(
+                            seq,
+                            self.origin,
+                            self.origin_mips,
+                            self.max_processors,
+                            self.comm_fraction,
+                        ) {
+                            return Some(Ok(job));
+                        }
+                    }
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                },
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(SwfParseError {
+                        line: self.line_no,
+                        message: format!("I/O error: {e}"),
+                    }));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -342,5 +481,43 @@ mod tests {
         let t = SwfTrace::parse("").unwrap();
         assert!(t.records.is_empty());
         assert!(t.comments.is_empty());
+    }
+
+    #[test]
+    fn streamed_jobs_match_materialised_jobs() {
+        let eager = SwfTrace::parse(SAMPLE).unwrap().to_jobs(3, 900.0, 16, 0.10);
+        let streamed: Vec<Job> = SwfJobStream::from_text(SAMPLE, 3, 900.0, 16, 0.10)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, eager);
+        // The runtime-less third record was skipped but consumed seq 2, so
+        // sequence numbers carry the original record positions.
+        assert_eq!(streamed[0].id.seq, 0);
+        assert_eq!(streamed[1].id.seq, 1);
+    }
+
+    #[test]
+    fn stream_surfaces_parse_errors_and_fuses() {
+        let text = "1 0 10 3600 16 -1 -1 16 7200 -1 1 3 1 -1 1 -1 -1 -1\n1 2 3\n";
+        let mut stream = SwfJobStream::from_text(text, 0, 800.0, 32, 0.10);
+        assert!(stream.next().unwrap().is_ok());
+        let err = stream.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("at least 5 fields"));
+        assert!(stream.next().is_none(), "stream must fuse after an error");
+    }
+
+    #[test]
+    fn stream_accepts_any_bufread() {
+        let reader = std::io::BufReader::new(SAMPLE.as_bytes());
+        let jobs: Vec<Job> = SwfJobStream::new(reader, 3, 900.0, 16, 0.10)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(jobs.len(), 2);
+    }
+
+    #[test]
+    fn stream_of_empty_input_is_empty() {
+        assert!(SwfJobStream::from_text("", 0, 800.0, 8, 0.10).next().is_none());
     }
 }

@@ -23,6 +23,7 @@ use rand::SeedableRng;
 
 use crate::dist::{Distribution, LogNormal};
 use crate::job::{Job, JobId, UserId};
+use crate::source::JobSource;
 
 /// Configuration of the synthetic workload of a single resource.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,12 +160,36 @@ impl SyntheticWorkloadConfig {
         Ok(())
     }
 
-    /// Generates the workload described by this configuration.
+    /// Generates the workload described by this configuration, eagerly.
+    ///
+    /// Implemented on top of [`Self::stream`] so the eager and streaming
+    /// paths cannot drift: `generate().into_jobs()` and `stream()` yield
+    /// bitwise-identical job sequences by construction.
     ///
     /// # Panics
     /// Panics if the configuration is invalid (see [`Self::validate`]).
     #[must_use]
     pub fn generate(&self) -> SyntheticWorkload {
+        SyntheticWorkload {
+            config: self.clone(),
+            jobs: self.stream().collect_jobs(),
+        }
+    }
+
+    /// Returns a lazy, constant-per-job job stream for this configuration.
+    ///
+    /// Arrival times, processor requests and calibrated runtimes are
+    /// computed up front — the global submit-time sort and the iterative
+    /// load calibration are whole-trace passes, so they cannot be streamed
+    /// without changing the generated bits — but they live in three plain
+    /// scalar arrays.  Full [`Job`] values (identity, QoS estimates,
+    /// communication split) are only assembled as the stream is consumed,
+    /// which is what keeps million-job runs out of `Vec<Job>` territory.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`Self::validate`]).
+    #[must_use]
+    pub fn stream(&self) -> SyntheticJobStream {
         if let Err(e) = self.validate() {
             panic!("invalid synthetic workload configuration: {e}");
         }
@@ -211,25 +236,17 @@ impl SyntheticWorkloadConfig {
             }
         }
 
-        // --- 4. users and job assembly ---------------------------------------
-        let jobs: Vec<Job> = (0..self.total_jobs)
-            .map(|seq| {
-                let user_local = rng.gen_range(0..self.user_count);
-                Job::from_runtime(
-                    JobId { origin: self.origin, seq },
-                    UserId { origin: self.origin, local: user_local },
-                    submits[seq],
-                    processors[seq],
-                    runtimes[seq],
-                    self.origin_mips,
-                    self.comm_fraction,
-                )
-            })
-            .collect();
-
-        SyntheticWorkload {
-            config: self.clone(),
-            jobs,
+        // --- 4. users and job assembly, deferred to the iterator -------------
+        SyntheticJobStream {
+            origin: self.origin,
+            origin_mips: self.origin_mips,
+            comm_fraction: self.comm_fraction,
+            user_count: self.user_count,
+            submits,
+            processors,
+            runtimes,
+            rng,
+            next_seq: 0,
         }
     }
 
@@ -293,6 +310,54 @@ impl SyntheticWorkloadConfig {
         (size.round() as u32).clamp(1, self.max_processors)
     }
 }
+
+/// Lazy job stream produced by [`SyntheticWorkloadConfig::stream`].
+///
+/// Holds the calibrated per-job scalars (submit, processors, runtime) and
+/// the positioned RNG for user attribution; each [`Job`] is assembled on
+/// demand.  The sequence is bitwise-identical to the one
+/// [`SyntheticWorkloadConfig::generate`] materialises.
+#[derive(Debug, Clone)]
+pub struct SyntheticJobStream {
+    origin: usize,
+    origin_mips: f64,
+    comm_fraction: f64,
+    user_count: usize,
+    submits: Vec<f64>,
+    processors: Vec<u32>,
+    runtimes: Vec<f64>,
+    rng: StdRng,
+    next_seq: usize,
+}
+
+impl Iterator for SyntheticJobStream {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        if self.next_seq >= self.submits.len() {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let user_local = self.rng.gen_range(0..self.user_count);
+        Some(Job::from_runtime(
+            JobId { origin: self.origin, seq },
+            UserId { origin: self.origin, local: user_local },
+            self.submits[seq],
+            self.processors[seq],
+            self.runtimes[seq],
+            self.origin_mips,
+            self.comm_fraction,
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.submits.len() - self.next_seq;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SyntheticJobStream {}
 
 /// A generated workload: the configuration it came from plus the jobs.
 #[derive(Debug, Clone)]
@@ -455,6 +520,24 @@ mod tests {
         let mut c = config();
         c.user_count = 0;
         let _ = c.generate();
+    }
+
+    #[test]
+    fn stream_and_generate_are_bitwise_identical() {
+        let cfg = config();
+        let streamed: Vec<Job> = cfg.stream().collect();
+        assert_eq!(streamed, cfg.generate().into_jobs());
+    }
+
+    #[test]
+    fn stream_reports_exact_remaining_size() {
+        let cfg = config();
+        let mut stream = cfg.stream();
+        assert_eq!(stream.len(), 400);
+        assert_eq!(stream.size_hint(), (400, Some(400)));
+        let _ = stream.next();
+        assert_eq!(stream.len(), 399);
+        assert!(stream.by_ref().count() == 399 && stream.next().is_none());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Property-based tests for the workload substrate: the synthetic generator
 //! and the SWF parser must produce well-formed, reproducible workloads for
-//! any valid configuration.
+//! any valid configuration, and the streaming sources must be
+//! bitwise-indistinguishable from their materialising counterparts.
 
-use grid_workload::{SwfTrace, SyntheticWorkloadConfig};
+use grid_workload::{Job, JobSource, SwfJobStream, SwfTrace, SyntheticWorkloadConfig};
 use proptest::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = SyntheticWorkloadConfig> {
@@ -79,6 +80,61 @@ proptest! {
         // clamping slack.
         prop_assert!(achieved <= cfg.offered_load * 1.25 + 0.05,
             "achieved {} overshoots target {}", achieved, cfg.offered_load);
+    }
+
+    /// The streaming path is the eager path: for any valid configuration,
+    /// draining [`SyntheticWorkloadConfig::stream`] yields exactly the job
+    /// sequence `generate()` materialises, bit for bit — the identity the
+    /// million-job streaming mode rests on.
+    #[test]
+    fn streamed_and_materialised_sequences_are_identical(cfg in config_strategy()) {
+        let eager = cfg.generate().into_jobs();
+        let streamed = cfg.stream().collect_jobs();
+        prop_assert_eq!(&streamed, &eager);
+        // The stream also reports its exact length up front.
+        prop_assert_eq!(cfg.stream().len(), cfg.total_jobs);
+        prop_assert_eq!(cfg.stream().size_hint(), (cfg.total_jobs, Some(cfg.total_jobs)));
+    }
+
+    /// The same identity for the SWF side: streaming a serialised trace
+    /// line by line produces the jobs `parse` + `to_jobs` would, including
+    /// the sequence numbers of records skipped for missing runtimes.
+    #[test]
+    fn swf_streaming_matches_materialised_to_jobs(cfg in config_strategy()) {
+        let workload = cfg.generate();
+        let records: Vec<grid_workload::SwfRecord> = workload
+            .jobs()
+            .iter()
+            .enumerate()
+            .map(|(i, j)| grid_workload::SwfRecord {
+                job_number: i as i64,
+                submit_time: j.submit,
+                wait_time: -1.0,
+                // Drop every seventh job's runtime so skipped records (and
+                // their sequence numbers) are exercised too.
+                run_time: if i % 7 == 3 {
+                    -1.0
+                } else {
+                    j.compute_time(cfg.origin_mips) + j.comm_overhead
+                },
+                allocated_processors: i64::from(j.processors),
+                requested_processors: i64::from(j.processors),
+                requested_time: -1.0,
+                status: 1,
+                user_id: j.user.local as i64,
+                group_id: -1,
+                queue: 0,
+            })
+            .collect();
+        let text = SwfTrace { comments: vec!["prop".into()], records }.to_swf_string();
+        let eager = SwfTrace::parse(&text)
+            .expect("roundtrip parse")
+            .to_jobs(0, cfg.origin_mips, cfg.max_processors, cfg.comm_fraction);
+        let streamed: Vec<Job> =
+            SwfJobStream::from_text(&text, 0, cfg.origin_mips, cfg.max_processors, cfg.comm_fraction)
+                .collect::<Result<_, _>>()
+                .expect("streamed parse");
+        prop_assert_eq!(streamed, eager);
     }
 
     /// SWF serialisation of a synthetic workload round-trips: parsing the

@@ -46,6 +46,15 @@ fn backends_differ_only_in_directory_traffic() {
         let other = run_with(backend);
         assert_eq!(other.backend, backend);
 
+        // Digest-first: the audit ledger's outcome chains commit to every
+        // job record and Grid-Dollar transfer, so one u64 comparison states
+        // the whole conformance claim; the field-by-field oracle below is
+        // kept because its failures localise a divergence.
+        assert_eq!(
+            ideal.digest.outcomes, other.digest.outcomes,
+            "{backend:?}: outcome digest diverged from the ideal backend"
+        );
+
         // Job outcomes are bitwise-identical: same records in the same
         // order, modulo the directory_messages field.
         assert_eq!(ideal.jobs.len(), other.jobs.len());
@@ -136,6 +145,10 @@ fn departures_are_outcome_identical_across_backends() {
     let ideal = run(DirectoryBackend::Ideal);
     for backend in [DirectoryBackend::Chord, DirectoryBackend::Maan] {
         let other = run(backend);
+        assert_eq!(
+            ideal.digest.outcomes, other.digest.outcomes,
+            "{backend:?}: outcome digest diverged under mid-run mutations"
+        );
         assert_eq!(ideal.jobs.len(), other.jobs.len());
         for (a, b) in ideal.jobs.iter().zip(&other.jobs) {
             assert_eq!(a.id, b.id);
