@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use grid_cluster::{EasyBackfilling, LocalScheduler, ResourceSpec, SpaceSharedFcfs};
-use grid_des::{RunOutcome, Simulation};
+use grid_des::{RunOutcome, SimRng, Simulation};
 use grid_directory::{AnyDirectory, CacheStats, DirectoryBackend, FederationDirectory, Quote};
 use grid_workload::Job;
 
@@ -19,7 +19,7 @@ use crate::audit::AuditLedger;
 use crate::economy::{ChargingPolicy, GridBank};
 use crate::gfa::Gfa;
 use crate::messages::{FedMessage, MessageLedger, MessageType};
-use crate::metrics::{FederationReport, JobRecord, ResourceMetrics};
+use crate::metrics::{ChurnSummary, FederationReport, JobRecord, ResourceMetrics};
 use grid_workload::JobId;
 
 /// Which resource-sharing environment to simulate (the paper's three
@@ -63,6 +63,139 @@ pub enum DirectoryQueryPath {
     PerRank,
 }
 
+/// How a GFA reacts when a ranking lookup faults because the entry's store
+/// crashed and no live replica could answer: it retries the same rank after
+/// an exponential-backoff delay, and once the retry budget is exhausted the
+/// job degrades to local-only scheduling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Base backoff delay in seconds; retry `i` (1-based) waits
+    /// `backoff × 2^(i−1)`.
+    pub backoff: f64,
+    /// Retries granted per job before it falls back to local execution.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            backoff: 30.0,
+            max_retries: 3,
+        }
+    }
+}
+
+/// Stochastic fault-injection model of a churning federation.
+///
+/// Each GFA alternates exponentially distributed up- and down-phases, drawn
+/// from a [`SimRng`] stream derived from the run's master seed, so churn
+/// schedules are fully deterministic and independent of the workload draws.
+/// A departure is an ungraceful *crash* with probability
+/// [`ChurnConfig::crash_fraction`] (the node's stored directory entries are
+/// dropped cold and the node squats in the overlay until a stabilization
+/// round evicts it) and a graceful *leave* otherwise (entries are handed
+/// off to their new owners immediately, charged as publish traffic).
+///
+/// A zero [`ChurnConfig::mean_uptime`] disables the failure process
+/// entirely: no churn or stabilization event is scheduled and the run is
+/// bit-identical (same [`crate::audit::RunDigest`]) to one with
+/// [`FederationConfig::churn`] set to `None` — the differential the
+/// zero-churn tests pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnConfig {
+    /// Mean up-time (seconds) before a node's next departure; exponential.
+    /// `0.0` disables the failure process.
+    pub mean_uptime: f64,
+    /// Mean down-time (seconds) before a departed node rejoins;
+    /// exponential.  `0.0` makes every departure permanent.
+    pub mean_downtime: f64,
+    /// Probability that a departure is an ungraceful crash.
+    pub crash_fraction: f64,
+    /// Period (seconds) of the overlay's stabilization rounds, delivered
+    /// round-robin across the GFAs.  `0.0` disables stabilization.
+    pub stabilization_interval: f64,
+    /// Replication factor `k ≥ 1` for MAAN attribute entries; replicas are
+    /// created and repaired by stabilization rounds.
+    pub replication: usize,
+    /// Horizon (seconds) out to which churn and stabilization events are
+    /// pre-generated; typically the trace duration.
+    pub horizon: f64,
+    /// How GFAs retry faulted lookups before degrading to local execution.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            mean_uptime: 0.0,
+            mean_downtime: 14_400.0,
+            crash_fraction: 0.5,
+            stabilization_interval: 1_800.0,
+            replication: 2,
+            horizon: 172_800.0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Whether the failure process generates any event at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.mean_uptime > 0.0 && self.mean_uptime.is_finite() && self.horizon > 0.0
+    }
+}
+
+/// Decorrelates the churn draws from both the workload and the overlay's
+/// ring-placement streams.
+const CHURN_STREAM_SALT: u64 = 0xC4A8_5EED_FA11_0CE5;
+
+/// Pre-generates one GFA's alternating departure/rejoin chain out to the
+/// churn horizon: `(departures as (time, graceful), rejoin times)`.
+fn churn_chain(churn: &ChurnConfig, seed: u64, gfa: usize) -> (Vec<(f64, bool)>, Vec<f64>) {
+    let mut rng = SimRng::derive(seed ^ CHURN_STREAM_SALT, gfa as u64);
+    let mut departures = Vec::new();
+    let mut rejoins = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += rng.exponential(churn.mean_uptime);
+        if t >= churn.horizon {
+            break;
+        }
+        let graceful = !rng.bernoulli(churn.crash_fraction);
+        departures.push((t, graceful));
+        if churn.mean_downtime <= 0.0 {
+            break; // Departure is permanent.
+        }
+        t += rng.exponential(churn.mean_downtime);
+        if t >= churn.horizon {
+            break;
+        }
+        rejoins.push(t);
+    }
+    (departures, rejoins)
+}
+
+/// The stabilization ticks GFA `gfa` drives: the global tick sequence
+/// (one round per interval) dealt round-robin across the `n` GFAs.
+fn stabilization_ticks(churn: &ChurnConfig, gfa: usize, n: usize) -> Vec<f64> {
+    let mut ticks = Vec::new();
+    if churn.stabilization_interval <= 0.0 {
+        return ticks;
+    }
+    let mut round = 0u64;
+    loop {
+        let t = churn.stabilization_interval * (round + 1) as f64;
+        if t >= churn.horizon {
+            return ticks;
+        }
+        if round as usize % n == gfa {
+            ticks.push(t);
+        }
+        round += 1;
+    }
+}
+
 /// Federation-wide shared state accessible to every GFA during the run.
 #[derive(Debug)]
 pub struct SharedState {
@@ -84,6 +217,10 @@ pub struct SharedState {
     /// Hash-chained audit ledger folding every outcome, charge and bank
     /// mutation (see [`crate::audit`]).
     pub audit: AuditLedger,
+    /// Churn/self-healing telemetry, incremented by the GFAs as churn
+    /// events are delivered.  Kept outside the audit chains so zero-churn
+    /// runs stay digest-identical to the static-ring path.
+    pub churn: ChurnSummary,
     /// Runtime invariant observer, consulted after every delivered event.
     #[cfg(feature = "invariants")]
     pub invariants: crate::invariants::InvariantSentry,
@@ -188,6 +325,11 @@ pub struct FederationConfig {
     /// `publish` class (initial subscriptions included).  Defaults to
     /// `true`; the centrally-stored backends publish for free either way.
     pub charge_publish_traffic: bool,
+    /// Stochastic churn model, or `None` for the static-ring path.  A
+    /// config whose failure process is inactive (zero
+    /// [`ChurnConfig::mean_uptime`]) schedules nothing and produces a run
+    /// bit-identical to `None`; see [`ChurnConfig`].
+    pub churn: Option<ChurnConfig>,
 }
 
 impl Default for FederationConfig {
@@ -205,6 +347,7 @@ impl Default for FederationConfig {
             departures: Vec::new(),
             repricings: Vec::new(),
             charge_publish_traffic: true,
+            churn: None,
         }
     }
 }
@@ -238,6 +381,14 @@ pub struct GfaSchedule {
     pub departure: Option<f64>,
     /// `(time, price)` re-pricings, in configuration order.
     pub repricings: Vec<(f64, f64)>,
+    /// `(time, graceful)` departures drawn from the seeded churn process,
+    /// in increasing time order.  Empty without an active churn config.
+    pub churn_departures: Vec<(f64, bool)>,
+    /// Rejoin times, interleaved with `churn_departures`.
+    pub churn_joins: Vec<f64>,
+    /// Times this GFA drives a periodic overlay stabilization round (its
+    /// round-robin share of the global tick sequence).
+    pub stabilizations: Vec<f64>,
 }
 
 /// Builder for a federation simulation.
@@ -331,6 +482,16 @@ impl FederationBuilder {
 
         // Decorrelate the overlay's ring placement from the workload seed.
         let mut directory = config.directory.build(n, config.seed ^ 0xD1EC_70B5_EED5_EED5);
+        if let Some(churn) = &config.churn {
+            assert!(churn.replication >= 1, "replication factor must be at least 1");
+            // Replication is configured even when the failure process is
+            // inactive: replicas are only materialised by stabilization
+            // rounds, so a zero-rate churn config stays bit-identical to
+            // the static-ring path at any k.
+            directory.set_replication(churn.replication);
+        }
+        let churn_active = config.churn.as_ref().is_some_and(ChurnConfig::is_active);
+        let retry = config.churn.as_ref().map_or_else(RetryPolicy::default, |c| c.retry);
         let mut ledger = MessageLedger::new(n);
         let mut audit = AuditLedger::new(n);
         for (i, spec) in resources.iter().enumerate() {
@@ -354,6 +515,7 @@ impl FederationBuilder {
             remote_processed: vec![0; n],
             directory_cache: CacheStats::default(),
             audit,
+            churn: ChurnSummary::default(),
             #[cfg(feature = "invariants")]
             invariants: crate::invariants::InvariantSentry::new(),
         }));
@@ -363,6 +525,13 @@ impl FederationBuilder {
             let lrms: Box<dyn LocalScheduler> = match config.lrms {
                 LrmsKind::SpaceSharedFcfs => Box::new(SpaceSharedFcfs::new(spec.processors)),
                 LrmsKind::EasyBackfilling => Box::new(EasyBackfilling::new(spec.processors)),
+            };
+            let (churn_departures, churn_joins, stabilizations) = if churn_active {
+                let churn = config.churn.as_ref().expect("churn_active implies a config");
+                let (departs, joins) = churn_chain(churn, config.seed, i);
+                (departs, joins, stabilization_ticks(churn, i, n))
+            } else {
+                (Vec::new(), Vec::new(), Vec::new())
             };
             let schedule = GfaSchedule {
                 departure: config
@@ -377,6 +546,9 @@ impl FederationBuilder {
                     .filter(|(gfa, _, _)| *gfa == i)
                     .map(|(_, at, price)| (*at, *price))
                     .collect(),
+                churn_departures,
+                churn_joins,
+                stabilizations,
             };
             let gfa = Gfa::new(
                 i,
@@ -389,6 +561,7 @@ impl FederationBuilder {
                 schedule,
                 config.query_path,
                 config.charge_publish_traffic,
+                retry,
                 Rc::clone(&shared),
             );
             let id = sim.add_entity(Box::new(gfa));
@@ -435,6 +608,7 @@ fn assemble_report(
         remote_processed,
         directory_cache,
         audit,
+        churn,
         ..
     } = state;
     let directory_queries = directory.queries_served();
@@ -496,6 +670,7 @@ fn assemble_report(
         directory_queries,
         directory_avg_route_messages,
         directory_cache,
+        churn,
         digest: audit.digest(),
     }
 }

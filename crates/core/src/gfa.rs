@@ -40,11 +40,11 @@ use std::rc::Rc;
 
 use grid_cluster::{completion_time, ClusterJob, LocalScheduler, ResourceSpec, StartedJob};
 use grid_des::{Context, Entity, EntityId, Event, SimTime};
-use grid_directory::{FederationDirectory, QuoteCache, RankCursor, RankOrder, TracedQuote};
+use grid_directory::{FederationDirectory, Quote, QuoteCache, RankCursor, RankOrder, TracedQuote};
 use grid_workload::{Job, JobId, Strategy};
 
 use crate::economy::ChargingPolicy;
-use crate::federation::{DirectoryQueryPath, GfaSchedule, SchedulingMode, SharedState};
+use crate::federation::{DirectoryQueryPath, GfaSchedule, RetryPolicy, SchedulingMode, SharedState};
 use crate::messages::{FedMessage, MessageType};
 use crate::metrics::{ExecutionOutcome, JobRecord};
 
@@ -65,6 +65,9 @@ struct PendingJob {
     messages: u32,
     /// Directory messages spent on this job's ranking queries so far.
     directory_messages: u32,
+    /// Backoff retries already spent after faulted lookups (see
+    /// [`RetryPolicy`]).
+    retries: u32,
     /// Service time and cost on the candidate currently being negotiated
     /// with, so they need not be recomputed when the reply arrives.
     candidate_service: f64,
@@ -118,6 +121,12 @@ pub struct Gfa {
     /// Set once the departure timer fired: the quote is withdrawn and no new
     /// work is admitted.
     departed: bool,
+    /// Set by a *scripted* departure, which is permanent: later churn-drawn
+    /// rejoin events must not resurrect the GFA.
+    retired: bool,
+    /// How this GFA retries faulted directory lookups before degrading a
+    /// job to local-only scheduling.
+    retry: RetryPolicy,
     /// How ranking queries execute (cursor-streamed or per-rank oracle).
     query_path: DirectoryQueryPath,
     /// Whether publish-side directory traffic (routed `unsubscribe` /
@@ -156,6 +165,7 @@ impl Gfa {
         schedule: GfaSchedule,
         query_path: DirectoryQueryPath,
         charge_publish: bool,
+        retry: RetryPolicy,
         shared: Rc<RefCell<SharedState>>,
     ) -> Self {
         let name = format!("gfa-{index}-{}", spec.name);
@@ -170,6 +180,8 @@ impl Gfa {
             local_jobs,
             schedule,
             departed: false,
+            retired: false,
+            retry,
             query_path,
             charge_publish,
             quote_cache: QuoteCache::new(),
@@ -235,6 +247,7 @@ impl Gfa {
                     cursor: None,
                     messages: 0,
                     directory_messages: 0,
+                    retries: 0,
                     candidate_service: 0.0,
                     candidate_cost: 0.0,
                     expected_local_response,
@@ -282,21 +295,27 @@ impl Gfa {
     /// query-per-rank model literally.  Both paths return bit-identical
     /// quotes and charges (the cursor path replays the oracle's telemetry),
     /// which the differential tests assert end to end.
+    ///
+    /// The second return value is `true` when the probe *faulted*: the node
+    /// storing the entry crashed and no live replica could answer before a
+    /// stabilization round repaired the overlay.  A faulted probe still
+    /// charges its route, returns no quote, and is never memoised.
     fn probe_directory(
         &mut self,
         order: RankOrder,
         r: usize,
         cursor: &mut Option<RankCursor>,
-    ) -> TracedQuote {
-        let traced = {
+    ) -> (TracedQuote, bool) {
+        let (traced, fault) = {
             let shared = self.shared.borrow();
-            match self.query_path {
+            let traced = match self.query_path {
                 DirectoryQueryPath::Cursor => {
                     self.quote_cache
                         .probe(&shared.directory, self.index, order, r, cursor)
                 }
                 DirectoryQueryPath::PerRank => shared.directory.query_ranked(self.index, order, r),
-            }
+            };
+            (traced, shared.directory.take_fault())
         };
         if traced.messages > 0 {
             self.shared.borrow_mut().charge_directory(
@@ -305,7 +324,7 @@ impl Gfa {
                 traced.messages as f64 * self.latency,
             );
         }
-        traced
+        (traced, fault)
     }
 
     /// Runs the DBC candidate loop until a negotiation is launched, the job
@@ -332,9 +351,13 @@ impl Gfa {
                     if r > directory_len {
                         None
                     } else {
-                        let traced =
+                        let (traced, fault) =
                             self.probe_directory(RankOrder::Fastest, r, &mut pending.cursor);
                         pending.directory_messages += u32::try_from(traced.messages).unwrap_or(u32::MAX);
+                        if fault {
+                            self.defer_after_fault(pending, ctx);
+                            return;
+                        }
                         traced.quote
                     }
                 }
@@ -348,8 +371,12 @@ impl Gfa {
                     } else {
                         RankOrder::Cheapest
                     };
-                    let traced = self.probe_directory(order, r, &mut pending.cursor);
+                    let (traced, fault) = self.probe_directory(order, r, &mut pending.cursor);
                     pending.directory_messages += u32::try_from(traced.messages).unwrap_or(u32::MAX);
+                    if fault {
+                        self.defer_after_fault(pending, ctx);
+                        return;
+                    }
                     traced.quote
                 }
             };
@@ -665,7 +692,8 @@ impl Gfa {
 
         if entry.origin == self.index {
             // Every locally submitted job stores its seed in `on_submit`
-            // before it can ever finish.  fedlint: allow(hot-path-unwrap)
+            // before it can finish, so this expect can never fire.
+            // fedlint: allow(hot-path-unwrap)
             let seed = entry
                 .local_seed
                 .expect("locally originated jobs carry their record seed");
@@ -748,14 +776,135 @@ impl Gfa {
         }
     }
 
-    /// Handles this GFA's scripted departure: withdraws the quote via the
-    /// directory's `unsubscribe` primitive — under a distributed backend a
-    /// routed remove per attribute entry, charged as publish traffic — and
-    /// stops admitting new work.
+    /// A ranking probe faulted (see [`Gfa::probe_directory`]).  Graceful
+    /// degradation: park the job and retry the *same* rank after an
+    /// exponential-backoff delay — by then a stabilization round has
+    /// usually evicted the crashed store and repaired its replicas — and
+    /// once the retry budget is exhausted, treat the directory as
+    /// unreachable and fall back to local-only scheduling.
+    fn defer_after_fault(&mut self, mut pending: PendingJob, ctx: &mut Context<'_, FedMessage>) {
+        self.shared.borrow_mut().churn.lookup_faults += 1;
+        if pending.retries < self.retry.max_retries {
+            pending.retries += 1;
+            let exponent = (pending.retries - 1).min(16);
+            let delay = self.retry.backoff * f64::from(1u32 << exponent);
+            self.shared.borrow_mut().churn.retries += 1;
+            let job = pending.job.id;
+            ctx.timer_at(
+                SimTime::new(ctx.now().as_secs() + delay),
+                FedMessage::DirectoryRetry { job },
+            );
+            self.pending.insert(job, pending);
+            return;
+        }
+        // Retry budget exhausted: schedule as if the federation were
+        // unreachable (Experiment-1 behaviour), keeping the message
+        // counters the job accumulated while the directory was still up.
+        self.shared.borrow_mut().churn.local_fallbacks += 1;
+        let job = pending.job;
+        let now = ctx.now().as_secs();
+        let service = completion_time(&job, &self.spec, &self.spec);
+        let fits = !self.departed && job.processors <= self.spec.processors;
+        let estimate = if fits {
+            self.lrms.estimate_completion(job.processors, service, now)
+        } else {
+            f64::INFINITY
+        };
+        if fits && estimate <= job.absolute_deadline() + 1e-9 {
+            let cost = self.charging.charge(&job, &self.spec);
+            self.accept_locally(
+                job,
+                service,
+                cost,
+                pending.messages,
+                pending.directory_messages,
+                pending.expected_local_response,
+                pending.expected_local_cost,
+                ctx,
+            );
+        } else {
+            self.record_rejection(
+                &job,
+                pending.messages,
+                pending.directory_messages,
+                pending.expected_local_response,
+                pending.expected_local_cost,
+            );
+        }
+    }
+
+    /// Resumes a job's DBC loop after its backoff delay elapsed.
+    fn on_directory_retry(&mut self, job: JobId, ctx: &mut Context<'_, FedMessage>) {
+        if let Some(pending) = self.pending.remove(&job) {
+            self.try_candidates(pending, ctx);
+        }
+    }
+
+    /// Handles this GFA's scripted departure: a graceful, *permanent* leave
+    /// through the directory's `node_depart` primitive — the quote is
+    /// withdrawn, stored attribute entries are handed off to their new
+    /// owners (routed removes and moves, charged as publish traffic) — and
+    /// no new work is admitted.
     fn on_depart(&mut self) {
         self.departed = true;
+        self.retired = true;
         let mut shared = self.shared.borrow_mut();
-        let messages = shared.directory.unsubscribe(self.index);
+        let messages = shared.directory.node_depart(self.index, true);
+        Self::record_publish(&mut shared, self.index, messages, self.latency, self.charge_publish);
+    }
+
+    /// Handles a churn-drawn departure.  Graceful leaves behave like the
+    /// scripted kind (withdraw, hand off, pay the publish traffic); crashes
+    /// drop the node's stored entries cold and cost nothing — the overlay
+    /// only finds out when lookups start faulting, and stabilization later
+    /// evicts the dead node.
+    fn on_churn_depart(&mut self, graceful: bool, _ctx: &mut Context<'_, FedMessage>) {
+        if self.departed {
+            return;
+        }
+        self.departed = true;
+        let mut shared = self.shared.borrow_mut();
+        if graceful {
+            shared.churn.graceful_leaves += 1;
+        } else {
+            shared.churn.crashes += 1;
+        }
+        let messages = shared.directory.node_depart(self.index, graceful);
+        Self::record_publish(&mut shared, self.index, messages, self.latency, self.charge_publish);
+    }
+
+    /// Handles a churn-drawn rejoin: the GFA re-enters the overlay (a
+    /// routed join plus any entry reconciliation) and republishes its quote
+    /// at the current access price.  Scripted departures are permanent, so
+    /// a retired GFA ignores the event.
+    fn on_churn_join(&mut self, _ctx: &mut Context<'_, FedMessage>) {
+        if self.retired || !self.departed {
+            return;
+        }
+        self.departed = false;
+        let mut shared = self.shared.borrow_mut();
+        shared.churn.rejoins += 1;
+        let join = shared.directory.node_join(self.index);
+        let publish = shared.directory.subscribe(Quote::from_spec(self.index, &self.spec));
+        Self::record_publish(
+            &mut shared,
+            self.index,
+            join + publish,
+            self.latency,
+            self.charge_publish,
+        );
+    }
+
+    /// Drives one periodic stabilization round of the overlay: crashed
+    /// nodes are evicted, displaced entries reconciled onto their new
+    /// owners, and attribute-entry replicas repaired up to the configured
+    /// factor.  The round's overlay messages are charged to this GFA's
+    /// publish class (it is this round's round-robin driver).
+    fn on_stabilize(&mut self, _ctx: &mut Context<'_, FedMessage>) {
+        let mut shared = self.shared.borrow_mut();
+        let messages = shared.directory.stabilize();
+        shared.churn.stabilization_rounds += 1;
+        shared.churn.stabilization_messages += messages;
         Self::record_publish(&mut shared, self.index, messages, self.latency, self.charge_publish);
     }
 
@@ -790,6 +939,18 @@ impl Entity<FedMessage> for Gfa {
         let repricings = std::mem::take(&mut self.schedule.repricings);
         for (at, price) in repricings {
             ctx.timer_at(SimTime::new(at), FedMessage::Reprice { price });
+        }
+        let churn_departures = std::mem::take(&mut self.schedule.churn_departures);
+        for (at, graceful) in churn_departures {
+            ctx.timer_at(SimTime::new(at), FedMessage::ChurnDepart { graceful });
+        }
+        let churn_joins = std::mem::take(&mut self.schedule.churn_joins);
+        for at in churn_joins {
+            ctx.timer_at(SimTime::new(at), FedMessage::ChurnJoin);
+        }
+        let stabilizations = std::mem::take(&mut self.schedule.stabilizations);
+        for at in stabilizations {
+            ctx.timer_at(SimTime::new(at), FedMessage::Stabilize);
         }
     }
 
@@ -834,6 +995,10 @@ impl Entity<FedMessage> for Gfa {
             FedMessage::LocalJobFinished { job } => self.on_local_job_finished(job, ctx),
             FedMessage::Depart => self.on_depart(),
             FedMessage::Reprice { price } => self.on_reprice(price),
+            FedMessage::ChurnDepart { graceful } => self.on_churn_depart(graceful, ctx),
+            FedMessage::ChurnJoin => self.on_churn_join(ctx),
+            FedMessage::Stabilize => self.on_stabilize(ctx),
+            FedMessage::DirectoryRetry { job } => self.on_directory_retry(job, ctx),
         }
         // Under the `invariants` feature every delivered event ends with a
         // sweep of the federation's global accounting invariants (currency

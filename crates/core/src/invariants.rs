@@ -19,13 +19,24 @@
 //!    digest and entry count ([`AuditLedger::is_consistent`]), and the
 //!    number of audited records only grows; out-of-band tampering with a
 //!    chain digest trips the sentry on the next event.
+//! 6. **Membership-epoch monotonicity** — churn only moves the overlay
+//!    membership epoch forward; a rewind would let stale cursors validate
+//!    against a ring that no longer exists.
+//! 7. **Replication bound** — the MAAN overlay never holds more than the
+//!    configured `k` live replicas of an entry; repair that over-replicates
+//!    would inflate publish traffic unbounded under churn.
+//! 8. **Liveness of service** — no quote is served from a node that has
+//!    departed the overlay; detours and repairs must land on live owners.
 //!
 //! Event-*time* monotonicity is the engine's own invariant and is enforced
 //! inside `grid-des` (promoted to a hard assert under the same feature).
 //! Companion corrupting test doubles — [`GridBank::corrupt_leak`],
 //! `AnyDirectory::corrupt_epoch_rewind`, [`AuditLedger::corrupt_chain`],
-//! the event-time corruptor in `grid-des` — exist so the test suite can
-//! prove each check actually fires.
+//! `AnyDirectory::corrupt_membership_rewind`,
+//! `AnyDirectory::corrupt_overreplicate`,
+//! `AnyDirectory::corrupt_serve_departed`, the event-time corruptor in
+//! `grid-des` — exist so the test suite can prove each check actually
+//! fires.
 
 use grid_directory::{AnyDirectory, FederationDirectory};
 
@@ -46,6 +57,8 @@ pub struct InvariantSentry {
     last_traffic: u64,
     /// Directory epoch at the previous check.
     last_epoch: u64,
+    /// Overlay membership epoch at the previous check.
+    last_membership_epoch: u64,
     /// Audited record count at the previous check.
     last_audit_entries: u64,
     /// Checks executed, for test observability.
@@ -114,6 +127,25 @@ impl InvariantSentry {
             self.last_epoch
         );
         self.last_epoch = epoch;
+
+        let membership = directory.membership_epoch();
+        assert!(
+            membership >= self.last_membership_epoch,
+            "membership epoch rewound at t={now}: {membership} after {}",
+            self.last_membership_epoch
+        );
+        self.last_membership_epoch = membership;
+
+        assert!(
+            directory.replication_ok(),
+            "replication factor exceeded at t={now}: an entry holds more \
+             live replicas than the configured k"
+        );
+        assert!(
+            directory.serves_only_live(),
+            "departed node still serves at t={now}: a quote is stored on a \
+             node that has left the overlay"
+        );
 
         assert!(
             audit.is_consistent(),

@@ -17,7 +17,9 @@
 //!   directory, the GridBank and the workloads into one deterministic
 //!   discrete-event simulation, in any of the three sharing environments the
 //!   paper evaluates (independent, federation without economy, federation
-//!   with economy).
+//!   with economy), optionally under a seeded churn model
+//!   ([`federation::ChurnConfig`]) with directory self-healing and
+//!   retry-with-backoff degradation at the GFAs.
 //! * [`metrics`] — per-job, per-resource and federation-wide statistics
 //!   matching the paper's tables and figures.
 //! * [`audit`] — the hash-chained audit ledger: every job outcome, message
@@ -71,12 +73,12 @@ pub mod metrics;
 pub use audit::{AuditLedger, RunDigest};
 pub use economy::{apply_commodity_pricing, quote_price, ChargingPolicy, GridBank, PAPER_ACCESS_PRICE};
 pub use federation::{
-    run_federation, DirectoryQueryPath, FederationBuilder, FederationConfig, GfaSchedule, LrmsKind,
-    SchedulingMode, SharedState,
+    run_federation, ChurnConfig, DirectoryQueryPath, FederationBuilder, FederationConfig,
+    GfaSchedule, LrmsKind, RetryPolicy, SchedulingMode, SharedState,
 };
 pub use grid_directory::{CacheStats, DirectoryBackend};
 pub use gfa::Gfa;
 #[cfg(feature = "invariants")]
 pub use invariants::InvariantSentry;
 pub use messages::{FedMessage, GfaMessageCounters, MessageLedger, MessageType};
-pub use metrics::{ExecutionOutcome, FederationReport, JobRecord, ResourceMetrics};
+pub use metrics::{ChurnSummary, ExecutionOutcome, FederationReport, JobRecord, ResourceMetrics};

@@ -91,6 +91,26 @@ pub enum FedMessage {
         /// The new access price in Grid Dollars.
         price: f64,
     },
+    /// Self-timer drawn from the seeded churn process: this GFA leaves the
+    /// federation, either gracefully (handing its stored directory entries
+    /// off to their new owners) or by crashing (dropping them cold).
+    ChurnDepart {
+        /// `true` for a graceful leave, `false` for an ungraceful crash.
+        graceful: bool,
+    },
+    /// Self-timer drawn from the seeded churn process: a churned-out GFA
+    /// comes back, rejoins the overlay and republishes its quote.
+    ChurnJoin,
+    /// Self-timer: this GFA drives one periodic stabilization round of the
+    /// overlay — evicting crashed nodes, reconciling entry placement and
+    /// repairing attribute-entry replicas up to the configured factor.
+    Stabilize,
+    /// Self-timer: a job whose directory lookup faulted retries its
+    /// scheduling loop after an exponential-backoff delay.
+    DirectoryRetry {
+        /// Job whose scheduling loop resumes.
+        job: JobId,
+    },
 }
 
 /// The four accountable message types of the paper.

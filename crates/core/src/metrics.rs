@@ -162,6 +162,59 @@ impl ResourceMetrics {
     }
 }
 
+/// Aggregate churn and self-healing telemetry of one run.
+///
+/// All-zero when the run had no churn configured (the static-ring path) —
+/// the counters live outside the audit chains, so enabling a zero-rate
+/// churn config leaves the run's [`RunDigest`] bit-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnSummary {
+    /// Graceful departures delivered by the seeded failure process (the
+    /// node handed its stored directory entries off before leaving).
+    pub graceful_leaves: u64,
+    /// Ungraceful crashes delivered (entries dropped cold; the node squats
+    /// in the overlay until a stabilization round evicts it).
+    pub crashes: u64,
+    /// Churned-out nodes that came back, rejoined the overlay and
+    /// republished their quote.
+    pub rejoins: u64,
+    /// Periodic stabilization rounds executed (including free ones on an
+    /// already-stable overlay).
+    pub stabilization_rounds: u64,
+    /// Overlay messages those rounds cost: crashed-node eviction, entry
+    /// reconciliation and replica repair, charged into the publish class.
+    pub stabilization_messages: u64,
+    /// Ranking lookups that faulted: the entry's store had crashed and no
+    /// live replica could answer before stabilization repaired the overlay.
+    pub lookup_faults: u64,
+    /// Backoff retries scheduled after faulted lookups.
+    pub retries: u64,
+    /// Jobs that exhausted their retry budget and degraded to local-only
+    /// scheduling.
+    pub local_fallbacks: u64,
+}
+
+impl ChurnSummary {
+    /// Total churn events (departures plus rejoins) the run delivered.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.graceful_leaves + self.crashes + self.rejoins
+    }
+
+    /// Fraction of ranking lookups that resolved, given the directory's
+    /// served-query count: `served / (served + faults)`, or `1.0` when the
+    /// run never touched the directory.
+    #[must_use]
+    pub fn lookup_success_rate(&self, queries_served: u64) -> f64 {
+        let total = queries_served + self.lookup_faults;
+        if total == 0 {
+            1.0
+        } else {
+            queries_served as f64 / total as f64
+        }
+    }
+}
+
 /// Everything a federation run produces.
 #[derive(Debug, Clone)]
 pub struct FederationReport {
@@ -191,6 +244,8 @@ pub struct FederationReport {
     /// on this field.  Always zero under
     /// [`crate::federation::DirectoryQueryPath::PerRank`].
     pub directory_cache: CacheStats,
+    /// Churn and self-healing telemetry (all-zero without a churn config).
+    pub churn: ChurnSummary,
     /// The run's hash-chained audit digest (see [`crate::audit`]): two runs
     /// with equal `digest.full` executed the same audited history; equal
     /// `digest.outcomes` means identical job outcomes and bank transfers
@@ -376,6 +431,13 @@ impl FederationReport {
         }
     }
 
+    /// Fraction of ranking lookups that resolved despite churn (see
+    /// [`ChurnSummary::lookup_success_rate`]); `1.0` on a static ring.
+    #[must_use]
+    pub fn lookup_success_rate(&self) -> f64 {
+        self.churn.lookup_success_rate(self.directory_queries)
+    }
+
     /// Fraction of accepted jobs whose QoS (budget **and** deadline) was met.
     #[must_use]
     pub fn qos_satisfaction_rate(&self) -> f64 {
@@ -462,6 +524,7 @@ mod tests {
             directory_queries: 0,
             directory_avg_route_messages: 0.0,
             directory_cache: CacheStats::default(),
+            churn: ChurnSummary::default(),
             digest: crate::audit::AuditLedger::new(2).digest(),
         }
     }
@@ -533,6 +596,7 @@ mod tests {
             directory_queries: 0,
             directory_avg_route_messages: 0.0,
             directory_cache: CacheStats::default(),
+            churn: ChurnSummary::default(),
             digest: crate::audit::AuditLedger::new(0).digest(),
         };
         assert_eq!(rep.mean_acceptance_rate(), 0.0);
@@ -543,5 +607,24 @@ mod tests {
         assert_eq!(rep.federation_avg_budget_spent(false), 0.0);
         assert_eq!(rep.mean_utilization_percent(), 0.0);
         assert_eq!(rep.avg_budget_spent(3, false), 0.0);
+    }
+
+    #[test]
+    fn churn_summary_rates() {
+        let mut c = ChurnSummary::default();
+        assert_eq!(c.events(), 0);
+        assert_eq!(c.lookup_success_rate(0), 1.0);
+        c.graceful_leaves = 2;
+        c.crashes = 1;
+        c.rejoins = 2;
+        c.lookup_faults = 5;
+        assert_eq!(c.events(), 5);
+        assert!((c.lookup_success_rate(95) - 0.95).abs() < 1e-12);
+        // The report-level view divides the directory's served-query count.
+        let mut rep = report();
+        assert_eq!(rep.lookup_success_rate(), 1.0);
+        rep.directory_queries = 3;
+        rep.churn.lookup_faults = 1;
+        assert!((rep.lookup_success_rate() - 0.75).abs() < 1e-12);
     }
 }

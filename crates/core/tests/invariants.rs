@@ -10,8 +10,8 @@
 use grid_cluster::ResourceSpec;
 use grid_directory::{AnyDirectory, FederationDirectory, Quote};
 use grid_federation_core::{
-    run_federation, AuditLedger, DirectoryBackend, FederationConfig, GridBank, InvariantSentry,
-    MessageLedger, MessageType, SchedulingMode,
+    run_federation, AuditLedger, ChurnConfig, DirectoryBackend, FederationConfig, GridBank,
+    InvariantSentry, MessageLedger, MessageType, SchedulingMode,
 };
 use grid_workload::{Job, JobId, Strategy, UserId};
 
@@ -130,6 +130,96 @@ fn audit_records_keep_the_sentry_green_as_they_accumulate() {
     audit.record_publish(2, 3);
     sentry.check(1.0, &bank, &ledger, &dir, &audit);
     assert_eq!(sentry.checks(), 2);
+}
+
+/// An overlay directory with one published quote, for the churn doubles.
+fn overlay_state(backend: DirectoryBackend) -> (GridBank, MessageLedger, AnyDirectory, AuditLedger) {
+    let (bank, ledger, _, audit) = healthy_state();
+    let mut dir = backend.build(4, 0xBEEF);
+    let _ = dir.subscribe(Quote {
+        gfa: 0,
+        processors: 16,
+        mips: 500.0,
+        bandwidth: 1.0,
+        price: 2.0,
+    });
+    (bank, ledger, dir, audit)
+}
+
+#[test]
+#[should_panic(expected = "membership epoch rewound")]
+fn membership_rewind_fires_monotonicity() {
+    let (bank, ledger, mut dir, audit) = overlay_state(DirectoryBackend::Maan);
+    // A graceful departure bumps the membership epoch past zero.
+    let _ = dir.node_depart(1, true);
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    // The corrupting double snaps the epoch back to the pre-churn ring.
+    dir.corrupt_membership_rewind();
+    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+}
+
+#[test]
+#[should_panic(expected = "replication factor exceeded")]
+fn overreplication_fires_replication_bound() {
+    let (bank, ledger, mut dir, audit) = overlay_state(DirectoryBackend::Maan);
+    dir.set_replication(2);
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    // The corrupting double piles more copies onto an entry than k allows.
+    dir.corrupt_overreplicate();
+    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+}
+
+#[test]
+#[should_panic(expected = "departed node still serves")]
+fn serving_from_departed_node_fires_liveness() {
+    let (bank, ledger, mut dir, audit) = overlay_state(DirectoryBackend::Chord);
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    // The corrupting double marks the quote's owner down without the
+    // handoff/repair that a real departure performs.
+    dir.corrupt_serve_departed();
+    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+}
+
+/// End to end: a churning federation — departures, crashes, rejoins,
+/// stabilization and replica repair — keeps all eight invariants green on
+/// the genuinely distributed backend.
+#[test]
+fn churning_federation_passes_under_invariant_checking() {
+    let resources = vec![
+        ResourceSpec::new("slow-cheap", 32, 500.0, 1.0, 2.0),
+        ResourceSpec::new("fast-pricey", 32, 1_000.0, 2.0, 4.0),
+        ResourceSpec::new("middling", 32, 750.0, 1.5, 3.0),
+    ];
+    let workloads = vec![
+        vec![job(0, 0, 10.0, Strategy::Ofc), job(0, 1, 40.0, Strategy::Oft)],
+        vec![job(1, 0, 25.0, Strategy::Ofc)],
+        vec![job(2, 0, 55.0, Strategy::Oft)],
+    ];
+    let config = FederationConfig {
+        mode: SchedulingMode::Economy,
+        directory: DirectoryBackend::Maan,
+        seed: 0xFED5EED,
+        churn: Some(ChurnConfig {
+            mean_uptime: 1_800.0,
+            mean_downtime: 900.0,
+            crash_fraction: 0.5,
+            stabilization_interval: 600.0,
+            replication: 2,
+            horizon: 7_200.0,
+            ..ChurnConfig::default()
+        }),
+        ..FederationConfig::default()
+    };
+    let report = run_federation(resources, workloads, config);
+    assert!(
+        report.churn.events() > 0,
+        "the churn model must actually inject failures for this test to bite"
+    );
+    assert!(report.bank.is_balanced());
+    assert!(report.digest.entries > 0);
 }
 
 #[test]

@@ -140,6 +140,57 @@ impl AnyDirectory {
         dispatch!(self, d => d.corrupt_epoch_rewind())
     }
 
+    /// Corrupting test double: marks the GFA of the first stored quote as
+    /// departed without withdrawing it, so the directory keeps serving a
+    /// dead node's offer.  Only exists so the invariant tests can prove the
+    /// `serves_only_live` check fires; the ideal backend has no membership
+    /// state to corrupt.
+    ///
+    /// # Panics
+    /// Panics on the ideal backend.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_serve_departed(&mut self) {
+        match self {
+            AnyDirectory::Ideal(_) => {
+                panic!("the ideal backend has no membership state to corrupt")
+            }
+            AnyDirectory::Chord(d) => d.corrupt_serve_departed(),
+            AnyDirectory::Maan(d) => d.corrupt_serve_departed(),
+        }
+    }
+
+    /// Corrupting test double: records more replica copies than the
+    /// replication factor allows.  Only exists so the invariant tests can
+    /// prove the `replication_ok` check fires; only the MAAN backend keeps
+    /// replica records.
+    ///
+    /// # Panics
+    /// Panics on the ideal and Chord backends.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_overreplicate(&mut self) {
+        match self {
+            AnyDirectory::Maan(d) => d.corrupt_overreplicate(),
+            _ => panic!("only the MAAN backend keeps replica records to corrupt"),
+        }
+    }
+
+    /// Corrupting test double: rewinds the membership epoch to zero.  Only
+    /// exists so the invariant tests can prove the membership-monotonicity
+    /// check fires; the ideal backend has no membership state to corrupt.
+    ///
+    /// # Panics
+    /// Panics on the ideal backend.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_membership_rewind(&mut self) {
+        match self {
+            AnyDirectory::Ideal(_) => {
+                panic!("the ideal backend has no membership state to corrupt")
+            }
+            AnyDirectory::Chord(d) => d.corrupt_membership_rewind(),
+            AnyDirectory::Maan(d) => d.corrupt_membership_rewind(),
+        }
+    }
+
     /// Total routed publish-side messages charged by mutations so far: zero
     /// for the centrally-stored backends, the measured put/remove/move
     /// routing cost for MAAN.
@@ -197,6 +248,39 @@ impl FederationDirectory for AnyDirectory {
     #[inline]
     fn note_replayed_query(&self, origin: usize, order: RankOrder, r: usize, route_messages: u64) {
         dispatch!(self, d => d.note_replayed_query(origin, order, r, route_messages));
+    }
+    #[inline]
+    fn membership_epoch(&self) -> u64 {
+        dispatch!(self, d => d.membership_epoch())
+    }
+    fn node_depart(&mut self, gfa: usize, graceful: bool) -> u64 {
+        dispatch!(self, d => d.node_depart(gfa, graceful))
+    }
+    fn node_join(&mut self, gfa: usize) -> u64 {
+        dispatch!(self, d => d.node_join(gfa))
+    }
+    fn stabilize(&mut self) -> u64 {
+        dispatch!(self, d => d.stabilize())
+    }
+    fn set_replication(&mut self, k: usize) {
+        dispatch!(self, d => d.set_replication(k));
+    }
+    fn is_node_live(&self, gfa: usize) -> bool {
+        dispatch!(self, d => d.is_node_live(gfa))
+    }
+    #[inline]
+    fn peek_fault(&self) -> bool {
+        dispatch!(self, d => d.peek_fault())
+    }
+    #[inline]
+    fn take_fault(&self) -> bool {
+        dispatch!(self, d => d.take_fault())
+    }
+    fn replication_ok(&self) -> bool {
+        dispatch!(self, d => d.replication_ok())
+    }
+    fn serves_only_live(&self) -> bool {
+        dispatch!(self, d => d.serves_only_live())
     }
 }
 

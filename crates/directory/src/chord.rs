@@ -71,6 +71,11 @@ struct ChordNode {
     /// `fingers[j]` = index (into the overlay's node vector) of the successor
     /// of `id + 2^j`.
     fingers: Vec<usize>,
+    /// Whether the node is currently part of the live ring.  Departed nodes
+    /// keep their slot (and finger table, rebuilt over the live ring) so
+    /// lookups *originating* at them still terminate, but they own no keys
+    /// and no walk arcs.
+    alive: bool,
 }
 
 /// A Chord ring over the federation's GFAs.
@@ -93,41 +98,115 @@ impl ChordOverlay {
     #[must_use]
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n > 0, "an overlay needs at least one node");
-        let mut nodes: Vec<ChordNode> = (0..n)
+        let nodes: Vec<ChordNode> = (0..n)
             .map(|gfa| ChordNode {
                 gfa,
                 id: hash64(seed ^ (gfa as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)),
                 fingers: Vec::new(),
+                alive: true,
             })
             .collect();
-        let mut ring_order: Vec<usize> = (0..n).collect();
-        ring_order.sort_by_key(|&i| nodes[i].id);
-
-        // Successor of an arbitrary key, as an index into `nodes`.
-        let successor_of = |key: u64, nodes: &[ChordNode], ring: &[usize]| -> usize {
-            match ring.binary_search_by(|&i| nodes[i].id.cmp(&key)) {
-                Ok(pos) => ring[pos],
-                Err(pos) => ring[pos % ring.len()],
-            }
+        let mut overlay = ChordOverlay {
+            nodes,
+            ring_order: Vec::new(),
         };
+        overlay.rebuild_routing();
+        overlay
+    }
 
-        for i in 0..n {
-            let id = nodes[i].id;
+    /// Successor of an arbitrary key on the live ring, as an index into
+    /// `nodes`.
+    fn successor_index_of(&self, key: u64) -> usize {
+        match self
+            .ring_order
+            .binary_search_by(|&i| self.nodes[i].id.cmp(&key))
+        {
+            Ok(pos) => self.ring_order[pos],
+            Err(pos) => self.ring_order[pos % self.ring_order.len()],
+        }
+    }
+
+    /// Rebuilds the ring order and every node's finger table over the
+    /// current live membership.  Dead nodes get fingers too — a lookup
+    /// *originating* at a departed node must still route onto the live ring.
+    fn rebuild_routing(&mut self) {
+        let mut ring_order: Vec<usize> =
+            (0..self.nodes.len()).filter(|&i| self.nodes[i].alive).collect();
+        ring_order.sort_by_key(|&i| self.nodes[i].id);
+        self.ring_order = ring_order;
+        for i in 0..self.nodes.len() {
+            let id = self.nodes[i].id;
             let fingers: Vec<usize> = (0..Self::ID_BITS)
                 .map(|j| {
                     let target = id.wrapping_add(1u64.wrapping_shl(j as u32));
-                    successor_of(target, &nodes, &ring_order)
+                    self.successor_index_of(target)
                 })
                 .collect();
-            nodes[i].fingers = fingers;
+            self.nodes[i].fingers = fingers;
         }
-        ChordOverlay { nodes, ring_order }
     }
 
-    /// Number of nodes.
+    /// Number of nodes the overlay was built for (live or departed) — the
+    /// federation's GFA count, which origin indices are reduced modulo.
     #[must_use]
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of currently live ring nodes.
+    #[must_use]
+    pub fn live_len(&self) -> usize {
+        self.ring_order.len()
+    }
+
+    /// Whether GFA `gfa`'s node is currently part of the live ring.
+    #[must_use]
+    pub fn is_alive(&self, gfa: usize) -> bool {
+        self.nodes.get(gfa).is_some_and(|n| n.alive)
+    }
+
+    /// Removes GFA `gfa`'s node from the live ring, rebuilding the routing
+    /// state.  Returns whether the membership changed; the last live node is
+    /// never removed (the ring is the routing substrate — an empty ring
+    /// would strand every subsequent lookup), and removing an unknown or
+    /// already-dead node is a no-op.
+    pub fn remove_node(&mut self, gfa: usize) -> bool {
+        if !self.is_alive(gfa) || self.ring_order.len() <= 1 {
+            return false;
+        }
+        self.nodes[gfa].alive = false;
+        self.rebuild_routing();
+        true
+    }
+
+    /// Re-admits a previously removed node to the live ring, rebuilding the
+    /// routing state.  Returns whether the membership changed.
+    pub fn insert_node(&mut self, gfa: usize) -> bool {
+        if gfa >= self.nodes.len() || self.nodes[gfa].alive {
+            return false;
+        }
+        self.nodes[gfa].alive = true;
+        self.rebuild_routing();
+        true
+    }
+
+    /// The GFA indices of the `count` live ring nodes succeeding `gfa`'s
+    /// node (clockwise, excluding `gfa` itself) — the successor list used
+    /// for replica placement.  Shorter than `count` on small rings; empty
+    /// when `gfa` is not live.
+    #[must_use]
+    pub fn successors(&self, gfa: usize, count: usize) -> Vec<usize> {
+        let n = self.ring_order.len();
+        let Some(pos) = self
+            .ring_order
+            .iter()
+            .position(|&i| self.nodes[i].gfa == gfa)
+        else {
+            return Vec::new();
+        };
+        (1..=count.min(n.saturating_sub(1)))
+            .map(|step| self.nodes[self.ring_order[(pos + step) % n]].gfa)
+            .collect()
     }
 
     /// Whether the overlay is empty (never true by construction).
@@ -136,17 +215,10 @@ impl ChordOverlay {
         self.nodes.is_empty()
     }
 
-    /// The GFA index owning `key` (its successor on the ring).
+    /// The GFA index owning `key` (its successor on the live ring).
     #[must_use]
     pub fn owner_of(&self, key: u64) -> usize {
-        let idx = match self
-            .ring_order
-            .binary_search_by(|&i| self.nodes[i].id.cmp(&key))
-        {
-            Ok(pos) => self.ring_order[pos],
-            Err(pos) => self.ring_order[pos % self.ring_order.len()],
-        };
-        self.nodes[idx].gfa
+        self.nodes[self.successor_index_of(key)].gfa
     }
 
     /// Routes from the node representing `from_gfa` towards `key` using
@@ -198,10 +270,11 @@ impl ChordOverlay {
     /// `(id_{n-1}, u64::MAX]` — owned by the first ring node again, which is
     /// why there is one more arc than nodes.  Range walks (MAAN-style
     /// successor traversals) step through arcs; the arc distance between two
-    /// keys is the number of successor hops between their owners.
+    /// keys is the number of successor hops between their owners.  Only
+    /// *live* nodes own arcs, so the arc count shrinks and grows with churn.
     #[must_use]
     pub fn walk_arcs(&self) -> usize {
-        self.nodes.len() + 1
+        self.ring_order.len() + 1
     }
 
     /// The walk-arc index of `key` (monotone in `key`; see
@@ -258,6 +331,32 @@ pub struct ChordDirectory {
     routes: std::cell::Cell<u64>,
     route_hops: std::cell::Cell<u64>,
     seed: u64,
+    /// Replication factor `k` (degradation model only — the rank data is
+    /// central, so replication here governs whether a rank-1 route whose
+    /// head owner has crashed can detour or must fault).
+    replication: usize,
+    /// Per-GFA departed flag (graceful leave or crash).
+    down: Vec<bool>,
+    /// Crashed nodes still occupying their ring position until the next
+    /// stabilization round evicts them.
+    pending_dead: Vec<usize>,
+    /// Bumped on every live-membership change (see
+    /// [`FederationDirectory::membership_epoch`]).
+    membership_epoch: u64,
+    /// Fault flag of the most recent query/cursor operation (see
+    /// [`FederationDirectory::take_fault`]).
+    fault: std::cell::Cell<bool>,
+}
+
+/// `⌈log₂ n⌉`, clamped to at least one message — the modelled cost of one
+/// routed maintenance operation (join, per-node eviction repair).  Shared
+/// with the MAAN backend, whose joins and evictions route the same way.
+pub(crate) fn ceil_log2(n: u64) -> u64 {
+    if n <= 1 {
+        1
+    } else {
+        u64::from((n - 1).ilog2()) + 1
+    }
 }
 
 impl ChordDirectory {
@@ -271,6 +370,11 @@ impl ChordDirectory {
             routes: std::cell::Cell::new(0),
             route_hops: std::cell::Cell::new(0),
             seed,
+            replication: 1,
+            down: vec![false; n],
+            pending_dead: Vec::new(),
+            membership_epoch: 0,
+            fault: std::cell::Cell::new(false),
         }
     }
 
@@ -286,6 +390,29 @@ impl ChordDirectory {
     #[cfg(feature = "invariants")]
     pub fn corrupt_epoch_rewind(&mut self) {
         self.exact.corrupt_epoch_rewind();
+    }
+
+    /// Corrupting test double: marks the GFA of the first stored quote as
+    /// departed *without* withdrawing its quote, so ranking queries keep
+    /// serving a dead node's offer.  Only exists so the invariant tests can
+    /// prove the `serves_only_live` check fires.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_serve_departed(&mut self) {
+        let gfa = self
+            .exact
+            .quotes()
+            .first()
+            .expect("corrupting a directory requires at least one quote")
+            .gfa;
+        self.down[gfa] = true;
+    }
+
+    /// Corrupting test double: rewinds the membership epoch to zero.  Only
+    /// exists so the invariant tests can prove the membership-monotonicity
+    /// check fires.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_membership_rewind(&mut self) {
+        self.membership_epoch = 0;
     }
 
     /// Total directory messages spent on ranking queries so far (routed
@@ -322,9 +449,69 @@ impl ChordDirectory {
     /// ranking and returns the measured hop count — the expensive part of a
     /// routed lookup, shared by the query-per-rank path and `open_cursor`.
     fn route_to_head(&self, origin: usize, order: RankOrder) -> u64 {
-        let key = hash64(self.seed ^ Self::dimension(order).wrapping_mul(31));
-        let (_, hops) = self.overlay.lookup(origin % self.overlay.len(), key);
+        let (_, hops) = self
+            .overlay
+            .lookup(origin % self.overlay.len(), Self::head_key(self.seed, order));
         u64::from(hops)
+    }
+
+    /// The ring key a ranking's head cursor lives at.
+    fn head_key(seed: u64, order: RankOrder) -> u64 {
+        hash64(seed ^ Self::dimension(order).wrapping_mul(31))
+    }
+
+    /// Availability of a rank-1 routed lookup under the current churn state:
+    /// `(extra_messages, faulted)`.  The route terminates at the node owning
+    /// the ranking's head key; if that node has crashed and has not been
+    /// evicted yet, a replicated deployment (`k ≥ 2`) detours to the
+    /// successor replica for one extra message, while an unreplicated one
+    /// faults — the route is wasted and the query answers `None`.
+    #[inline]
+    fn rank1_availability(&self, order: RankOrder) -> (u64, bool) {
+        if self.pending_dead.is_empty() {
+            return (0, false);
+        }
+        let owner = self.overlay.owner_of(Self::head_key(self.seed, order));
+        if !self.down[owner] {
+            return (0, false);
+        }
+        if self.replication >= 2 {
+            (1, false)
+        } else {
+            (0, true)
+        }
+    }
+
+    /// Cold tail of [`FederationDirectory::cursor_next`]: lazy revalidation
+    /// after an epoch move.  The quote store mutated under the cursor; the
+    /// positional read resolves against the current store, and a cursor that
+    /// has not yielded yet re-prices its pending route — membership churn
+    /// can have changed the ring (and therefore the measured hop count)
+    /// since the open.
+    #[cold]
+    #[inline(never)]
+    fn revalidate_cursor(&self, cursor: &mut RankCursor) {
+        if cursor.yielded == 0 {
+            cursor.route_messages = self.route_to_head(cursor.origin, cursor.order);
+        }
+        cursor.epoch = self.epoch();
+    }
+
+    /// Cold tail of [`FederationDirectory::cursor_next`] for a rank-1 yield
+    /// while a crashed node squats on the ring: detours to the successor
+    /// replica for one extra message, or reports a fault while still
+    /// charging the wasted route.
+    #[cold]
+    #[inline(never)]
+    fn cursor_head_degraded(&self, cursor: &mut RankCursor) -> TracedQuote {
+        let (extra, fault) = self.rank1_availability(cursor.order);
+        let messages = self.charge_ranked(1, || cursor.route_messages + extra);
+        if fault {
+            self.fault.set(true);
+            return TracedQuote { quote: None, messages };
+        }
+        let quote = self.exact.resolve_ranked(cursor.order, 1);
+        TracedQuote { quote, messages }
     }
 
     /// The ranking's key-space dimension (1 = price, 2 = speed).
@@ -357,18 +544,6 @@ impl ChordDirectory {
         messages
     }
 
-    /// Charges one query following the DHT range-query model
-    /// (`O(log n + k)`): rank 1 routes through the overlay from the node
-    /// representing `origin` to the head of the ranking; every higher rank
-    /// advances the range cursor one overlay hop, since consecutive ranks
-    /// are adjacent in the range index.  Returns the messages charged.
-    ///
-    /// Unsubscribing a GFA removes its quote from the rank data but leaves
-    /// its overlay node in place (the ring is a routing substrate, not the
-    /// quote store), so origins stay valid across departures.
-    fn charge_query(&self, origin: usize, order: RankOrder, rank: usize) -> u64 {
-        self.charge_ranked(rank, || self.route_to_head(origin, order))
-    }
 }
 
 impl FederationDirectory for ChordDirectory {
@@ -388,7 +563,18 @@ impl FederationDirectory for ChordDirectory {
         if r == 0 {
             return TracedQuote { quote: None, messages: 0 };
         }
-        let messages = self.charge_query(origin, RankOrder::Cheapest, r);
+        self.fault.set(false);
+        let (extra, fault) = if r == 1 {
+            self.rank1_availability(RankOrder::Cheapest)
+        } else {
+            (0, false)
+        };
+        let messages =
+            self.charge_ranked(r, || self.route_to_head(origin, RankOrder::Cheapest) + extra);
+        if fault {
+            self.fault.set(true);
+            return TracedQuote { quote: None, messages };
+        }
         TracedQuote {
             quote: self.exact.kth_cheapest(r),
             messages,
@@ -398,7 +584,18 @@ impl FederationDirectory for ChordDirectory {
         if r == 0 {
             return TracedQuote { quote: None, messages: 0 };
         }
-        let messages = self.charge_query(origin, RankOrder::Fastest, r);
+        self.fault.set(false);
+        let (extra, fault) = if r == 1 {
+            self.rank1_availability(RankOrder::Fastest)
+        } else {
+            (0, false)
+        };
+        let messages =
+            self.charge_ranked(r, || self.route_to_head(origin, RankOrder::Fastest) + extra);
+        if fault {
+            self.fault.set(true);
+            return TracedQuote { quote: None, messages };
+        }
         TracedQuote {
             quote: self.exact.kth_fastest(r),
             messages,
@@ -437,18 +634,21 @@ impl FederationDirectory for ChordDirectory {
 
     #[inline]
     fn cursor_next(&self, cursor: &mut RankCursor) -> TracedQuote {
+        self.fault.set(false);
         if cursor.epoch != self.epoch() {
-            // The quote store mutated under the cursor.  The ring — and with
-            // it the measured route the cursor paid for — is unchanged, so
-            // revalidation is lazy: the positional read below resolves
-            // against the current store.  Only ring churn (future work)
-            // would force a paid re-open here.
-            cursor.epoch = self.epoch();
+            self.revalidate_cursor(cursor);
         }
         cursor.yielded += 1;
         let r = cursor.yielded;
-        let quote = self.exact.resolve_ranked(cursor.order, r);
+        // Out-of-line churn handling keeps the static-ring advance compact
+        // enough to stay fully inlined through the enum dispatch (the gated
+        // advance_ns metric); only a rank-1 route can terminate at a crashed
+        // head node, and only while one awaits stabilization.
+        if r == 1 && !self.pending_dead.is_empty() {
+            return self.cursor_head_degraded(cursor);
+        }
         let messages = self.charge_ranked(r, || cursor.route_messages);
+        let quote = self.exact.resolve_ranked(cursor.order, r);
         TracedQuote { quote, messages }
     }
 
@@ -459,6 +659,89 @@ impl FederationDirectory for ChordDirectory {
         }
         self.exact.count_replayed_query();
         let _ = self.charge_ranked(r, || route_messages);
+    }
+
+    fn membership_epoch(&self) -> u64 {
+        self.membership_epoch
+    }
+
+    fn node_depart(&mut self, gfa: usize, graceful: bool) -> u64 {
+        if gfa >= self.down.len() || self.down[gfa] {
+            return 0;
+        }
+        self.down[gfa] = true;
+        // The rank data is central, so the departing quote is withdrawn
+        // synchronously either way; the withdrawal itself routes nothing
+        // under this backend.
+        let _ = self.exact.unsubscribe(gfa);
+        if graceful {
+            // A graceful leave unlinks from the ring immediately — its
+            // successor inherits the key range at no modelled message cost
+            // (there are no stored entries to move).
+            let _ = self.overlay.remove_node(gfa);
+        } else {
+            // A crash leaves a dead node squatting on its ring position
+            // until the next stabilization round evicts it; routes that
+            // terminate there degrade in the meantime.
+            self.pending_dead.push(gfa);
+        }
+        self.membership_epoch += 1;
+        0
+    }
+
+    fn node_join(&mut self, gfa: usize) -> u64 {
+        if gfa >= self.down.len() || !self.down[gfa] {
+            return 0;
+        }
+        self.down[gfa] = false;
+        self.pending_dead.retain(|&g| g != gfa);
+        let _ = self.overlay.insert_node(gfa);
+        self.membership_epoch += 1;
+        // Joining routes one lookup to locate the successor, `⌈log₂ n⌉`
+        // messages on the post-join ring.
+        ceil_log2(self.overlay.live_len() as u64)
+    }
+
+    fn stabilize(&mut self) -> u64 {
+        if self.pending_dead.is_empty() {
+            return 0;
+        }
+        let mut evicted = 0u64;
+        for gfa in std::mem::take(&mut self.pending_dead) {
+            if self.overlay.remove_node(gfa) {
+                evicted += 1;
+            }
+        }
+        if evicted == 0 {
+            return 0;
+        }
+        self.membership_epoch += 1;
+        // Ring repair invalidates measured routes and cached charge replays:
+        // bump the content epoch so cursors and GFA caches revalidate.
+        self.exact.bump_epoch();
+        // Per evicted node: the successor-list repair plus finger refresh,
+        // modelled at one routed lookup each.
+        evicted * ceil_log2(self.overlay.live_len().max(1) as u64)
+    }
+
+    fn set_replication(&mut self, k: usize) {
+        self.replication = k.max(1);
+    }
+
+    fn is_node_live(&self, gfa: usize) -> bool {
+        !self.down.get(gfa).copied().unwrap_or(false)
+    }
+
+    fn peek_fault(&self) -> bool {
+        self.fault.get()
+    }
+
+    fn take_fault(&self) -> bool {
+        self.fault.replace(false)
+    }
+
+    fn serves_only_live(&self) -> bool {
+        self.exact.quotes().iter().all(|q| !self.down[q.gfa])
     }
 }
 
@@ -675,5 +958,113 @@ mod tests {
         // Out-of-overlay origins (e.g. benches) wrap around instead of
         // panicking.
         assert!(dir.query_fastest(8_000, 2).quote.is_some());
+    }
+
+    #[test]
+    fn successor_lists_follow_the_live_ring() {
+        let overlay = ChordOverlay::new(8, 7);
+        for gfa in 0..8 {
+            let succ = overlay.successors(gfa, 3);
+            assert_eq!(succ.len(), 3);
+            assert!(!succ.contains(&gfa), "a node is not its own successor");
+        }
+        let mut overlay = ChordOverlay::new(4, 7);
+        assert_eq!(overlay.successors(0, 10).len(), 3, "capped at n - 1");
+        assert!(overlay.remove_node(1));
+        assert!(!overlay.remove_node(1), "already-dead removal is a no-op");
+        assert_eq!(overlay.live_len(), 3);
+        assert!(!overlay.is_alive(1));
+        assert!(
+            overlay.successors(1, 2).is_empty(),
+            "dead nodes have no successor list"
+        );
+        for gfa in [0usize, 2, 3] {
+            assert!(!overlay.successors(gfa, 3).contains(&1));
+        }
+        assert!(overlay.insert_node(1));
+        assert!(!overlay.insert_node(1), "already-live insertion is a no-op");
+        assert_eq!(overlay.live_len(), 4);
+        // The last live node is never removed: the ring is the routing
+        // substrate and an empty one would strand every lookup.
+        for gfa in 0..4 {
+            let _ = overlay.remove_node(gfa);
+        }
+        assert_eq!(overlay.live_len(), 1);
+    }
+
+    #[test]
+    fn graceful_departures_withdraw_immediately() {
+        let mut dir = ChordDirectory::new(8, 11);
+        for (i, r) in paper_resources().iter().enumerate() {
+            let _ = dir.subscribe(Quote::from_spec(i, &r.spec));
+        }
+        let e = dir.epoch();
+        let cost = dir.node_depart(2, true);
+        assert_eq!(cost, 0, "central rank data: nothing to hand off");
+        assert_eq!(dir.len(), 7);
+        assert!(dir.epoch() > e, "the withdrawal revalidates cursors");
+        assert!(!dir.is_node_live(2));
+        assert!(dir.serves_only_live());
+        assert_eq!(dir.overlay().live_len(), 7);
+        assert_eq!(dir.node_depart(2, true), 0, "departing twice is a no-op");
+        assert_eq!(dir.membership_epoch(), 1);
+        // Join cost is the modelled ⌈log₂ n⌉ on the post-join ring.
+        assert_eq!(dir.node_join(2), 3);
+        assert_eq!(dir.overlay().live_len(), 8);
+        assert_eq!(dir.node_join(2), 0, "joining while live is a no-op");
+        assert_eq!(ceil_log2(1), 1);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn crashes_fault_unreplicated_heads_until_stabilization() {
+        let mut dir = ChordDirectory::new(8, 11);
+        for (i, r) in paper_resources().iter().enumerate() {
+            let _ = dir.subscribe(Quote::from_spec(i, &r.spec));
+        }
+        let head_owner = dir
+            .overlay
+            .owner_of(ChordDirectory::head_key(dir.seed, RankOrder::Cheapest));
+        assert_eq!(dir.membership_epoch(), 0);
+        let _ = dir.node_depart(head_owner, false);
+        assert_eq!(dir.membership_epoch(), 1);
+        assert!(!dir.is_node_live(head_owner));
+        assert!(dir.serves_only_live(), "the crashed GFA's quote is withdrawn");
+        assert_eq!(
+            dir.overlay().live_len(),
+            8,
+            "a crashed node squats on the ring until stabilization"
+        );
+        // k = 1: the routed lookup terminates at the crashed head and faults.
+        let faulted = dir.query_cheapest(0, 1);
+        assert!(faulted.quote.is_none());
+        assert!(faulted.messages >= 1, "the wasted route is still charged");
+        assert!(dir.take_fault());
+        assert!(!dir.take_fault(), "take_fault is one-shot");
+        // Deeper ranks advance along the range without touching the head.
+        assert!(dir.query_cheapest(0, 2).quote.is_some());
+        assert!(!dir.take_fault());
+        // k = 2: the successor replica answers for one extra message.
+        dir.set_replication(2);
+        let detoured = dir.query_cheapest(0, 1);
+        assert!(detoured.quote.is_some());
+        assert!(!dir.peek_fault());
+        assert_eq!(detoured.messages, faulted.messages + 1);
+        // Stabilization evicts the ghost and restores clean routing.
+        let epoch_before = dir.epoch();
+        let repair = dir.stabilize();
+        assert!(repair >= 1);
+        assert!(dir.epoch() > epoch_before, "ring repair revalidates caches");
+        assert_eq!(dir.membership_epoch(), 2);
+        assert_eq!(dir.overlay().live_len(), 7);
+        assert!(dir.query_cheapest(0, 1).quote.is_some());
+        assert!(!dir.take_fault());
+        assert_eq!(dir.stabilize(), 0, "a stable ring has nothing to repair");
+        // The crashed GFA rejoins (its quote republish is the GFA's job).
+        assert!(dir.node_join(head_owner) >= 1);
+        assert!(dir.is_node_live(head_owner));
+        assert_eq!(dir.membership_epoch(), 3);
+        assert!(dir.replication_ok());
     }
 }

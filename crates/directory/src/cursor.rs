@@ -234,6 +234,15 @@ impl QuoteCache {
             }),
         };
         let traced = dir.cursor_next(cur);
+        if dir.peek_fault() {
+            // The route died at a crashed node and no replica answered: the
+            // charge is real but the `None` answer is not rank data.  Leave
+            // the memo empty — a retry must probe the live (possibly
+            // repaired) directory — and discard the cursor so the retry
+            // re-opens a fresh route instead of advancing a dead one.
+            *cursor = None;
+            return traced;
+        }
         if oc.ranks.len() < r {
             oc.ranks.resize(r, None);
         }

@@ -116,6 +116,15 @@ impl IdealDirectory {
         self.queries.set(self.queries.get() + 1);
     }
 
+    /// Advances the content epoch without touching the quote store — the
+    /// Chord backend's way to invalidate cursors and GFA caches after a
+    /// *ring* repair changed its measured route costs while the (centrally
+    /// held) rank data stayed put.
+    #[inline]
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
     /// The single place rank-dependent charges are applied, so the oracle
     /// path, the cursor path and cache replays cannot drift apart: rank 1
     /// charges `route_messages()` (lazily, so cheap advances never price a

@@ -41,7 +41,7 @@
 use std::cell::Cell;
 use std::cmp::Ordering;
 
-use crate::chord::ChordOverlay;
+use crate::chord::{ceil_log2, ChordOverlay};
 use crate::cursor::RankCursor;
 use crate::keys;
 use crate::quote::{FederationDirectory, Quote, RankOrder, TracedQuote};
@@ -104,6 +104,23 @@ pub struct MaanDirectory {
     route_hops: Cell<u64>,
     /// Total routed publish-side messages charged by mutations.
     publish_messages: u64,
+    /// Replication factor `k ≥ 1`: each entry keeps `k − 1` successor
+    /// copies, (re)created lazily by [`FederationDirectory::stabilize`].
+    replication: usize,
+    /// Replica records per dimension: `(entry's GFA, holder GFA)`.  Records
+    /// only — resolution always reads the canonical walk index; copies
+    /// decide whether a lookup hitting a crashed store can detour.
+    copies: [Vec<(usize, usize)>; 2],
+    /// Per-GFA departed flag (graceful leave or crash).
+    down: Vec<bool>,
+    /// Crashed nodes still squatting on their ring position (and still
+    /// holding their store as an unreachable ghost) until the next
+    /// stabilization round evicts them.
+    pending_dead: Vec<usize>,
+    /// Bumped on every live-membership change.
+    membership_epoch: u64,
+    /// Fault flag of the most recent query/cursor operation.
+    fault: Cell<bool>,
 }
 
 impl MaanDirectory {
@@ -125,6 +142,12 @@ impl MaanDirectory {
             routes: Cell::new(0),
             route_hops: Cell::new(0),
             publish_messages: 0,
+            replication: 1,
+            copies: [Vec::new(), Vec::new()],
+            down: vec![false; n],
+            pending_dead: Vec::new(),
+            membership_epoch: 0,
+            fault: Cell::new(false),
         }
     }
 
@@ -134,6 +157,43 @@ impl MaanDirectory {
     #[cfg(feature = "invariants")]
     pub fn corrupt_epoch_rewind(&mut self) {
         self.epoch = 0;
+    }
+
+    /// Corrupting test double: marks the GFA of the first published quote as
+    /// departed *without* withdrawing its entries, so ranking queries keep
+    /// serving a dead node's offer.  Only exists so the invariant tests can
+    /// prove the `serves_only_live` check fires.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_serve_departed(&mut self) {
+        let gfa = self
+            .published
+            .first()
+            .expect("corrupting a directory requires at least one quote")
+            .gfa;
+        self.down[gfa] = true;
+    }
+
+    /// Corrupting test double: records more copies of the first published
+    /// entry than the replication factor allows.  Only exists so the
+    /// invariant tests can prove the `replication_ok` check fires.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_overreplicate(&mut self) {
+        let gfa = self
+            .published
+            .first()
+            .expect("corrupting a directory requires at least one quote")
+            .gfa;
+        for holder in 0..self.replication {
+            self.copies[0].push((gfa, holder));
+        }
+    }
+
+    /// Corrupting test double: rewinds the membership epoch to zero.  Only
+    /// exists so the invariant tests can prove the membership-monotonicity
+    /// check fires.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_membership_rewind(&mut self) {
+        self.membership_epoch = 0;
     }
 
     /// The underlying overlay (for inspection in benches and tests).
@@ -246,20 +306,156 @@ impl MaanDirectory {
     /// The single place rank-dependent query charges are applied, so the
     /// oracle path, the cursor path and cache replays cannot drift apart:
     /// rank 1 charges `route()` (lazily) and records the routed lookup;
-    /// every higher rank charges the walk's advance cost.  Rank 0 must be
-    /// short-circuited by callers.
+    /// every higher rank charges the walk's advance cost.  `extra` is the
+    /// availability surcharge of the current churn state (a replica detour,
+    /// see [`Self::availability`]) — zero on a churn-free ring, so the
+    /// static-path charges are untouched.  Rank 0 must be short-circuited
+    /// by callers.
     #[inline]
-    fn charge_ranked(&self, order: RankOrder, r: usize, route: impl FnOnce() -> u64) -> u64 {
+    fn charge_ranked(&self, order: RankOrder, r: usize, extra: u64, route: impl FnOnce() -> u64) -> u64 {
         debug_assert!(r >= 1, "rank 0 is answered locally and never charged");
         let messages = if r == 1 {
-            let hops = route();
+            let hops = route() + extra;
             self.routes.set(self.routes.get() + 1);
             self.route_hops.set(self.route_hops.get() + hops);
             hops
         } else {
-            self.advance_messages(order, r)
+            self.advance_messages(order, r) + extra
         };
         self.hops_total.set(self.hops_total.get() + messages);
+        messages
+    }
+
+    /// Availability of the rank-`r` lookup of `order` under the current
+    /// churn state: `(extra_messages, faulted)`.  The walk resolves rank `r`
+    /// at the node storing the entry; if that node crashed and has not been
+    /// evicted yet, a live replica created by an earlier stabilization round
+    /// answers for one extra successor hop, while an unreplicated (or
+    /// not-yet-repaired) entry faults — the route/advance is wasted and the
+    /// query answers `None`.  Entirely inert (`(0, false)`) while no crash
+    /// is pending, which keeps zero-churn charges bit-identical.
+    #[inline]
+    fn availability(&self, order: RankOrder, r: usize) -> (u64, bool) {
+        if self.pending_dead.is_empty() {
+            return (0, false);
+        }
+        let dim = order.index();
+        let Some(entry) = self.flat[dim].get(r - 1) else {
+            // Past-the-end advances probe the end-of-range marker locally.
+            return (0, false);
+        };
+        let store_node = self.overlay.walk_arc_owner(entry.arc);
+        if !self.down[store_node] {
+            return (0, false);
+        }
+        let gfa = entry.quote.gfa;
+        if self.copies[dim].iter().any(|&(g, h)| g == gfa && !self.down[h]) {
+            (1, false)
+        } else {
+            (0, true)
+        }
+    }
+
+    /// Cold tail of [`FederationDirectory::cursor_next`]: lazy revalidation
+    /// after an epoch move.  The distributed store mutated under the cursor:
+    /// positional reads already see the rebuilt walk index, and a cursor
+    /// that has not yielded its head yet re-routes against the current
+    /// rank-1 placement (quotes relocate when their keys change, and
+    /// membership churn re-shapes the ring the route crosses), exactly like
+    /// a fresh rank-1 query would charge.
+    #[cold]
+    #[inline(never)]
+    fn revalidate_cursor(&self, cursor: &mut RankCursor) {
+        if cursor.yielded == 0 {
+            cursor.route_messages = self.route_to_rank1(cursor.origin, cursor.order);
+        }
+        cursor.epoch = self.epoch;
+    }
+
+    /// Cold tail of [`FederationDirectory::cursor_next`] while a crashed
+    /// node squats on the ring: resolves the rank's availability, detours to
+    /// a live replica for one extra message, or reports a fault while still
+    /// charging the wasted route/advance.
+    #[cold]
+    #[inline(never)]
+    fn cursor_next_degraded(&self, cursor: &mut RankCursor, r: usize) -> TracedQuote {
+        let (extra, fault) = self.availability(cursor.order, r);
+        let messages = self.charge_ranked(cursor.order, r, extra, || cursor.route_messages);
+        if fault {
+            self.fault.set(true);
+            return TracedQuote { quote: None, messages };
+        }
+        let quote = self.resolve_ranked(cursor.order, r);
+        TracedQuote { quote, messages }
+    }
+
+    /// Drops the replica records of `gfa`'s entry in both dimensions — a
+    /// mutation makes the copies stale, and the repair model re-creates them
+    /// only at the next stabilization round (replication lag).
+    fn drop_copies_of(&mut self, gfa: usize) {
+        for order in RankOrder::ALL {
+            self.copies[order.index()].retain(|c| c.0 != gfa);
+        }
+    }
+
+    /// Moves every entry whose key's owner changed (because the live ring
+    /// gained or lost a node) to its current owner's store, returning the
+    /// number of entries moved — each handoff is one successor-transfer
+    /// message.  Must run after **every** ring-membership change: the walk
+    /// index rebuild and `remove_entry`'s owner lookup both require entries
+    /// to sit at `owner_of(key)`.
+    fn reconcile_stores(&mut self) -> u64 {
+        let mut moved = 0u64;
+        for order in RankOrder::ALL {
+            let dim = order.index();
+            let mut relocated: Vec<(u64, Quote)> = Vec::new();
+            for node in 0..self.nodes.len() {
+                let mut i = 0;
+                while i < self.nodes[node].entries[dim].len() {
+                    let key = self.nodes[node].entries[dim][i].0;
+                    if self.overlay.owner_of(key) != node {
+                        relocated.push(self.nodes[node].entries[dim].remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            moved += relocated.len() as u64;
+            for (key, quote) in relocated {
+                self.insert_entry(order, key, quote);
+            }
+        }
+        moved
+    }
+
+    /// (Re)creates the successor copies the replication factor asks for:
+    /// every stored entry wants `k − 1` copies at its owner's live
+    /// successors.  Charges one replication message per copy that does not
+    /// exist yet and drops copies no longer wanted (free).  Runs only from
+    /// [`FederationDirectory::stabilize`], so freshly published or repriced
+    /// entries are unprotected until the next round — the replication lag a
+    /// real overlay has.
+    fn repair_replicas(&mut self) -> u64 {
+        let mut messages = 0u64;
+        for order in RankOrder::ALL {
+            let dim = order.index();
+            let mut desired: Vec<(usize, usize)> = Vec::new();
+            for entry in &self.flat[dim] {
+                let owner = self.overlay.walk_arc_owner(entry.arc);
+                for holder in self.overlay.successors(owner, self.replication - 1) {
+                    if !self.down[holder] {
+                        desired.push((entry.quote.gfa, holder));
+                    }
+                }
+            }
+            desired.sort_unstable();
+            desired.dedup();
+            messages += desired
+                .iter()
+                .filter(|pair| !self.copies[dim].contains(pair))
+                .count() as u64;
+            self.copies[dim] = desired;
+        }
         messages
     }
 
@@ -350,6 +546,7 @@ impl FederationDirectory for MaanDirectory {
         self.insert_entry(RankOrder::Fastest, new_sk, quote);
         messages += self.route_hops_from(publisher, new_pk);
         messages += self.route_hops_from(publisher, new_sk);
+        self.drop_copies_of(publisher);
         self.rebuild_flat();
         self.epoch += 1;
         self.publish_messages += messages;
@@ -366,6 +563,7 @@ impl FederationDirectory for MaanDirectory {
         self.remove_entry(RankOrder::Cheapest, pk, old);
         self.remove_entry(RankOrder::Fastest, sk, old);
         let messages = self.route_hops_from(gfa, pk) + self.route_hops_from(gfa, sk);
+        self.drop_copies_of(gfa);
         self.rebuild_flat();
         self.epoch += 1;
         self.publish_messages += messages;
@@ -410,6 +608,7 @@ impl FederationDirectory for MaanDirectory {
         } else {
             self.route_hops_from(gfa, old_pk) + self.route_hops_from(gfa, new_pk)
         };
+        self.drop_copies_of(gfa);
         self.rebuild_flat();
         self.epoch += 1;
         self.publish_messages += messages;
@@ -420,9 +619,15 @@ impl FederationDirectory for MaanDirectory {
         if r == 0 {
             return TracedQuote { quote: None, messages: 0 };
         }
-        let messages = self.charge_ranked(RankOrder::Cheapest, r, || {
+        self.fault.set(false);
+        let (extra, fault) = self.availability(RankOrder::Cheapest, r);
+        let messages = self.charge_ranked(RankOrder::Cheapest, r, extra, || {
             self.route_to_rank1(origin, RankOrder::Cheapest)
         });
+        if fault {
+            self.fault.set(true);
+            return TracedQuote { quote: None, messages };
+        }
         TracedQuote {
             quote: self.resolve_ranked(RankOrder::Cheapest, r),
             messages,
@@ -433,9 +638,15 @@ impl FederationDirectory for MaanDirectory {
         if r == 0 {
             return TracedQuote { quote: None, messages: 0 };
         }
-        let messages = self.charge_ranked(RankOrder::Fastest, r, || {
+        self.fault.set(false);
+        let (extra, fault) = self.availability(RankOrder::Fastest, r);
+        let messages = self.charge_ranked(RankOrder::Fastest, r, extra, || {
             self.route_to_rank1(origin, RankOrder::Fastest)
         });
+        if fault {
+            self.fault.set(true);
+            return TracedQuote { quote: None, messages };
+        }
         TracedQuote {
             quote: self.resolve_ranked(RankOrder::Fastest, r),
             messages,
@@ -476,21 +687,21 @@ impl FederationDirectory for MaanDirectory {
 
     #[inline]
     fn cursor_next(&self, cursor: &mut RankCursor) -> TracedQuote {
+        self.fault.set(false);
         if cursor.epoch != self.epoch {
-            // The distributed store mutated under the cursor: positional
-            // reads below already see the rebuilt walk index, and a cursor
-            // that has not yielded its head yet re-routes against the
-            // current rank-1 placement (quotes relocate when their keys
-            // change), exactly like a fresh rank-1 query would charge.
-            if cursor.yielded == 0 {
-                cursor.route_messages = self.route_to_rank1(cursor.origin, cursor.order);
-            }
-            cursor.epoch = self.epoch;
+            self.revalidate_cursor(cursor);
         }
         cursor.yielded += 1;
         let r = cursor.yielded;
+        // Out-of-line churn handling keeps the static-ring advance compact
+        // enough to stay fully inlined through the enum dispatch (the gated
+        // advance_ns metric) — the degraded path only exists while a crashed
+        // node squats on the ring awaiting stabilization.
+        if !self.pending_dead.is_empty() {
+            return self.cursor_next_degraded(cursor, r);
+        }
+        let messages = self.charge_ranked(cursor.order, r, 0, || cursor.route_messages);
         let quote = self.resolve_ranked(cursor.order, r);
-        let messages = self.charge_ranked(cursor.order, r, || cursor.route_messages);
         TracedQuote { quote, messages }
     }
 
@@ -505,6 +716,143 @@ impl FederationDirectory for MaanDirectory {
             self.route_hops.set(self.route_hops.get() + messages);
         }
         self.hops_total.set(self.hops_total.get() + messages);
+    }
+
+    fn membership_epoch(&self) -> u64 {
+        self.membership_epoch
+    }
+
+    fn node_depart(&mut self, gfa: usize, graceful: bool) -> u64 {
+        if gfa >= self.down.len() || self.down[gfa] {
+            return 0;
+        }
+        self.down[gfa] = true;
+        let messages = if graceful {
+            // A graceful leave withdraws its own quote first (routed removes,
+            // charged by `unsubscribe` while the node still routes), then
+            // unlinks from the ring and hands every entry it stored to the
+            // inheriting successor — one transfer message per entry, the
+            // handoff cost the regression suite pins.
+            let mut messages = self.unsubscribe(gfa);
+            self.drop_copies_of(gfa);
+            for order in RankOrder::ALL {
+                self.copies[order.index()].retain(|c| c.1 != gfa);
+            }
+            if self.overlay.remove_node(gfa) {
+                let moved = self.reconcile_stores();
+                self.publish_messages += moved;
+                messages += moved;
+            }
+            messages
+        } else {
+            // A crash is silent: the dead GFA's own offer vanishes from the
+            // index (nothing may keep serving it), its store becomes an
+            // unreachable ghost still squatting on the ring, and no messages
+            // flow until a stabilization round notices and repairs.
+            if let Some(slot) = self.published.iter().position(|q| q.gfa == gfa) {
+                let old = self.published.remove(slot);
+                self.remove_entry(RankOrder::Cheapest, keys::price_key(old.price), old);
+                self.remove_entry(RankOrder::Fastest, keys::speed_key(old.mips), old);
+            }
+            self.drop_copies_of(gfa);
+            for order in RankOrder::ALL {
+                self.copies[order.index()].retain(|c| c.1 != gfa);
+            }
+            self.pending_dead.push(gfa);
+            0
+        };
+        self.membership_epoch += 1;
+        self.epoch += 1;
+        self.rebuild_flat();
+        messages
+    }
+
+    fn node_join(&mut self, gfa: usize) -> u64 {
+        if gfa >= self.down.len() || !self.down[gfa] {
+            return 0;
+        }
+        self.down[gfa] = false;
+        self.pending_dead.retain(|&g| g != gfa);
+        // Joining routes one lookup to locate the successor (`⌈log₂ n⌉`
+        // messages on the post-join ring) and takes over its key range:
+        // every entry the new owner inherits is one transfer message.  A
+        // crashed node rejoining before its eviction finds its ring position
+        // (and ghost store) intact, so only the join handshake is paid.
+        let _ = self.overlay.insert_node(gfa);
+        let moved = self.reconcile_stores();
+        let messages = ceil_log2(self.overlay.live_len() as u64) + moved;
+        self.publish_messages += moved;
+        self.membership_epoch += 1;
+        self.epoch += 1;
+        self.rebuild_flat();
+        messages
+    }
+
+    fn stabilize(&mut self) -> u64 {
+        let mut messages = 0u64;
+        let mut evicted = 0u64;
+        if !self.pending_dead.is_empty() {
+            for gfa in std::mem::take(&mut self.pending_dead) {
+                if self.overlay.remove_node(gfa) {
+                    evicted += 1;
+                }
+            }
+        }
+        if evicted > 0 {
+            // Each eviction is a routed repair (successor-list splice), and
+            // the evicted ghost's entries hand off to the inheriting owner —
+            // one transfer message per entry, like a graceful handoff but
+            // paid by the repairing successor instead of the departed node.
+            messages += evicted * ceil_log2(self.overlay.live_len().max(1) as u64);
+            messages += self.reconcile_stores();
+        }
+        if self.replication > 1 {
+            messages += self.repair_replicas();
+        }
+        if messages > 0 {
+            // Ring repair and replica placement both change what subsequent
+            // lookups charge; bump the content epoch so open cursors and
+            // GFA-side caches revalidate instead of replaying stale charges.
+            self.publish_messages += messages;
+            self.epoch += 1;
+        }
+        if evicted > 0 {
+            self.membership_epoch += 1;
+            self.rebuild_flat();
+        }
+        messages
+    }
+
+    fn set_replication(&mut self, k: usize) {
+        self.replication = k.max(1);
+    }
+
+    fn is_node_live(&self, gfa: usize) -> bool {
+        !self.down.get(gfa).copied().unwrap_or(false)
+    }
+
+    #[inline]
+    fn peek_fault(&self) -> bool {
+        self.fault.get()
+    }
+
+    #[inline]
+    fn take_fault(&self) -> bool {
+        self.fault.replace(false)
+    }
+
+    fn replication_ok(&self) -> bool {
+        let allowed = self.replication.saturating_sub(1);
+        RankOrder::ALL.iter().all(|order| {
+            let dim = order.index();
+            self.published.iter().all(|q| {
+                self.copies[dim].iter().filter(|c| c.0 == q.gfa).count() <= allowed
+            })
+        })
+    }
+
+    fn serves_only_live(&self) -> bool {
+        self.published.iter().all(|q| !self.down[q.gfa])
     }
 }
 
@@ -720,5 +1068,146 @@ mod tests {
             1,
             "every price here clamps onto the domain boundary key, so one node owns all of them: {owners:?}"
         );
+    }
+
+    fn populated(n: usize, seed: u64) -> MaanDirectory {
+        let mut dir = MaanDirectory::new(n, seed);
+        for q in spread_quotes(n) {
+            let _ = dir.subscribe(q);
+        }
+        dir
+    }
+
+    #[test]
+    fn graceful_departure_hands_off_stored_entries() {
+        // Twin directories pin the handoff charge exactly: the twin measures
+        // the withdrawal cost and the post-withdrawal store occupancy, so the
+        // depart must charge `routed removes + one transfer per entry the
+        // departing node still held for others`.
+        let mut twin = populated(16, 3);
+        let g = (0..16)
+            .max_by_key(|&g| {
+                twin.node_entries(g, RankOrder::Cheapest) + twin.node_entries(g, RankOrder::Fastest)
+            })
+            .unwrap();
+        let withdraw = twin.unsubscribe(g);
+        let held =
+            twin.node_entries(g, RankOrder::Cheapest) + twin.node_entries(g, RankOrder::Fastest);
+        assert!(held > 0, "the busiest node must store entries for others");
+
+        let mut dir = populated(16, 3);
+        let messages = dir.node_depart(g, true);
+        assert_eq!(
+            messages,
+            withdraw + held as u64,
+            "handoff charges one successor-transfer message per stored entry"
+        );
+        assert_eq!(dir.node_entries(g, RankOrder::Cheapest), 0);
+        assert_eq!(dir.node_entries(g, RankOrder::Fastest), 0);
+        assert!(!dir.is_node_live(g));
+        assert!(dir.serves_only_live());
+        assert_eq!(dir.len(), 15);
+        assert_eq!(dir.membership_epoch(), 1);
+        assert_eq!(dir.node_depart(g, true), 0, "departing twice is a no-op");
+
+        // The inherited entries still rank exactly against a sorted oracle.
+        let mut rest: Vec<Quote> = spread_quotes(16).into_iter().filter(|q| q.gfa != g).collect();
+        rest.sort_by(|a, b| a.price.total_cmp(&b.price).then(a.gfa.cmp(&b.gfa)));
+        for (i, q) in rest.iter().enumerate() {
+            assert_eq!(dir.kth_cheapest(i + 1).unwrap().gfa, q.gfa, "rank {}", i + 1);
+        }
+        assert!(dir.kth_cheapest(16).is_none());
+    }
+
+    #[test]
+    fn crashed_stores_detour_to_replicas_or_fault() {
+        // `dir` runs replicated (k = 2) with one pre-crash stabilization
+        // round (copies exist); `k1` is an unreplicated twin with identical
+        // content and ring, so per-rank results pin the detour surcharge and
+        // the fault behaviour against each other.
+        let mut dir = populated(16, 3);
+        dir.set_replication(2);
+        let repaired = dir.stabilize();
+        assert!(repaired > 0, "replica placement charges one message per copy");
+        assert!(dir.replication_ok());
+        assert_eq!(dir.stabilize(), 0, "replicas in place: a second round is free");
+
+        let mut k1 = populated(16, 3);
+        let victim = (0..16)
+            .max_by_key(|&g| k1.node_entries(g, RankOrder::Cheapest))
+            .unwrap();
+        assert_eq!(dir.node_depart(victim, false), 0, "a crash is silent");
+        assert_eq!(k1.node_depart(victim, false), 0);
+
+        let mut faulted = 0usize;
+        for r in 1..=dir.len() {
+            let replicated = dir.query_cheapest(0, r);
+            let bare = k1.query_cheapest(0, r);
+            assert!(replicated.quote.is_some(), "rank {r}: a replica must answer");
+            assert!(!dir.take_fault());
+            if bare.quote.is_none() {
+                assert!(k1.take_fault(), "rank {r}: missing answers must flag a fault");
+                faulted += 1;
+                assert_eq!(
+                    replicated.messages,
+                    bare.messages + 1,
+                    "rank {r}: a replica detour costs one successor hop"
+                );
+            } else {
+                assert_eq!(replicated.quote, bare.quote, "rank {r}");
+                assert_eq!(replicated.messages, bare.messages, "rank {r}");
+            }
+        }
+        assert!(faulted > 0, "the crashed node stored survivor entries");
+        assert!(dir.serves_only_live() && k1.serves_only_live());
+
+        // Stabilization evicts the ghost, hands its entries to the inheriting
+        // owner and re-repairs the replica set; lookups recover on both.
+        for d in [&mut dir, &mut k1] {
+            assert!(d.stabilize() > 0);
+            assert_eq!(d.membership_epoch(), 2);
+            for r in 1..=d.len() {
+                assert!(d.query_cheapest(0, r).quote.is_some(), "rank {r}");
+                assert!(!d.take_fault());
+            }
+            assert!(d.replication_ok());
+            // Rejoin restores the ring; the quote republish is the GFA's job.
+            assert!(d.node_join(victim) >= 1);
+            assert!(d.is_node_live(victim));
+            assert_eq!(d.len(), 15);
+            let _ = d.subscribe(spread_quotes(16)[victim]);
+            assert_eq!(d.len(), 16);
+        }
+    }
+
+    #[test]
+    fn replication_is_inert_without_stabilization() {
+        // Satellite guarantee: on a churn-free ring a k = 3 directory charges
+        // and resolves bit-identically to a k = 1 one — copies only come into
+        // existence through stabilization rounds, which static runs never
+        // schedule.
+        let mut k1 = MaanDirectory::new(12, 5);
+        let mut k3 = MaanDirectory::new(12, 5);
+        k3.set_replication(3);
+        for q in spread_quotes(12) {
+            assert_eq!(k1.subscribe(q), k3.subscribe(q));
+        }
+        for r in 1..=12 {
+            let a = k1.query_cheapest(1, r);
+            let b = k3.query_cheapest(1, r);
+            assert_eq!(a.quote, b.quote, "rank {r}");
+            assert_eq!(a.messages, b.messages, "rank {r}");
+        }
+        assert_eq!(k1.update_price(3, 7.7), k3.update_price(3, 7.7));
+        assert_eq!(k1.unsubscribe(5), k3.unsubscribe(5));
+        assert_eq!(k1.publish_messages_total(), k3.publish_messages_total());
+        assert_eq!(k1.epoch(), k3.epoch());
+        assert_eq!(k3.membership_epoch(), 0);
+        assert!(k3.replication_ok());
+        // A churn-free stabilization round of an unreplicated directory is
+        // free and leaves every observable unchanged.
+        let e = k1.epoch();
+        assert_eq!(k1.stabilize(), 0);
+        assert_eq!(k1.epoch(), e);
     }
 }

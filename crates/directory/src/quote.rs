@@ -183,10 +183,14 @@ pub trait FederationDirectory {
     /// against the current quote store (so streamed results always equal
     /// what [`Self::query_ranked`] would answer), and a cursor that has not
     /// yet yielded rank 1 re-prices its pending route at the current
-    /// directory size.  Only a change of the overlay *ring* itself would
-    /// force a paid re-open, and ring membership is fixed for a run (churn
-    /// is future work) — so cursor advances charge exactly what the
-    /// query-per-rank model charges, keeping ledger accounting bit-identical.
+    /// directory size.  Under churn the overlay *ring* itself can change
+    /// ([`Self::membership_epoch`]); a not-yet-started cursor likewise
+    /// re-prices its route lazily, and a resolved rank whose storing node
+    /// has crashed detours to a replica (one extra message) or — with no
+    /// live replica — reports a **fault** ([`Self::take_fault`]) while still
+    /// charging the wasted route.  Absent churn, cursor advances charge
+    /// exactly what the query-per-rank model charges, keeping ledger
+    /// accounting bit-identical.
     fn cursor_next(&self, cursor: &mut RankCursor) -> TracedQuote;
 
     /// Records a ranking query that was answered from a GFA-side cache
@@ -234,6 +238,107 @@ pub trait FederationDirectory {
     /// Total ranking queries served since construction.
     #[must_use]
     fn queries_served(&self) -> u64;
+
+    // --- Churn: membership change, replication and self-healing. ---------
+    //
+    // Every method below has a default that models a churn-oblivious
+    // directory (the paper's static-ring assumption), so the centrally
+    // stored `Ideal` backend — which has no ring to heal — works unchanged.
+    // Overlay backends override them; all message costs are charged into
+    // the existing *publish* traffic class by the federation.
+
+    /// The overlay's *membership epoch*: bumped whenever the set of live
+    /// ring nodes changes (join, leave, crash, or a stabilization round
+    /// evicting crashed nodes).  Distinct from the content [`Self::epoch`]:
+    /// content mutations do not move it, and GFA-side cursors use it to
+    /// decide when a paid re-open (rather than a lazy revalidation) is due.
+    /// Centrally-stored backends have no ring and always answer 0.
+    #[must_use]
+    fn membership_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Removes GFA `gfa` from the overlay ring, returning the publish-side
+    /// message cost.  `graceful` departures hand the node's stored entries
+    /// to their new owners (one routed message each) before leaving;
+    /// crashes (`graceful = false`) drop the node with **zero** messages —
+    /// its stored entries are unreachable until a stabilization round
+    /// repairs them from replicas.  Either way the departing GFA's own
+    /// published quote stops being served.  The default unsubscribes the
+    /// quote (free for a graceful departure that already unsubscribed) —
+    /// correct for a central store, where there is nothing else to hand off.
+    #[must_use = "the publish-side message cost must be charged into the ledger or explicitly dropped"]
+    fn node_depart(&mut self, gfa: usize, graceful: bool) -> u64 {
+        let _ = graceful;
+        let _ = self.unsubscribe(gfa);
+        0
+    }
+
+    /// Re-admits a previously departed GFA to the overlay ring, returning
+    /// the publish-side message cost of the join protocol.  The node comes
+    /// back *empty*: re-publishing its quote is a separate
+    /// [`Self::subscribe`].  A no-op (cost 0) on a central store.
+    #[must_use = "the publish-side message cost must be charged into the ledger or explicitly dropped"]
+    fn node_join(&mut self, gfa: usize) -> u64 {
+        let _ = gfa;
+        0
+    }
+
+    /// Runs one periodic stabilization round: evicts crashed nodes from the
+    /// routing structures, rebuilds successor/finger state, and repairs
+    /// entry replication back up to the configured factor.  Returns the
+    /// round's message cost.  A no-op (cost 0) on a central store.
+    #[must_use = "the publish-side message cost must be charged into the ledger or explicitly dropped"]
+    fn stabilize(&mut self) -> u64 {
+        0
+    }
+
+    /// Sets the replication factor `k ≥ 1` for stored entries (MAAN
+    /// attribute entries keep `k − 1` successor copies, repaired lazily by
+    /// [`Self::stabilize`]).  Ignored by backends that keep the store
+    /// central — a central store is trivially `k = n` durable.
+    fn set_replication(&mut self, k: usize) {
+        let _ = k;
+    }
+
+    /// Whether GFA `gfa`'s ring node is currently live (present and not
+    /// crashed).  Always `true` for a central store.
+    #[must_use]
+    fn is_node_live(&self, gfa: usize) -> bool {
+        let _ = gfa;
+        true
+    }
+
+    /// Whether the most recent query/cursor operation **faulted**: routed
+    /// to a crashed node and found no live replica, answering `None` while
+    /// still charging the wasted route.  Reading does not clear the flag
+    /// (see [`Self::take_fault`]).  Never set by a churn-free backend.
+    #[must_use]
+    fn peek_fault(&self) -> bool {
+        false
+    }
+
+    /// Consumes and returns the fault flag set by the most recent
+    /// query/cursor operation (see [`Self::peek_fault`]).
+    #[must_use]
+    fn take_fault(&self) -> bool {
+        false
+    }
+
+    /// Invariant probe: no stored entry has more copies than the configured
+    /// replication factor.  Trivially `true` for a central store.
+    #[must_use]
+    fn replication_ok(&self) -> bool {
+        true
+    }
+
+    /// Invariant probe: no departed (left or crashed) GFA's quote is still
+    /// being served by ranking queries.  Trivially `true` for a central
+    /// store, where `node_depart` removes the quote synchronously.
+    #[must_use]
+    fn serves_only_live(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use std::path::PathBuf;
 use grid_experiments::exp5::Stat;
 use grid_experiments::summary::HeadlineClaims;
 use grid_experiments::workloads::WorkloadOptions;
-use grid_experiments::{exp1, exp2, exp3, exp4, exp5};
+use grid_experiments::{exp1, exp2, exp3, exp4, exp5, exp6};
 use grid_workload::PopulationProfile;
 
 fn parse_args() -> (WorkloadOptions, PathBuf, bool, usize) {
@@ -54,13 +54,13 @@ fn main() {
     let (options, out, quick, jobs) = parse_args();
     fs::create_dir_all(&out).expect("failed to create output directory");
 
-    eprintln!("[1/5] experiment 1: independent resources");
+    eprintln!("[1/6] experiment 1: independent resources");
     let e1 = exp1::run(&options);
     exp1::table2(&e1)
         .write_csv(&out.join("table2_independent.csv"))
         .expect("write table2");
 
-    eprintln!("[2/5] experiment 2: federation without economy");
+    eprintln!("[2/6] experiment 2: federation without economy");
     let e2 = exp2::run(&options);
     exp2::table3(&e2)
         .write_csv(&out.join("table3_federation.csv"))
@@ -72,7 +72,7 @@ fn main() {
         .write_csv(&out.join("fig2b_job_migration.csv"))
         .expect("write fig2b");
 
-    eprintln!("[3/5] experiment 3: economy, 11 population profiles");
+    eprintln!("[3/6] experiment 3: economy, 11 population profiles");
     let sweep = exp3::run(&options);
     for (name, table) in [
         ("fig3a_incentive.csv", exp3::figure3a(&sweep)),
@@ -88,7 +88,7 @@ fn main() {
         table.write_csv(&out.join(name)).expect("write exp3 figure");
     }
 
-    eprintln!("[4/5] experiment 4: message complexity per GFA");
+    eprintln!("[4/6] experiment 4: message complexity per GFA");
     for (name, table) in [
         ("fig9a_remote_messages.csv", exp4::figure9a(&sweep)),
         ("fig9b_local_messages.csv", exp4::figure9b(&sweep)),
@@ -97,7 +97,7 @@ fn main() {
         table.write_csv(&out.join(name)).expect("write exp4 figure");
     }
 
-    eprintln!("[5/5] experiment 5: system size 10–50, all three directory backends");
+    eprintln!("[5/6] experiment 5: system size 10–50, all three directory backends");
     let (sizes, exp5_profiles): (Vec<usize>, Vec<PopulationProfile>) = if quick {
         (
             vec![10, 20, 30],
@@ -138,6 +138,27 @@ fn main() {
         .write_csv(&out.join("directory_backend_comparison.csv"))
         .expect("write backend comparison");
 
+    eprintln!("[6/6] experiment 6: churn tolerance, both overlay backends");
+    let churn_sweeps: Vec<exp6::ChurnSweep> =
+        [grid_federation_core::DirectoryBackend::Chord, grid_federation_core::DirectoryBackend::Maan]
+            .iter()
+            .map(|&b| {
+                exp6::run_sweep_with_backend_jobs(
+                    &options,
+                    &exp6::DEFAULT_LEVELS,
+                    &exp6::DEFAULT_KS,
+                    b,
+                    jobs,
+                )
+            })
+            .collect();
+    for sweep in &churn_sweeps {
+        exp6::assert_acceptance(sweep);
+    }
+    for (name, csv) in exp6::render_all_csvs(&churn_sweeps) {
+        fs::write(out.join(format!("{name}.csv")), csv).expect("write exp6 table");
+    }
+
     // The audit-ledger digest manifest: one line per federation run, each a
     // hash-chained commitment to that run's full job/bank/message history.
     // Re-running with the same options must reproduce this file byte for
@@ -151,6 +172,7 @@ fn main() {
         manifest.push_str(&format!("exp3/{} {}\n", profile.label(), report.digest));
     }
     manifest.push_str(&exp5::digest_manifest(&backend_sweeps));
+    manifest.push_str(&exp6::digest_manifest(&churn_sweeps));
     fs::write(out.join("MANIFEST_digests.txt"), &manifest).expect("write digest manifest");
 
     let claims = HeadlineClaims::extract(&e2, &sweep);

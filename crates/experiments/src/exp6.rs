@@ -1,0 +1,415 @@
+//! Experiment 6 — churn tolerance (beyond the paper): lookup availability,
+//! self-healing traffic and latency degradation as functions of churn rate
+//! and the MAAN replication factor *k*.
+//!
+//! The paper's directory is evaluated on a static ring; this experiment
+//! subjects the Table 1 federation to a seeded stochastic failure process
+//! (exponential uptime/downtime, a tunable fraction of departures being
+//! ungraceful crashes) and sweeps churn level × k ∈ {1, 2, 3} on each
+//! overlay backend.  Reported per point:
+//!
+//! * **lookup success rate** — the fraction of ranking lookups the overlay
+//!   could still answer (detours to live replicas count as answered);
+//! * **retry traffic** — backoff retries plus local-only fallbacks at the
+//!   GFAs, the graceful-degradation path;
+//! * **stabilization traffic** — the publish-class messages the periodic
+//!   repair rounds spend re-replicating and evicting ghosts;
+//! * **latency degradation** — average job response time relative to the
+//!   zero-churn baseline run of the same backend.
+//!
+//! A churn-free baseline runs alongside every sweep; its digest is folded
+//! into the manifest with the churned runs, so the zero-churn differential
+//! (`ChurnConfig` inert ⇒ static-ring digests) stays pinned in CI.
+
+use grid_federation_core::federation::{run_federation, FederationConfig, SchedulingMode};
+use grid_federation_core::{ChurnConfig, DirectoryBackend, FederationReport};
+use grid_workload::PopulationProfile;
+
+use crate::parallel;
+use crate::report::{f2, DataTable};
+use crate::workloads::{paper_workloads, WorkloadOptions};
+
+/// One churn intensity, parameterised as fractions of the trace duration so
+/// quick and full runs see comparable failure densities.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnLevel {
+    /// Label used in tables and manifest lines.
+    pub label: &'static str,
+    /// Mean node uptime as a fraction of the trace duration.
+    pub uptime_fraction: f64,
+    /// Mean downtime (before rejoining) as a fraction of the trace duration.
+    pub downtime_fraction: f64,
+    /// Probability that a departure is an ungraceful crash.
+    pub crash_fraction: f64,
+}
+
+impl ChurnLevel {
+    /// Concretises this level into a [`ChurnConfig`] for a given workload
+    /// and replication factor.  Stabilization runs 48 rounds per trace.
+    #[must_use]
+    pub fn to_config(self, options: &WorkloadOptions, replication: usize) -> ChurnConfig {
+        ChurnConfig {
+            mean_uptime: self.uptime_fraction * options.duration,
+            mean_downtime: self.downtime_fraction * options.duration,
+            crash_fraction: self.crash_fraction,
+            stabilization_interval: options.duration / 48.0,
+            replication,
+            horizon: options.duration,
+            ..ChurnConfig::default()
+        }
+    }
+}
+
+/// The default churn grid: light (a node fails about once per trace),
+/// moderate (every node cycles a few times) and heavy (rings spend much of
+/// the trace degraded, departures mostly crashes).
+pub const DEFAULT_LEVELS: [ChurnLevel; 3] = [
+    ChurnLevel { label: "light", uptime_fraction: 1.0, downtime_fraction: 0.08, crash_fraction: 0.25 },
+    ChurnLevel { label: "moderate", uptime_fraction: 0.4, downtime_fraction: 0.10, crash_fraction: 0.50 },
+    ChurnLevel { label: "heavy", uptime_fraction: 0.15, downtime_fraction: 0.12, crash_fraction: 0.75 },
+];
+
+/// The replication factors the acceptance criterion sweeps.
+pub const DEFAULT_KS: [usize; 3] = [1, 2, 3];
+
+/// The sweep over churn levels and replication factors for one backend,
+/// plus the churn-free baseline the degradation columns are relative to.
+#[derive(Debug, Clone)]
+pub struct ChurnSweep {
+    /// The directory backend every run of this sweep used.
+    pub backend: DirectoryBackend,
+    /// Churn levels, in table-row order.
+    pub levels: Vec<ChurnLevel>,
+    /// Replication factors, in table-column order.
+    pub ks: Vec<usize>,
+    /// The zero-churn run of the same workload and backend.
+    pub baseline: FederationReport,
+    /// `reports[level_index][k_index]`.
+    pub reports: Vec<Vec<FederationReport>>,
+}
+
+impl ChurnSweep {
+    /// The report for a given level label and replication factor.
+    #[must_use]
+    pub fn report_for(&self, label: &str, k: usize) -> Option<&FederationReport> {
+        let li = self.levels.iter().position(|l| l.label == label)?;
+        let ki = self.ks.iter().position(|x| *x == k)?;
+        Some(&self.reports[li][ki])
+    }
+}
+
+/// Runs the churn sweep for one backend with a worker pool sized to the
+/// machine.
+#[must_use]
+pub fn run_sweep_with_backend(
+    options: &WorkloadOptions,
+    levels: &[ChurnLevel],
+    ks: &[usize],
+    backend: DirectoryBackend,
+) -> ChurnSweep {
+    run_sweep_with_backend_jobs(options, levels, ks, backend, parallel::default_jobs())
+}
+
+/// Runs the churn sweep for one backend across at most `jobs` worker
+/// threads.  Point 0 is the churn-free baseline; every point's failure
+/// chains derive from the master seed and the GFA index alone, so the
+/// sweep is bitwise-identical for any `jobs` value.
+#[must_use]
+pub fn run_sweep_with_backend_jobs(
+    options: &WorkloadOptions,
+    levels: &[ChurnLevel],
+    ks: &[usize],
+    backend: DirectoryBackend,
+    jobs: usize,
+) -> ChurnSweep {
+    let churns: Vec<Option<ChurnConfig>> = std::iter::once(None)
+        .chain(levels.iter().flat_map(|level| {
+            ks.iter().map(move |&k| Some(level.to_config(options, k)))
+        }))
+        .collect();
+    let point = |i: usize| {
+        let setup = paper_workloads(PopulationProfile::new(50), options);
+        run_federation(
+            setup.resources,
+            setup.workloads,
+            FederationConfig {
+                mode: SchedulingMode::Economy,
+                seed: options.seed,
+                utilization_horizon: Some(options.duration),
+                directory: backend,
+                churn: churns[i].clone(),
+                ..FederationConfig::default()
+            },
+        )
+    };
+    let mut flat = parallel::run_indexed(churns.len(), jobs, point).into_iter();
+    let baseline = flat.next().expect("the baseline run is point 0");
+    let reports: Vec<Vec<FederationReport>> = levels
+        .iter()
+        .map(|_| ks.iter().map(|_| flat.next().expect("one report per point")).collect())
+        .collect();
+    ChurnSweep {
+        backend,
+        levels: levels.to_vec(),
+        ks: ks.to_vec(),
+        baseline,
+        reports,
+    }
+}
+
+/// Runs the default grid on one backend.
+#[must_use]
+pub fn run(options: &WorkloadOptions, backend: DirectoryBackend) -> ChurnSweep {
+    run_sweep_with_backend(options, &DEFAULT_LEVELS, &DEFAULT_KS, backend)
+}
+
+/// Which churn metric a table reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Metric {
+    /// Lookup success percentage.
+    Availability,
+    /// Backoff retries + local-only fallbacks.
+    Retries,
+    /// Publish-class messages spent by stabilization rounds.
+    Stabilization,
+    /// Average response time relative to the zero-churn baseline.
+    Latency,
+}
+
+fn extract_metric(report: &FederationReport, baseline: &FederationReport, metric: Metric) -> String {
+    match metric {
+        Metric::Availability => f2(report.lookup_success_rate() * 100.0),
+        Metric::Retries => format!(
+            "{}",
+            report.churn.retries + report.churn.local_fallbacks
+        ),
+        Metric::Stabilization => format!("{}", report.churn.stabilization_messages),
+        Metric::Latency => {
+            let base = baseline.federation_avg_response_time(false);
+            if base > 0.0 {
+                f2(report.federation_avg_response_time(false) / base)
+            } else {
+                f2(1.0)
+            }
+        }
+    }
+}
+
+fn churn_table(sweep: &ChurnSweep, metric: Metric, title: &str) -> DataTable {
+    let mut columns = vec!["Churn level".to_string()];
+    columns.extend(sweep.ks.iter().map(|k| format!("k={k}")));
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = DataTable::new(title, &column_refs);
+    for (li, level) in sweep.levels.iter().enumerate() {
+        let mut row = vec![level.label.to_string()];
+        for ki in 0..sweep.ks.len() {
+            row.push(extract_metric(&sweep.reports[li][ki], &sweep.baseline, metric));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Lookup success rate (%) per churn level and replication factor.
+#[must_use]
+pub fn figure_availability(sweep: &ChurnSweep) -> DataTable {
+    churn_table(
+        sweep,
+        Metric::Availability,
+        &format!(
+            "Churn tolerance ({} backend): ranking-lookup success rate (%) vs. churn level and k",
+            sweep.backend.label()
+        ),
+    )
+}
+
+/// Retry traffic (backoff retries + local fallbacks) per churn level and k.
+#[must_use]
+pub fn figure_retries(sweep: &ChurnSweep) -> DataTable {
+    churn_table(
+        sweep,
+        Metric::Retries,
+        &format!(
+            "Churn degradation ({} backend): directory retries + local fallbacks vs. churn level and k",
+            sweep.backend.label()
+        ),
+    )
+}
+
+/// Stabilization traffic (publish-class repair messages) per churn level
+/// and k.
+#[must_use]
+pub fn figure_stabilization(sweep: &ChurnSweep) -> DataTable {
+    churn_table(
+        sweep,
+        Metric::Stabilization,
+        &format!(
+            "Self-healing cost ({} backend): stabilization messages vs. churn level and k",
+            sweep.backend.label()
+        ),
+    )
+}
+
+/// Average response time relative to the zero-churn baseline per churn
+/// level and k (1.00 = undisturbed).
+#[must_use]
+pub fn figure_latency(sweep: &ChurnSweep) -> DataTable {
+    churn_table(
+        sweep,
+        Metric::Latency,
+        &format!(
+            "Latency degradation ({} backend): avg response time / zero-churn baseline vs. churn level and k",
+            sweep.backend.label()
+        ),
+    )
+}
+
+/// Renders every CSV a set of churn sweeps produces, as `(name, csv)`
+/// pairs in a stable order.
+#[must_use]
+pub fn render_all_csvs(sweeps: &[ChurnSweep]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for sweep in sweeps {
+        let b = sweep.backend.label();
+        out.push((format!("churn_availability_{b}"), figure_availability(sweep).to_csv()));
+        out.push((format!("churn_retries_{b}"), figure_retries(sweep).to_csv()));
+        out.push((format!("churn_stabilization_{b}"), figure_stabilization(sweep).to_csv()));
+        out.push((format!("churn_latency_{b}"), figure_latency(sweep).to_csv()));
+    }
+    out
+}
+
+/// Renders the audit-ledger digest lines of a set of churn sweeps in a
+/// stable order: the zero-churn baseline first, then one line per
+/// (level, k) run — the format `run_all` appends to `MANIFEST_digests.txt`.
+#[must_use]
+pub fn digest_manifest(sweeps: &[ChurnSweep]) -> String {
+    let mut out = String::new();
+    for sweep in sweeps {
+        let b = sweep.backend.label();
+        out.push_str(&format!("exp6/{b}/baseline {}\n", sweep.baseline.digest));
+        for (li, level) in sweep.levels.iter().enumerate() {
+            for (ki, k) in sweep.ks.iter().enumerate() {
+                out.push_str(&format!(
+                    "exp6/{b}/{}/k{k} {}\n",
+                    level.label, sweep.reports[li][ki].digest
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The acceptance criteria the smoke run (and the full run) must uphold;
+/// called by the `exp6_churn` binary after every sweep.
+///
+/// # Panics
+/// Panics when a criterion fails — CI runs this as a blocking step.
+pub fn assert_acceptance(sweep: &ChurnSweep) {
+    assert_eq!(
+        sweep.baseline.churn.events(),
+        0,
+        "{}: the baseline must be churn-free",
+        sweep.backend.label()
+    );
+    for (li, level) in sweep.levels.iter().enumerate() {
+        for (ki, k) in sweep.ks.iter().enumerate() {
+            let report = &sweep.reports[li][ki];
+            assert!(
+                report.churn.events() > 0,
+                "{}/{}: the churn process must fire",
+                sweep.backend.label(),
+                level.label
+            );
+            assert!(
+                report.bank.is_balanced(),
+                "{}/{}/k{k}: Grid Dollars leaked under churn",
+                sweep.backend.label(),
+                level.label
+            );
+        }
+    }
+    // The headline robustness claim: k = 3 keeps moderate churn above 99%
+    // lookup availability.
+    if let Some(report) = sweep.report_for("moderate", 3) {
+        let rate = report.lookup_success_rate();
+        assert!(
+            rate >= 0.99,
+            "{}: lookup success {rate:.4} < 0.99 under moderate churn with k=3",
+            sweep.backend.label()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_sweep(backend: DirectoryBackend) -> ChurnSweep {
+        run_sweep_with_backend(
+            &WorkloadOptions::quick(),
+            &[DEFAULT_LEVELS[1]],
+            &[1, 3],
+            backend,
+        )
+    }
+
+    #[test]
+    fn sweep_shape_lookup_and_acceptance() {
+        let sweep = smoke_sweep(DirectoryBackend::Maan);
+        assert_eq!(sweep.reports.len(), 1);
+        assert_eq!(sweep.reports[0].len(), 2);
+        assert!(sweep.report_for("moderate", 3).is_some());
+        assert!(sweep.report_for("moderate", 2).is_none());
+        assert!(sweep.report_for("light", 1).is_none());
+        assert_acceptance(&sweep);
+    }
+
+    #[test]
+    fn replication_recovers_availability_lost_to_churn() {
+        let sweep = smoke_sweep(DirectoryBackend::Maan);
+        let k1 = sweep.report_for("moderate", 1).unwrap();
+        let k3 = sweep.report_for("moderate", 3).unwrap();
+        assert!(
+            k3.lookup_success_rate() >= k1.lookup_success_rate(),
+            "more replicas must not answer fewer lookups"
+        );
+        assert!(k3.lookup_success_rate() >= 0.99);
+        // Replication is paid for in stabilization traffic.
+        assert!(k3.churn.stabilization_messages >= k1.churn.stabilization_messages);
+    }
+
+    #[test]
+    fn tables_have_one_row_per_level_and_manifest_is_stable() {
+        let sweep = smoke_sweep(DirectoryBackend::Chord);
+        for table in [
+            figure_availability(&sweep),
+            figure_retries(&sweep),
+            figure_stabilization(&sweep),
+            figure_latency(&sweep),
+        ] {
+            assert_eq!(table.len(), 1);
+            assert_eq!(table.columns.len(), 3);
+        }
+        let manifest = digest_manifest(std::slice::from_ref(&sweep));
+        // Baseline + 1 level × 2 ks = 3 lines.
+        assert_eq!(manifest.lines().count(), 3);
+        assert!(manifest.starts_with("exp6/chord/baseline "), "got {manifest:?}");
+        assert_eq!(manifest, digest_manifest(std::slice::from_ref(&sweep)));
+    }
+
+    #[test]
+    fn sweep_is_parallel_deterministic() {
+        let options = WorkloadOptions::quick();
+        let levels = [DEFAULT_LEVELS[1]];
+        let seq =
+            run_sweep_with_backend_jobs(&options, &levels, &[1, 3], DirectoryBackend::Maan, 1);
+        let par =
+            run_sweep_with_backend_jobs(&options, &levels, &[1, 3], DirectoryBackend::Maan, 4);
+        assert_eq!(
+            digest_manifest(std::slice::from_ref(&seq)),
+            digest_manifest(std::slice::from_ref(&par))
+        );
+        assert_eq!(render_all_csvs(std::slice::from_ref(&seq)), render_all_csvs(std::slice::from_ref(&par)));
+    }
+}

@@ -11,6 +11,7 @@
 //! | [`exp3`] | Fig. 3–8 (federation with economy, 11 population profiles) |
 //! | [`exp4`] | Fig. 9 (local/remote/total message complexity) |
 //! | [`exp5`] | Fig. 10–11 (message complexity vs. system size 10–50) |
+//! | [`exp6`] | beyond the paper: churn tolerance (lookup availability, retry and stabilization traffic, latency degradation vs. churn rate × replication factor) |
 //! | [`summary`] | the headline claims checked in `EXPERIMENTS.md` |
 //!
 //! Shared infrastructure: [`workloads`] builds the calibrated synthetic
@@ -32,6 +33,7 @@ pub mod exp2;
 pub mod exp3;
 pub mod exp4;
 pub mod exp5;
+pub mod exp6;
 pub mod parallel;
 pub mod report;
 pub mod summary;

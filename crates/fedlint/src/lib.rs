@@ -16,6 +16,7 @@
 //! | `undocumented-pub` | sim crates | `pub` items without a doc comment |
 //! | `hot-path-unwrap` | PR 3 hot-path files | `.unwrap()` / `.expect(` on the per-event path |
 //! | `eager-materialise` | sim + workload/experiments crates | collecting a full `Vec<Job>` outside the streaming adapter |
+//! | `bare-allow` | whole workspace | an allow escape whose comment does not name the invariant it waives |
 //!
 //! The *sim crates* — `grid-des`, `grid-cluster`, `grid-federation-core`,
 //! `grid-directory` — are the ones whose behaviour feeds the rendered paper
@@ -25,7 +26,8 @@
 //! Any finding can be suppressed with an allow comment:
 //!
 //! ```text
-//! // fedlint: allow(hot-path-unwrap)
+//! // The queue never holds more than u32::MAX events, so the cast
+//! // cannot panic.  fedlint: allow(hot-path-unwrap)
 //! let slot = u32::try_from(self.slots.len())
 //!     .expect("more than u32::MAX pending events");
 //! ```
@@ -33,9 +35,14 @@
 //! The escape covers its own line and the remainder of the statement it
 //! opens (through the next line ending in `;`, `{` or `}`), so it reads as a
 //! justification attached to exactly one construct, not a file-wide off
-//! switch.  Code under `#[cfg(test)]` modules and `tests/`/`benches/`
-//! targets is exempt from the API-hygiene rules but still checked for
-//! determinism: a flaky test is as expensive as a flaky run.
+//! switch.  The justification is mandatory: the `bare-allow` rule requires
+//! the comment block around every escape to *name the invariant it waives*
+//! (checked against a per-rule keyword list — e.g. a `hot-path-unwrap`
+//! escape must say why the panic can *never* fire), and `bare-allow` itself
+//! cannot be allow-listed away.  Code under `#[cfg(test)]` modules and
+//! `tests/`/`benches/` targets is exempt from the API-hygiene rules but
+//! still checked for determinism: a flaky test is as expensive as a flaky
+//! run.
 
 use std::fmt;
 use std::fs;
@@ -60,11 +67,14 @@ pub enum Rule {
     /// A full workload collected into a `Vec<Job>` outside the streaming
     /// adapter and test code.
     EagerMaterialise,
+    /// A `fedlint: allow(...)` escape whose surrounding comment never names
+    /// the invariant it waives.  Cannot itself be allow-listed.
+    BareAllow,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::HashIteration,
         Rule::WallClock,
         Rule::FloatSort,
@@ -72,6 +82,7 @@ impl Rule {
         Rule::UndocumentedPub,
         Rule::HotPathUnwrap,
         Rule::EagerMaterialise,
+        Rule::BareAllow,
     ];
 
     /// The kebab-case id used in reports and `fedlint: allow(...)` escapes.
@@ -85,13 +96,20 @@ impl Rule {
             Rule::UndocumentedPub => "undocumented-pub",
             Rule::HotPathUnwrap => "hot-path-unwrap",
             Rule::EagerMaterialise => "eager-materialise",
+            Rule::BareAllow => "bare-allow",
         }
     }
 
-    /// Parses a rule id as written in an allow escape.
+    /// Parses a rule id as written in an allow escape.  `bare-allow` polices
+    /// the escapes themselves and so is never parseable here: writing
+    /// `fedlint: allow(bare-allow)` waives nothing.
     #[must_use]
     pub fn from_id(id: &str) -> Option<Rule> {
-        Rule::ALL.iter().copied().find(|r| r.id() == id)
+        Rule::ALL
+            .iter()
+            .copied()
+            .filter(|&r| r != Rule::BareAllow)
+            .find(|r| r.id() == id)
     }
 
     /// One-line rationale, shown by `fedlint rules`.
@@ -117,6 +135,27 @@ impl Rule {
             Rule::EagerMaterialise => {
                 "collecting a full Vec<Job> pins the whole workload in memory; stream through JobSource and call collect_jobs() only at the engine boundary"
             }
+            Rule::BareAllow => {
+                "an allow escape is a waived invariant; its comment block must say why the invariant holds here, and the waiver itself cannot be waived"
+            }
+        }
+    }
+
+    /// Keywords, any one of which counts as naming the waived invariant in
+    /// the comment block around a `fedlint: allow(...)` escape.  Matched
+    /// case-insensitively as substrings, so e.g. `determin` covers both
+    /// "deterministic" and "determinism".
+    #[must_use]
+    pub fn invariant_keywords(self) -> &'static [&'static str] {
+        match self {
+            Rule::HashIteration => &["order", "determin", "sort"],
+            Rule::WallClock => &["clock", "wall", "reproduc", "determin"],
+            Rule::FloatSort => &["nan", "total_cmp", "order"],
+            Rule::ChargeDrop => &["charge", "cost", "ledger", "free", "message"],
+            Rule::UndocumentedPub => &["doc"],
+            Rule::HotPathUnwrap => &["always", "never", "panic", "infallib", "invariant"],
+            Rule::EagerMaterialise => &["memory", "stream", "engine", "bound"],
+            Rule::BareAllow => &[],
         }
     }
 }
@@ -333,6 +372,45 @@ fn token_positions(code: &str, token: &str) -> Vec<usize> {
 /// True when the token occurs anywhere in the line at identifier boundaries.
 fn has_token(code: &str, token: &str) -> bool {
     !token_positions(code, token).is_empty()
+}
+
+/// Removes the `fedlint: allow(...)` markers themselves from a comment so a
+/// rule id (`wall-clock` contains "wall") cannot satisfy its own
+/// keyword check.
+fn strip_escapes(comment: &str) -> String {
+    let mut out = String::with_capacity(comment.len());
+    let mut rest = comment;
+    while let Some(off) = rest.find("fedlint: allow(") {
+        out.push_str(&rest[..off]);
+        let tail = &rest[off + "fedlint: allow(".len()..];
+        match tail.find(')') {
+            Some(close) => rest = &tail[close + 1..],
+            None => return out,
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The lower-cased, escape-free text of the contiguous comment block around
+/// line `idx`: every adjacent line carrying comment text, joined.  This is
+/// the window inside which a justification for an allow escape must appear.
+fn comment_block_text(stripped: &[(String, String)], idx: usize) -> String {
+    let has = |i: usize| !stripped[i].1.trim().is_empty();
+    let mut start = idx;
+    while start > 0 && has(start - 1) {
+        start -= 1;
+    }
+    let mut end = idx;
+    while end + 1 < stripped.len() && has(end + 1) {
+        end += 1;
+    }
+    let mut text = String::new();
+    for (_, comment) in &stripped[start..=end] {
+        text.push_str(&strip_escapes(comment));
+        text.push('\n');
+    }
+    text.to_lowercase()
 }
 
 /// Extracts `fedlint: allow(a, b)` rule ids from a comment.
@@ -671,6 +749,36 @@ pub fn scan_source(rel_path: &str, content: &str) -> Vec<Finding> {
                         "`{call}` on a PR 3 hot-path file — restructure the panic off the per-event path or justify with `fedlint: allow(hot-path-unwrap)`"
                     ),
                 });
+            }
+        }
+
+        // --- hygiene: bare-allow -------------------------------------------
+        // Tests are exempt (same policy as the other hygiene rules): an
+        // escape there waives nothing paper-facing, and test sources often
+        // embed escape-shaped strings as scanner inputs.
+        if !in_test {
+            let mut escaped_here: Vec<Rule> = Vec::new();
+            parse_allows(comment, &mut escaped_here);
+            if !escaped_here.is_empty() {
+                let block = comment_block_text(&stripped, idx);
+                for rule in escaped_here {
+                    let named = rule
+                        .invariant_keywords()
+                        .iter()
+                        .any(|kw| block.contains(kw));
+                    if !named {
+                        findings.push(Finding {
+                            file: rel_path.to_string(),
+                            line: line_no,
+                            rule: Rule::BareAllow,
+                            message: format!(
+                                "`fedlint: allow({id})` without a justification — the surrounding comment must name the invariant it waives (mention one of: {kws})",
+                                id = rule.id(),
+                                kws = rule.invariant_keywords().join(", "),
+                            ),
+                        });
+                    }
+                }
             }
         }
 

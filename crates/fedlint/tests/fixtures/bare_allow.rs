@@ -1,0 +1,18 @@
+//! Seeded violations for the `bare-allow` rule.  Never compiled — scanned
+//! by the fixture tests as if it sat at a sim-crate path.
+
+fn justified(o: Option<u32>) -> u32 {
+    // The caller prechecks `is_some`, so this can never panic.
+    // fedlint: allow(hot-path-unwrap)
+    o.expect("prechecked")
+}
+
+fn bare(o: Option<u32>) -> u32 {
+    // fedlint: allow(hot-path-unwrap)
+    o.expect("trust me")
+}
+
+fn wrong_invariant(v: &mut Vec<f64>) {
+    // This one is fine because I said so.  fedlint: allow(float-sort)
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

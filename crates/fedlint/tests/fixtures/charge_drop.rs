@@ -11,7 +11,7 @@ pub fn churn(dir: &mut AnyDirectory, q: Quote) {
         gfa: 1,
         price: 4.0,
     });
-    // fedlint: allow(charge-drop)
+    // fedlint: allow(charge-drop) — the cost is charged by the caller
     dir.update_price(2, 9.0);
     if dir.subscribe(q) > 0 {
         total += 1;

@@ -9,6 +9,6 @@ pub fn order(xs: &mut Vec<f64>) {
     xs.sort_unstable_by(|a, b| {
         a.partial_cmp(b).unwrap()
     });
-    // fedlint: allow(float-sort)
+    // fedlint: allow(float-sort) — inputs are NaN-free by construction
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
 }

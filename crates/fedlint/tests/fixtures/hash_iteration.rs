@@ -15,7 +15,7 @@ pub fn totals() -> u64 {
     seen.insert(3);
     let first = seen.iter().next();
     let keys: Vec<_> = m.keys().collect();
-    // fedlint: allow(hash-iteration)
+    // fedlint: allow(hash-iteration) — order-insensitive collection
     let vals: Vec<_> = m.values().collect();
     let _ = (first, keys, vals);
     sum as u64

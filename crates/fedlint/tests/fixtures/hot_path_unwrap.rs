@@ -10,7 +10,7 @@ fn take(o: Option<u32>) -> u32 {
 }
 
 fn justified(o: Option<u32>) -> u32 {
-    // The caller checked `is_some` one line above.
+    // The caller checked `is_some` one line above; this can never panic.
     // fedlint: allow(hot-path-unwrap)
     o.expect("checked by caller")
 }

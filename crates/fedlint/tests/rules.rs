@@ -163,11 +163,42 @@ fn shims_and_fixtures_are_out_of_scope() {
 fn allow_escape_parses_multiple_rules() {
     let src = "\
 fn f(v: &mut Vec<f64>) {
+    // NaN-free inputs, and the comparator can never panic.
     // fedlint: allow(float-sort, hot-path-unwrap)
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
 }
 ";
     assert_eq!(scan_source("crates/cluster/src/estimate.rs", src), vec![]);
+}
+
+#[test]
+fn bare_allow_fires_on_fixture() {
+    let src = include_str!("fixtures/bare_allow.rs");
+    let path = "crates/cluster/src/fixture.rs";
+    // A justified escape passes; an escape with no comment around it and
+    // one whose comment never names the waived invariant are findings.
+    // The waived rules themselves stay suppressed.
+    assert_eq!(lines(path, src, Rule::BareAllow), vec![11, 16]);
+    assert_eq!(other_rules(path, src, Rule::BareAllow), vec![]);
+}
+
+#[test]
+fn bare_allow_is_exempt_in_tests_and_cannot_be_waived() {
+    let src = include_str!("fixtures/bare_allow.rs");
+    // Test targets embed escape-shaped strings freely.
+    assert_eq!(lines("crates/cluster/tests/fixture.rs", src, Rule::BareAllow), vec![]);
+    // `allow(bare-allow)` parses to nothing: the waiver cannot be waived.
+    assert_eq!(Rule::from_id("bare-allow"), None);
+    let src = "\
+fn f(o: Option<u32>) -> u32 {
+    // fedlint: allow(hot-path-unwrap, bare-allow)
+    o.expect(\"still bare\")
+}
+";
+    assert_eq!(
+        lines("crates/des/src/queue.rs", src, Rule::BareAllow),
+        vec![2]
+    );
 }
 
 /// The linter's own acceptance gate: the real workspace must be clean.
