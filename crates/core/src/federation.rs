@@ -11,7 +11,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use grid_cluster::{EasyBackfilling, LocalScheduler, ResourceSpec, SpaceSharedFcfs};
-use grid_des::{RunOutcome, SimRng, Simulation};
+use grid_des::{
+    DedupWindow, LinkFaults, NetworkFaultConfig, RunOutcome, SimRng, Simulation, TransmissionPlan,
+};
 use grid_directory::{AnyDirectory, CacheStats, DirectoryBackend, FederationDirectory, Quote};
 use grid_workload::Job;
 
@@ -19,7 +21,7 @@ use crate::audit::AuditLedger;
 use crate::economy::{ChargingPolicy, GridBank};
 use crate::gfa::Gfa;
 use crate::messages::{FedMessage, MessageLedger, MessageType};
-use crate::metrics::{ChurnSummary, FederationReport, JobRecord, ResourceMetrics};
+use crate::metrics::{ChurnSummary, FederationReport, JobRecord, NetworkSummary, ResourceMetrics};
 use grid_workload::JobId;
 
 /// Which resource-sharing environment to simulate (the paper's three
@@ -85,6 +87,63 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// Backoff delay (seconds) before retry `retry` (1-based):
+    /// `backoff × 2^(retry−1)` with the exponent saturated at
+    /// [`grid_des::net::MAX_BACKOFF_EXPONENT`], so arbitrarily large retry
+    /// counts stay finite instead of overflowing the shift.
+    #[must_use]
+    pub fn backoff_delay(&self, retry: u32) -> f64 {
+        grid_des::net::backoff_delay(self.backoff, retry.saturating_sub(1))
+    }
+}
+
+/// When the overlay repairs the ring position of a crashed node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairMode {
+    /// Crashed nodes are evicted only by the periodic stabilization rounds
+    /// (the default): faulted lookups back off and retry, waiting the
+    /// repair out.
+    #[default]
+    Periodic,
+    /// A faulted lookup additionally triggers an immediate **targeted**
+    /// repair: the directory evicts the crashed store the lookup hit and
+    /// the job retries right away, trading repair messages (charged into
+    /// the publish class) for post-fault latency.
+    Reactive,
+}
+
+impl RepairMode {
+    /// Short lowercase label used in file names and table headers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RepairMode::Periodic => "periodic",
+            RepairMode::Reactive => "reactive",
+        }
+    }
+}
+
+impl std::str::FromStr for RepairMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "periodic" => Ok(RepairMode::Periodic),
+            "reactive" => Ok(RepairMode::Reactive),
+            other => Err(format!(
+                "unknown repair mode '{other}' (expected 'periodic' or 'reactive')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for RepairMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Stochastic fault-injection model of a churning federation.
 ///
 /// Each GFA alternates exponentially distributed up- and down-phases, drawn
@@ -122,6 +181,9 @@ pub struct ChurnConfig {
     pub horizon: f64,
     /// How GFAs retry faulted lookups before degrading to local execution.
     pub retry: RetryPolicy,
+    /// Whether crashed ring positions are repaired only periodically or
+    /// reactively at lookup-fault time (see [`RepairMode`]).
+    pub repair: RepairMode,
 }
 
 impl Default for ChurnConfig {
@@ -134,6 +196,7 @@ impl Default for ChurnConfig {
             replication: 2,
             horizon: 172_800.0,
             retry: RetryPolicy::default(),
+            repair: RepairMode::Periodic,
         }
     }
 }
@@ -196,6 +259,121 @@ fn stabilization_ticks(churn: &ChurnConfig, gfa: usize, n: usize) -> Vec<f64> {
     }
 }
 
+/// Decorrelates protocol-link fault draws from every other stream family
+/// (workload, churn, ring placement).
+const NET_LINK_SALT: u64 = 0x0BAD_11E7_FA17_5EED;
+/// Decorrelates per-GFA directory-query fault draws from the link streams.
+const NET_QUERY_SALT: u64 = 0x0BAD_11E7_D1EC_5EED;
+/// Decorrelates per-GFA publish-path fault draws from both families above.
+const NET_PUBLISH_SALT: u64 = 0x0BAD_11E7_9B11_5EED;
+
+/// Runtime state of the unreliable-network fault layer: one seeded fault
+/// stream per directed GFA link, per-link send sequence counters, and the
+/// receiver-side [`DedupWindow`]s that make protocol handlers idempotent.
+///
+/// Only materialised when [`FederationConfig::network`] holds an *active*
+/// fault config — an inactive config takes the same code path as `None`,
+/// which is how the `None ≡ inactive` digest equivalence holds by
+/// construction.
+#[derive(Debug)]
+pub struct NetState {
+    cfg: NetworkFaultConfig,
+    n: usize,
+    /// Directed protocol-link fault streams, indexed `src * n + dst`.
+    links: Vec<LinkFaults>,
+    /// Next-sequence counters per directed link (first envelope gets 1).
+    send_seq: Vec<u64>,
+    /// Receiver-side dedup windows per directed link, held at the receiver.
+    dedup: Vec<DedupWindow>,
+    /// Per-GFA fault streams of the charge-modelled directory-query path.
+    query_faults: Vec<LinkFaults>,
+    /// Per-GFA fault streams of the charge-modelled publish path.
+    publish_faults: Vec<LinkFaults>,
+}
+
+impl NetState {
+    /// Builds the fault layer for `n` GFAs from the run's master seed.
+    #[must_use]
+    pub fn new(n: usize, seed: u64, cfg: NetworkFaultConfig) -> Self {
+        NetState {
+            cfg,
+            n,
+            links: (0..n * n)
+                .map(|id| LinkFaults::new(seed, NET_LINK_SALT, id as u64))
+                .collect(),
+            send_seq: vec![0; n * n],
+            dedup: vec![DedupWindow::default(); n * n],
+            query_faults: (0..n)
+                .map(|id| LinkFaults::new(seed, NET_QUERY_SALT, id as u64))
+                .collect(),
+            publish_faults: (0..n)
+                .map(|id| LinkFaults::new(seed, NET_PUBLISH_SALT, id as u64))
+                .collect(),
+        }
+    }
+
+    /// The fault parameters this layer draws from.
+    #[must_use]
+    pub fn config(&self) -> NetworkFaultConfig {
+        self.cfg
+    }
+
+    /// Allocates the next envelope sequence number of the `src → dst` link
+    /// (1-based; 0 is reserved for the reliable transport).
+    pub fn next_seq(&mut self, src: usize, dst: usize) -> u64 {
+        let counter = &mut self.send_seq[src * self.n + dst];
+        *counter += 1;
+        *counter
+    }
+
+    /// Plans one protocol transmission on the `src → dst` link: drop-forced
+    /// retransmissions, delivery jitter and the duplication decision.
+    pub fn plan(&mut self, src: usize, dst: usize) -> TransmissionPlan {
+        let cfg = self.cfg;
+        self.links[src * self.n + dst].plan(&cfg)
+    }
+
+    /// Receiver-side dedup: admits envelope `seq` arriving at `dst` from
+    /// `src` at most once.
+    pub fn admit(&mut self, src: usize, dst: usize, seq: u64) -> bool {
+        self.dedup[src * self.n + dst].admit(seq)
+    }
+
+    /// Extra routed messages the query path of `gfa` pays for per-hop drops
+    /// across a lookup that semantically cost `messages` hops.
+    pub fn query_extra(&mut self, gfa: usize, messages: u64) -> u64 {
+        let cfg = self.cfg;
+        let link = &mut self.query_faults[gfa];
+        (0..messages).map(|_| u64::from(link.drops(&cfg))).sum()
+    }
+
+    /// Extra routed messages the publish path of `gfa` pays for per-hop
+    /// drops across a mutation that semantically cost `messages` hops.
+    pub fn publish_extra(&mut self, gfa: usize, messages: u64) -> u64 {
+        let cfg = self.cfg;
+        let link = &mut self.publish_faults[gfa];
+        (0..messages).map(|_| u64::from(link.drops(&cfg))).sum()
+    }
+
+    /// Sum of all dedup-window bases — monotone non-decreasing over the run,
+    /// which is exactly what the invariants sentry checks.
+    #[must_use]
+    pub fn dedup_base_sum(&self) -> u64 {
+        self.dedup.iter().map(DedupWindow::base).sum()
+    }
+
+    /// Corrupting test double: rewinds every receiver dedup window to its
+    /// initial state, so previously admitted envelopes would be admitted
+    /// again.  Only exists so the invariant tests can prove the
+    /// dedup-monotonicity check fires.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_dedup_rewind(&mut self) {
+        for w in &mut self.dedup {
+            w.corrupt_rewind();
+        }
+    }
+}
+
 /// Federation-wide shared state accessible to every GFA during the run.
 #[derive(Debug)]
 pub struct SharedState {
@@ -221,6 +399,14 @@ pub struct SharedState {
     /// events are delivered.  Kept outside the audit chains so zero-churn
     /// runs stay digest-identical to the static-ring path.
     pub churn: ChurnSummary,
+    /// The unreliable-network fault layer, or `None` on the reliable
+    /// transport (including inactive fault configs).
+    pub net: Option<NetState>,
+    /// Unreliable-network telemetry, incremented as envelopes are planned
+    /// and deduplicated.  Like [`SharedState::churn`], kept outside the
+    /// audit chains; the retransmit *charges* themselves go through the
+    /// regular charge helpers and do enter the traffic chains.
+    pub network: NetworkSummary,
     /// Runtime invariant observer, consulted after every delivered event.
     #[cfg(feature = "invariants")]
     pub invariants: crate::invariants::InvariantSentry,
@@ -235,16 +421,43 @@ impl SharedState {
         self.audit.record_message(ty, origin, counterpart);
     }
 
-    /// Records a routed directory-query charge in both ledgers.
+    /// Records a routed directory-query charge in both ledgers.  Under the
+    /// fault layer, per-hop drops on the lookup path cost extra routed
+    /// messages, charged as a second directory record so the lossless
+    /// charges stay untouched in the chain.
     pub fn charge_directory(&mut self, gfa: usize, messages: u64, seconds: f64) {
         self.ledger.record_directory(gfa, messages, seconds);
         self.audit.record_directory(gfa, messages);
+        if messages > 0 {
+            if let Some(net) = &mut self.net {
+                let extra = net.query_extra(gfa, messages);
+                if extra > 0 {
+                    self.network.directory_retransmissions += extra;
+                    let per_hop = seconds / messages as f64;
+                    self.ledger
+                        .record_directory(gfa, extra, per_hop * extra as f64);
+                    self.audit.record_directory(gfa, extra);
+                }
+            }
+        }
     }
 
-    /// Records a publish-side directory charge in both ledgers.
+    /// Records a publish-side directory charge in both ledgers, plus the
+    /// fault layer's per-hop retransmissions when active.
     pub fn charge_publish(&mut self, gfa: usize, messages: u64, seconds: f64) {
         self.ledger.record_publish(gfa, messages, seconds);
         self.audit.record_publish(gfa, messages);
+        if messages > 0 {
+            if let Some(net) = &mut self.net {
+                let extra = net.publish_extra(gfa, messages);
+                if extra > 0 {
+                    self.network.publish_retransmissions += extra;
+                    let per_hop = seconds / messages as f64;
+                    self.ledger.record_publish(gfa, extra, per_hop * extra as f64);
+                    self.audit.record_publish(gfa, extra);
+                }
+            }
+        }
     }
 
     /// Finalises a job's per-job message totals in both ledgers.
@@ -265,6 +478,35 @@ impl SharedState {
     pub fn push_job_record(&mut self, record: JobRecord) {
         self.audit.record_outcome(&record);
         self.jobs.push(record);
+    }
+
+    /// Corrupting test double: replays the conclusion of the last finished
+    /// job as if a duplicated completion message had slipped past the dedup
+    /// window — the job is concluded a second time and its record pushed
+    /// again.  Only exists so the invariant tests can prove the
+    /// at-most-once-effect checks fire.
+    ///
+    /// # Panics
+    /// Panics if no job has concluded yet.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_replay_message(&mut self) {
+        let &(job, messages) = self
+            .ledger
+            .per_job()
+            .last()
+            .expect("replaying a message requires a concluded job");
+        let directory = self
+            .ledger
+            .per_job_directory()
+            .last()
+            .map_or(0, |&(_, d)| d);
+        self.conclude_job(job, messages, directory);
+        let record = self
+            .jobs
+            .last()
+            .expect("a concluded job has a record")
+            .clone();
+        self.push_job_record(record);
     }
 }
 
@@ -330,6 +572,13 @@ pub struct FederationConfig {
     /// [`ChurnConfig::mean_uptime`]) schedules nothing and produces a run
     /// bit-identical to `None`; see [`ChurnConfig`].
     pub churn: Option<ChurnConfig>,
+    /// Unreliable-network fault model, or `None` for the perfect transport.
+    /// An *inactive* config (all fault rates zero) takes the same code path
+    /// as `None` and is digest-identical to it; an active config charges
+    /// retransmit/duplicate traffic into the existing ledger classes while
+    /// keeping job outcomes and balances bit-identical to the lossless run
+    /// (`digest.outcomes`).
+    pub network: Option<NetworkFaultConfig>,
 }
 
 impl Default for FederationConfig {
@@ -348,6 +597,7 @@ impl Default for FederationConfig {
             repricings: Vec::new(),
             charge_publish_traffic: true,
             churn: None,
+            network: None,
         }
     }
 }
@@ -492,12 +742,23 @@ impl FederationBuilder {
         }
         let churn_active = config.churn.as_ref().is_some_and(ChurnConfig::is_active);
         let retry = config.churn.as_ref().map_or_else(RetryPolicy::default, |c| c.retry);
+        let repair = config.churn.as_ref().map_or(RepairMode::Periodic, |c| c.repair);
+        // The fault layer exists only when it can actually fire: inactive
+        // configs take the `None` path, which is how `network: None` and a
+        // zero-rate config stay digest-identical by construction.
+        let net = config
+            .network
+            .filter(NetworkFaultConfig::is_active)
+            .map(|cfg| NetState::new(n, config.seed, cfg));
         let mut ledger = MessageLedger::new(n);
         let mut audit = AuditLedger::new(n);
         for (i, spec) in resources.iter().enumerate() {
             // The initial publish: under a distributed backend the quote is
             // routed to the nodes owning its attribute keys, and that
-            // traffic is accounted in the ledger's publish class.
+            // traffic is accounted in the ledger's publish class.  This is
+            // pre-run setup (the simulation has not started), so the fault
+            // layer does not apply — the network can only fault messages
+            // sent while the clock is running.
             let publish = directory.subscribe(Quote::from_spec(i, spec));
             if config.charge_publish_traffic && publish > 0 {
                 ledger.record_publish(i, publish, publish as f64 * config.latency);
@@ -516,6 +777,8 @@ impl FederationBuilder {
             directory_cache: CacheStats::default(),
             audit,
             churn: ChurnSummary::default(),
+            net,
+            network: NetworkSummary::default(),
             #[cfg(feature = "invariants")]
             invariants: crate::invariants::InvariantSentry::new(),
         }));
@@ -562,6 +825,7 @@ impl FederationBuilder {
                 config.query_path,
                 config.charge_publish_traffic,
                 retry,
+                repair,
                 Rc::clone(&shared),
             );
             let id = sim.add_entity(Box::new(gfa));
@@ -609,6 +873,7 @@ fn assemble_report(
         directory_cache,
         audit,
         churn,
+        network,
         ..
     } = state;
     let directory_queries = directory.queries_served();
@@ -671,6 +936,7 @@ fn assemble_report(
         directory_avg_route_messages,
         directory_cache,
         churn,
+        network,
         digest: audit.digest(),
     }
 }
@@ -717,6 +983,38 @@ mod tests {
             strategy,
         };
         j
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_then_saturates() {
+        let p = RetryPolicy {
+            backoff: 30.0,
+            max_retries: u32::MAX,
+        };
+        assert_eq!(p.backoff_delay(1), 30.0);
+        assert_eq!(p.backoff_delay(2), 60.0);
+        assert_eq!(p.backoff_delay(5), 480.0);
+        let cap = 30.0 * 65_536.0;
+        assert_eq!(p.backoff_delay(17), cap);
+        // Boundary regression: retry counts past the exponent cap used to
+        // overflow the `1u32 << exponent` shift; they now saturate at the
+        // capped delay and stay finite for any retry count.
+        assert_eq!(p.backoff_delay(18), cap);
+        assert_eq!(p.backoff_delay(u32::MAX), cap);
+        assert!(p.backoff_delay(u32::MAX).is_finite());
+        // Retry 0 is never scheduled, but the subtraction saturates instead
+        // of wrapping.
+        assert_eq!(p.backoff_delay(0), 30.0);
+    }
+
+    #[test]
+    fn repair_mode_labels_roundtrip() {
+        assert_eq!(RepairMode::default(), RepairMode::Periodic);
+        for mode in [RepairMode::Periodic, RepairMode::Reactive] {
+            assert_eq!(mode.label().parse::<RepairMode>().unwrap(), mode);
+            assert_eq!(format!("{mode}"), mode.label());
+        }
+        assert!("eager".parse::<RepairMode>().is_err());
     }
 
     #[test]

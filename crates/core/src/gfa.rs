@@ -44,7 +44,9 @@ use grid_directory::{FederationDirectory, Quote, QuoteCache, RankCursor, RankOrd
 use grid_workload::{Job, JobId, Strategy};
 
 use crate::economy::ChargingPolicy;
-use crate::federation::{DirectoryQueryPath, GfaSchedule, RetryPolicy, SchedulingMode, SharedState};
+use crate::federation::{
+    DirectoryQueryPath, GfaSchedule, RepairMode, RetryPolicy, SchedulingMode, SharedState,
+};
 use crate::messages::{FedMessage, MessageType};
 use crate::metrics::{ExecutionOutcome, JobRecord};
 
@@ -127,6 +129,9 @@ pub struct Gfa {
     /// How this GFA retries faulted directory lookups before degrading a
     /// job to local-only scheduling.
     retry: RetryPolicy,
+    /// Whether a faulted lookup triggers an immediate targeted ring repair
+    /// or only the periodic stabilization rounds heal the overlay.
+    repair: RepairMode,
     /// How ranking queries execute (cursor-streamed or per-rank oracle).
     query_path: DirectoryQueryPath,
     /// Whether publish-side directory traffic (routed `unsubscribe` /
@@ -166,6 +171,7 @@ impl Gfa {
         query_path: DirectoryQueryPath,
         charge_publish: bool,
         retry: RetryPolicy,
+        repair: RepairMode,
         shared: Rc<RefCell<SharedState>>,
     ) -> Self {
         let name = format!("gfa-{index}-{}", spec.name);
@@ -182,6 +188,7 @@ impl Gfa {
             departed: false,
             retired: false,
             retry,
+            repair,
             query_path,
             charge_publish,
             quote_cache: QuoteCache::new(),
@@ -210,6 +217,95 @@ impl Gfa {
             0.0
         } else {
             self.latency
+        }
+    }
+
+    /// Sends one negotiation-protocol message to a *remote* GFA over the
+    /// (possibly unreliable) transport.
+    ///
+    /// The semantic copy is always delivered after the nominal link latency,
+    /// so job outcomes do not depend on the fault layer.  When the fault
+    /// layer is active the message additionally gets a per-link envelope
+    /// sequence, and the link's fault stream decides how many transmissions
+    /// were dropped before the timeout/retransmit machinery got it through
+    /// (each one an extra copy of the same accountable message, charged into
+    /// the same ledger class as the original) and whether the delivery was
+    /// duplicated in flight — the duplicate is delivered as a real second
+    /// event inside the reorder window and rejected by the receiver's dedup
+    /// window.  Retransmission is bounded by the configured
+    /// `max_retransmits` budget, after which the final attempt always goes
+    /// through (see [`grid_des::NetworkFaultConfig`]), so every negotiation
+    /// eventually completes.
+    fn send_protocol(
+        &mut self,
+        to: usize,
+        ty: MessageType,
+        ledger_origin: usize,
+        ledger_counterpart: usize,
+        build: impl Fn(u64) -> FedMessage,
+        ctx: &mut Context<'_, FedMessage>,
+    ) {
+        debug_assert_ne!(to, self.index, "protocol sends are strictly remote");
+        let delay = self.message_delay(to);
+        let mut seq = 0;
+        let mut duplicate_delay = None;
+        {
+            let mut shared = self.shared.borrow_mut();
+            shared.charge_message(ty, ledger_origin, ledger_counterpart);
+            let state = &mut *shared;
+            let planned = state.net.as_mut().map(|net| {
+                let seq = net.next_seq(self.index, to);
+                let plan = net.plan(self.index, to);
+                (seq, plan)
+            });
+            if let Some((envelope, plan)) = planned {
+                seq = envelope;
+                state.network.enveloped += 1;
+                state.network.retransmissions += u64::from(plan.retransmissions);
+                state.network.backoff_seconds += plan.backoff_seconds;
+                state.network.jitter_seconds += plan.jitter_seconds;
+                for _ in 0..plan.retransmissions {
+                    state.charge_message(ty, ledger_origin, ledger_counterpart);
+                }
+                if plan.duplicate {
+                    state.network.duplicates += 1;
+                    state.charge_message(ty, ledger_origin, ledger_counterpart);
+                    duplicate_delay = Some(plan.duplicate_delay);
+                }
+            }
+        }
+        ctx.send(self.entity_of(to), delay, build(seq));
+        if let Some(extra) = duplicate_delay {
+            // Same-timestamp events deliver in insertion order, so even a
+            // zero-window duplicate arrives after the original.
+            ctx.send(self.entity_of(to), delay + extra, build(seq));
+        }
+    }
+
+    /// Receiver-side dedup: decides whether a delivered event's payload may
+    /// take effect.  Envelopes already admitted on this link (in-flight
+    /// duplicates, hypothetical retransmit races) are rejected, making every
+    /// protocol handler effectively idempotent; un-enveloped payloads
+    /// (self-timers, reliable-transport messages with `seq == 0`) always
+    /// pass.
+    fn admit_envelope(&mut self, event: &Event<FedMessage>) -> bool {
+        let Some(seq) = event.payload.envelope_seq() else {
+            return true;
+        };
+        if seq == 0 {
+            return true;
+        }
+        let src = event.src.index();
+        let mut shared = self.shared.borrow_mut();
+        let state = &mut *shared;
+        let Some(net) = state.net.as_mut() else {
+            return true;
+        };
+        if net.admit(src, self.index, seq) {
+            true
+        } else {
+            state.network.dedup_drops += 1;
+            false
         }
     }
 
@@ -452,26 +548,29 @@ impl Gfa {
 
             // Remote candidate: launch the admission-control negotiation and
             // wait for the reply event.
-            {
-                let mut shared = self.shared.borrow_mut();
-                shared.charge_message(MessageType::Negotiate, self.index, quote.gfa);
-            }
             pending.messages += 1;
             pending.candidate_service = service;
             pending.candidate_cost = cost;
             let attempt = u32::try_from(pending.next_rank - 1).unwrap_or(u32::MAX);
-            ctx.send(
-                self.entity_of(quote.gfa),
-                self.message_delay(quote.gfa),
-                FedMessage::Negotiate {
-                    job: job.id,
-                    origin: self.index,
-                    processors: job.processors,
+            let origin = self.index;
+            let job_id = job.id;
+            let processors = job.processors;
+            self.send_protocol(
+                quote.gfa,
+                MessageType::Negotiate,
+                self.index,
+                quote.gfa,
+                |seq| FedMessage::Negotiate {
+                    job: job_id,
+                    origin,
+                    processors,
                     service_time: service,
                     cost,
                     absolute_deadline,
                     attempt,
+                    seq,
                 },
+                ctx,
             );
             self.pending.insert(job.id, pending);
             return;
@@ -599,18 +698,20 @@ impl Gfa {
             self.handle_started(&started, ctx);
             self.scratch = started;
         }
-        self.shared
-            .borrow_mut()
-            .charge_message(MessageType::Reply, origin, self.index);
-        ctx.send(
-            self.entity_of(origin),
-            self.message_delay(origin),
-            FedMessage::NegotiateReply {
+        let candidate = self.index;
+        self.send_protocol(
+            origin,
+            MessageType::Reply,
+            origin,
+            self.index,
+            |seq| FedMessage::NegotiateReply {
                 job,
                 accept,
-                candidate: self.index,
+                candidate,
                 attempt,
+                seq,
             },
+            ctx,
         );
     }
 
@@ -629,19 +730,20 @@ impl Gfa {
         if accept {
             let service = pending.candidate_service;
             let cost = pending.candidate_cost;
-            {
-                let mut shared = self.shared.borrow_mut();
-                shared.charge_message(MessageType::JobSubmission, self.index, candidate);
-            }
             pending.messages += 1;
-            ctx.send(
-                self.entity_of(candidate),
-                self.message_delay(candidate),
-                FedMessage::JobDispatch {
-                    job: pending.job.clone(),
+            let dispatched = pending.job.clone();
+            self.send_protocol(
+                candidate,
+                MessageType::JobSubmission,
+                self.index,
+                candidate,
+                |seq| FedMessage::JobDispatch {
+                    job: dispatched.clone(),
                     service_time: service,
                     cost,
+                    seq,
                 },
+                ctx,
             );
             self.awaiting_remote.insert(
                 job,
@@ -719,18 +821,21 @@ impl Gfa {
             };
             self.shared.borrow_mut().push_job_record(record);
         } else {
-            self.shared
-                .borrow_mut()
-                .charge_message(MessageType::JobCompletion, entry.origin, self.index);
-            ctx.send(
-                self.entity_of(entry.origin),
-                self.message_delay(entry.origin),
-                FedMessage::JobCompletion {
+            let executed_on = self.index;
+            let cost = entry.cost;
+            self.send_protocol(
+                entry.origin,
+                MessageType::JobCompletion,
+                entry.origin,
+                self.index,
+                |seq| FedMessage::JobCompletion {
                     job,
-                    executed_on: self.index,
+                    executed_on,
                     finish: now,
-                    cost: entry.cost,
+                    cost,
+                    seq,
                 },
+                ctx,
             );
         }
     }
@@ -784,11 +889,45 @@ impl Gfa {
     /// unreachable and fall back to local-only scheduling.
     fn defer_after_fault(&mut self, mut pending: PendingJob, ctx: &mut Context<'_, FedMessage>) {
         self.shared.borrow_mut().churn.lookup_faults += 1;
+        if self.repair == RepairMode::Reactive {
+            // Reactive ring repair: evict the crashed store this lookup hit
+            // right now (a targeted repair, charged as publish traffic) and
+            // resume the loop at the same rank immediately instead of
+            // waiting a backoff out.  Every successful repair evicts at
+            // least one dead ring position, so the repair→retry recursion is
+            // bounded by the number of crashed nodes; when there is nothing
+            // left to evict the job falls through to the backoff path.
+            let repaired = {
+                let mut shared = self.shared.borrow_mut();
+                let messages = shared.directory.repair_faulted();
+                if messages > 0 {
+                    shared.churn.reactive_repairs += 1;
+                    shared.churn.reactive_repair_messages += messages;
+                    Self::record_publish(
+                        &mut shared,
+                        self.index,
+                        messages,
+                        self.latency,
+                        self.charge_publish,
+                    );
+                    true
+                } else {
+                    false
+                }
+            };
+            if repaired {
+                self.try_candidates(pending, ctx);
+                return;
+            }
+        }
         if pending.retries < self.retry.max_retries {
             pending.retries += 1;
-            let exponent = (pending.retries - 1).min(16);
-            let delay = self.retry.backoff * f64::from(1u32 << exponent);
-            self.shared.borrow_mut().churn.retries += 1;
+            let delay = self.retry.backoff_delay(pending.retries);
+            {
+                let mut shared = self.shared.borrow_mut();
+                shared.churn.retries += 1;
+                shared.churn.fault_wait_seconds += delay;
+            }
             let job = pending.job.id;
             ctx.timer_at(
                 SimTime::new(ctx.now().as_secs() + delay),
@@ -955,54 +1094,65 @@ impl Entity<FedMessage> for Gfa {
     }
 
     fn on_event(&mut self, event: Event<FedMessage>, ctx: &mut Context<'_, FedMessage>) {
-        match event.payload {
-            FedMessage::JobArrival(job) => self.on_job_arrival(job, ctx),
-            FedMessage::Negotiate {
-                job,
-                origin,
-                processors,
-                service_time,
-                cost,
-                absolute_deadline,
-                attempt,
-            } => self.on_negotiate(
-                job,
-                origin,
-                processors,
-                service_time,
-                cost,
-                absolute_deadline,
-                attempt,
-                ctx,
-            ),
-            FedMessage::NegotiateReply {
-                job,
-                accept,
-                candidate,
-                attempt: _,
-            } => self.on_negotiate_reply(job, accept, candidate, ctx),
-            FedMessage::JobDispatch {
-                job,
-                service_time,
-                cost,
-            } => self.on_job_dispatch(job, service_time, cost),
-            FedMessage::JobCompletion {
-                job,
-                executed_on,
-                finish,
-                cost,
-            } => self.on_job_completion(job, executed_on, finish, cost),
-            FedMessage::LocalJobFinished { job } => self.on_local_job_finished(job, ctx),
-            FedMessage::Depart => self.on_depart(),
-            FedMessage::Reprice { price } => self.on_reprice(price),
-            FedMessage::ChurnDepart { graceful } => self.on_churn_depart(graceful, ctx),
-            FedMessage::ChurnJoin => self.on_churn_join(ctx),
-            FedMessage::Stabilize => self.on_stabilize(ctx),
-            FedMessage::DirectoryRetry { job } => self.on_directory_retry(job, ctx),
+        // Duplicated deliveries are filtered here, before their payload can
+        // take any semantic effect; the end-of-event invariants sweep still
+        // runs so at-most-once-effect violations would be caught at the
+        // exact event that caused them.
+        if self.admit_envelope(&event) {
+            match event.payload {
+                FedMessage::JobArrival(job) => self.on_job_arrival(job, ctx),
+                FedMessage::Negotiate {
+                    job,
+                    origin,
+                    processors,
+                    service_time,
+                    cost,
+                    absolute_deadline,
+                    attempt,
+                    seq: _,
+                } => self.on_negotiate(
+                    job,
+                    origin,
+                    processors,
+                    service_time,
+                    cost,
+                    absolute_deadline,
+                    attempt,
+                    ctx,
+                ),
+                FedMessage::NegotiateReply {
+                    job,
+                    accept,
+                    candidate,
+                    attempt: _,
+                    seq: _,
+                } => self.on_negotiate_reply(job, accept, candidate, ctx),
+                FedMessage::JobDispatch {
+                    job,
+                    service_time,
+                    cost,
+                    seq: _,
+                } => self.on_job_dispatch(job, service_time, cost),
+                FedMessage::JobCompletion {
+                    job,
+                    executed_on,
+                    finish,
+                    cost,
+                    seq: _,
+                } => self.on_job_completion(job, executed_on, finish, cost),
+                FedMessage::LocalJobFinished { job } => self.on_local_job_finished(job, ctx),
+                FedMessage::Depart => self.on_depart(),
+                FedMessage::Reprice { price } => self.on_reprice(price),
+                FedMessage::ChurnDepart { graceful } => self.on_churn_depart(graceful, ctx),
+                FedMessage::ChurnJoin => self.on_churn_join(ctx),
+                FedMessage::Stabilize => self.on_stabilize(ctx),
+                FedMessage::DirectoryRetry { job } => self.on_directory_retry(job, ctx),
+            }
         }
         // Under the `invariants` feature every delivered event ends with a
         // sweep of the federation's global accounting invariants (currency
-        // conservation, traffic/epoch monotonicity) over the shared state.
+        // conservation, traffic/epoch monotonicity, at-most-once job
+        // effects, dedup-window monotonicity) over the shared state.
         #[cfg(feature = "invariants")]
         {
             let crate::federation::SharedState {
@@ -1010,10 +1160,21 @@ impl Entity<FedMessage> for Gfa {
                 ref bank,
                 ref ledger,
                 ref audit,
+                ref jobs,
+                ref net,
                 ref mut invariants,
                 ..
             } = *self.shared.borrow_mut();
-            invariants.check(ctx.now().as_secs(), bank, ledger, directory, audit);
+            let dedup_base = net.as_ref().map(crate::federation::NetState::dedup_base_sum);
+            invariants.check(
+                ctx.now().as_secs(),
+                bank,
+                ledger,
+                directory,
+                audit,
+                jobs,
+                dedup_base,
+            );
         }
     }
 

@@ -4,7 +4,7 @@
 //! the shared federation state after each delivered event.  The sentry is a
 //! pure observer: it holds the high-water marks of the monotone quantities
 //! and asserts that the federation's global accounting identities still
-//! hold.  Four invariants are checked:
+//! hold.  Ten invariants are checked:
 //!
 //! 1. **Grid-Dollar conservation** — every payment debits a user account
 //!    and credits an owner account, so total earnings must equal total
@@ -27,6 +27,16 @@
 //!    would inflate publish traffic unbounded under churn.
 //! 8. **Liveness of service** — no quote is served from a node that has
 //!    departed the overlay; detours and repairs must land on live owners.
+//! 9. **At-most-once job effects** — no job is *concluded* twice (its
+//!    per-job message totals finalised) and no job record is emitted twice.
+//!    This is what the unreliable transport's receiver-side dedup windows
+//!    guarantee: a duplicated completion delivery that slipped past them
+//!    would double-conclude its job (and double-charge the origin) and trip
+//!    this check at the exact event that caused it.
+//! 10. **Dedup-window monotonicity** — the receiver dedup windows of the
+//!     network fault layer only slide forward (their base-sequence sum never
+//!     decreases); a rewound window would re-admit envelopes it already
+//!     accepted, voiding invariant 9's premise.
 //!
 //! Event-*time* monotonicity is the engine's own invariant and is enforced
 //! inside `grid-des` (promoted to a hard assert under the same feature).
@@ -34,19 +44,25 @@
 //! `AnyDirectory::corrupt_epoch_rewind`, [`AuditLedger::corrupt_chain`],
 //! `AnyDirectory::corrupt_membership_rewind`,
 //! `AnyDirectory::corrupt_overreplicate`,
-//! `AnyDirectory::corrupt_serve_departed`, the event-time corruptor in
+//! `AnyDirectory::corrupt_serve_departed`,
+//! `SharedState::corrupt_replay_message`,
+//! `NetState::corrupt_dedup_rewind`, the event-time corruptor in
 //! `grid-des` — exist so the test suite can prove each check actually
 //! fires.
 
+use std::collections::BTreeSet;
+
 use grid_directory::{AnyDirectory, FederationDirectory};
+use grid_workload::JobId;
 
 use crate::audit::AuditLedger;
 use crate::economy::GridBank;
 use crate::messages::MessageLedger;
+use crate::metrics::JobRecord;
 
 /// Per-run observer asserting the federation's global accounting
 /// invariants after every delivered event (see the module docs).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct InvariantSentry {
     /// Highest simulation time observed so far.
     last_time: f64,
@@ -61,6 +77,18 @@ pub struct InvariantSentry {
     last_membership_epoch: u64,
     /// Audited record count at the previous check.
     last_audit_entries: u64,
+    /// Dedup-window base sum of the network fault layer at the previous
+    /// check (0 while the reliable transport is in use).
+    last_dedup_base: u64,
+    /// Jobs already seen concluded in the ledger's per-job totals; the scan
+    /// is incremental (the list is append-only), so each check is O(new).
+    seen_concluded: BTreeSet<JobId>,
+    /// Per-job ledger entries scanned so far.
+    scanned_concluded: usize,
+    /// Job ids already seen in the emitted record stream.
+    seen_records: BTreeSet<JobId>,
+    /// Job records scanned so far.
+    scanned_records: usize,
     /// Checks executed, for test observability.
     checks: u64,
 }
@@ -79,10 +107,12 @@ impl InvariantSentry {
     }
 
     /// Asserts every invariant against the shared state as of `now`,
-    /// updating the high-water marks.
+    /// updating the high-water marks.  `dedup_base` is the network fault
+    /// layer's dedup-window base sum, or `None` on the reliable transport.
     ///
     /// # Panics
     /// Panics when an invariant is violated — that is the whole point.
+    #[allow(clippy::too_many_arguments)]
     pub fn check(
         &mut self,
         now: f64,
@@ -90,6 +120,8 @@ impl InvariantSentry {
         ledger: &MessageLedger,
         directory: &AnyDirectory,
         audit: &AuditLedger,
+        jobs: &[JobRecord],
+        dedup_base: Option<u64>,
     ) {
         assert!(
             now >= self.last_time,
@@ -159,6 +191,35 @@ impl InvariantSentry {
             self.last_audit_entries
         );
         self.last_audit_entries = audit_entries;
+
+        for &(job, _) in &ledger.per_job()[self.scanned_concluded..] {
+            assert!(
+                self.seen_concluded.insert(job),
+                "job {job} concluded twice at t={now}: a duplicated delivery \
+                 slipped past the dedup window and double-finalised its \
+                 per-job message totals"
+            );
+        }
+        self.scanned_concluded = ledger.per_job().len();
+        for record in &jobs[self.scanned_records..] {
+            assert!(
+                self.seen_records.insert(record.id),
+                "job {} recorded twice at t={now}: a duplicated delivery \
+                 slipped past the dedup window and re-emitted its outcome \
+                 record",
+                record.id
+            );
+        }
+        self.scanned_records = jobs.len();
+
+        if let Some(base) = dedup_base {
+            assert!(
+                base >= self.last_dedup_base,
+                "dedup windows rewound at t={now}: base sum {base} after {}",
+                self.last_dedup_base
+            );
+            self.last_dedup_base = base;
+        }
 
         self.checks += 1;
     }

@@ -74,11 +74,14 @@ pub use audit::{AuditLedger, RunDigest};
 pub use economy::{apply_commodity_pricing, quote_price, ChargingPolicy, GridBank, PAPER_ACCESS_PRICE};
 pub use federation::{
     run_federation, ChurnConfig, DirectoryQueryPath, FederationBuilder, FederationConfig,
-    GfaSchedule, LrmsKind, RetryPolicy, SchedulingMode, SharedState,
+    GfaSchedule, LrmsKind, RepairMode, RetryPolicy, SchedulingMode, SharedState,
 };
+pub use grid_des::{Jitter, NetworkFaultConfig};
 pub use grid_directory::{CacheStats, DirectoryBackend};
 pub use gfa::Gfa;
 #[cfg(feature = "invariants")]
 pub use invariants::InvariantSentry;
 pub use messages::{FedMessage, GfaMessageCounters, MessageLedger, MessageType};
-pub use metrics::{ChurnSummary, ExecutionOutcome, FederationReport, JobRecord, ResourceMetrics};
+pub use metrics::{
+    ChurnSummary, ExecutionOutcome, FederationReport, JobRecord, NetworkSummary, ResourceMetrics,
+};

@@ -44,6 +44,11 @@ pub enum FedMessage {
         absolute_deadline: f64,
         /// 1-based iteration counter `r` of the scheduling loop.
         attempt: u32,
+        /// Per-link envelope sequence number (0 on a reliable transport).
+        /// Under the network fault layer every remote protocol message
+        /// carries a monotone per-(src, dst) sequence the receiver's dedup
+        /// window filters duplicates by.
+        seq: u64,
     },
     /// Admission-control answer.
     NegotiateReply {
@@ -55,6 +60,8 @@ pub enum FedMessage {
         candidate: usize,
         /// Echo of the attempt counter.
         attempt: u32,
+        /// Per-link envelope sequence number (0 on a reliable transport).
+        seq: u64,
     },
     /// The actual job, sent after an accepted negotiation.
     JobDispatch {
@@ -64,6 +71,8 @@ pub enum FedMessage {
         service_time: f64,
         /// Cost on the executing resource.
         cost: f64,
+        /// Per-link envelope sequence number (0 on a reliable transport).
+        seq: u64,
     },
     /// Completion notification (with "output") sent back to the origin GFA.
     JobCompletion {
@@ -75,6 +84,8 @@ pub enum FedMessage {
         finish: f64,
         /// Amount charged.
         cost: f64,
+        /// Per-link envelope sequence number (0 on a reliable transport).
+        seq: u64,
     },
     /// Self-timer: a job running on the local LRMS reached its finish time.
     LocalJobFinished {
@@ -111,6 +122,23 @@ pub enum FedMessage {
         /// Job whose scheduling loop resumes.
         job: JobId,
     },
+}
+
+impl FedMessage {
+    /// The per-link envelope sequence number of a protocol message, or
+    /// `None` for self-timers and other un-enveloped payloads.  Only the
+    /// four remote negotiation-protocol messages travel the faultable
+    /// transport, so only they carry a dedup-window envelope.
+    #[must_use]
+    pub fn envelope_seq(&self) -> Option<u64> {
+        match self {
+            FedMessage::Negotiate { seq, .. }
+            | FedMessage::NegotiateReply { seq, .. }
+            | FedMessage::JobDispatch { seq, .. }
+            | FedMessage::JobCompletion { seq, .. } => Some(*seq),
+            _ => None,
+        }
+    }
 }
 
 /// The four accountable message types of the paper.

@@ -167,7 +167,7 @@ impl ResourceMetrics {
 /// All-zero when the run had no churn configured (the static-ring path) —
 /// the counters live outside the audit chains, so enabling a zero-rate
 /// churn config leaves the run's [`RunDigest`] bit-identical.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ChurnSummary {
     /// Graceful departures delivered by the seeded failure process (the
     /// node handed its stored directory entries off before leaving).
@@ -192,6 +192,19 @@ pub struct ChurnSummary {
     /// Jobs that exhausted their retry budget and degraded to local-only
     /// scheduling.
     pub local_fallbacks: u64,
+    /// Reactive lookup-time repairs executed (only under
+    /// [`RepairMode::Reactive`](crate::federation::RepairMode::Reactive)):
+    /// a faulted lookup triggered an immediate targeted eviction of the
+    /// crashed store instead of waiting for the periodic round.
+    pub reactive_repairs: u64,
+    /// Overlay messages those reactive repairs cost, charged into the
+    /// publish class like stabilization traffic.
+    pub reactive_repair_messages: u64,
+    /// Total simulated seconds jobs spent parked in post-fault backoff
+    /// before their next directory attempt — the latency price of waiting
+    /// for the periodic round, and the quantity reactive repair trades
+    /// messages against.
+    pub fault_wait_seconds: f64,
 }
 
 impl ChurnSummary {
@@ -212,6 +225,69 @@ impl ChurnSummary {
         } else {
             queries_served as f64 / total as f64
         }
+    }
+}
+
+/// Aggregate unreliable-network telemetry of one run.
+///
+/// All-zero when the run had no network fault layer (the reliable-transport
+/// path) — like [`ChurnSummary`], these counters live outside the audit
+/// chains, so an inactive fault config leaves the run's [`RunDigest`]
+/// bit-identical.  The retransmit and duplicate *charges* do enter the
+/// traffic chains (they are real ledger messages); only `digest.outcomes`
+/// is guaranteed invariant under faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetworkSummary {
+    /// Protocol messages sent with a sequence-numbered envelope (the
+    /// at-most-once-delivery surface: negotiate, reply, dispatch,
+    /// completion).
+    pub enveloped: u64,
+    /// Retransmissions the fault layer charged for dropped protocol
+    /// messages (each one a full extra message in the sender's ledger
+    /// class).
+    pub retransmissions: u64,
+    /// Protocol messages the fault layer duplicated; each duplicate is
+    /// delivered as a real second event and must be rejected by the
+    /// receiver's dedup window.
+    pub duplicates: u64,
+    /// Deliveries rejected by receiver-side dedup windows (every duplicate
+    /// that actually arrived lands here — the at-most-once-effect proof).
+    pub dedup_drops: u64,
+    /// Extra routed directory-query messages charged for per-hop drops on
+    /// the lookup path.
+    pub directory_retransmissions: u64,
+    /// Extra routed publish messages charged for per-hop drops on the
+    /// publish path.
+    pub publish_retransmissions: u64,
+    /// Total latency jitter drawn across enveloped sends (statistical
+    /// telemetry; semantic deliveries stay on the nominal timeline).
+    pub jitter_seconds: f64,
+    /// Total retransmission backoff accumulated across enveloped sends
+    /// (timeout × 2^attempt, capped), i.e. the latency the protocol would
+    /// have waited out on a real lossy link.
+    pub backoff_seconds: f64,
+}
+
+impl NetworkSummary {
+    /// Whether the fault layer touched anything this run.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.enveloped == 0
+            && self.retransmissions == 0
+            && self.duplicates == 0
+            && self.dedup_drops == 0
+            && self.directory_retransmissions == 0
+            && self.publish_retransmissions == 0
+    }
+
+    /// Total extra messages the fault layer charged on top of the lossless
+    /// traffic (protocol retransmits + duplicates + query/publish repair).
+    #[must_use]
+    pub fn extra_messages(&self) -> u64 {
+        self.retransmissions
+            + self.duplicates
+            + self.directory_retransmissions
+            + self.publish_retransmissions
     }
 }
 
@@ -246,6 +322,9 @@ pub struct FederationReport {
     pub directory_cache: CacheStats,
     /// Churn and self-healing telemetry (all-zero without a churn config).
     pub churn: ChurnSummary,
+    /// Unreliable-network telemetry (all-zero without an active fault
+    /// config).
+    pub network: NetworkSummary,
     /// The run's hash-chained audit digest (see [`crate::audit`]): two runs
     /// with equal `digest.full` executed the same audited history; equal
     /// `digest.outcomes` means identical job outcomes and bank transfers
@@ -525,6 +604,7 @@ mod tests {
             directory_avg_route_messages: 0.0,
             directory_cache: CacheStats::default(),
             churn: ChurnSummary::default(),
+            network: NetworkSummary::default(),
             digest: crate::audit::AuditLedger::new(2).digest(),
         }
     }
@@ -597,6 +677,7 @@ mod tests {
             directory_avg_route_messages: 0.0,
             directory_cache: CacheStats::default(),
             churn: ChurnSummary::default(),
+            network: NetworkSummary::default(),
             digest: crate::audit::AuditLedger::new(0).digest(),
         };
         assert_eq!(rep.mean_acceptance_rate(), 0.0);
@@ -607,6 +688,21 @@ mod tests {
         assert_eq!(rep.federation_avg_budget_spent(false), 0.0);
         assert_eq!(rep.mean_utilization_percent(), 0.0);
         assert_eq!(rep.avg_budget_spent(3, false), 0.0);
+    }
+
+    #[test]
+    fn network_summary_accessors() {
+        let mut n = NetworkSummary::default();
+        assert!(n.is_quiet());
+        assert_eq!(n.extra_messages(), 0);
+        n.enveloped = 10;
+        n.retransmissions = 3;
+        n.duplicates = 2;
+        n.dedup_drops = 2;
+        n.directory_retransmissions = 4;
+        n.publish_retransmissions = 1;
+        assert!(!n.is_quiet());
+        assert_eq!(n.extra_messages(), 10);
     }
 
     #[test]

@@ -8,10 +8,12 @@
 #![cfg(feature = "invariants")]
 
 use grid_cluster::ResourceSpec;
+use grid_des::DedupWindow;
 use grid_directory::{AnyDirectory, FederationDirectory, Quote};
 use grid_federation_core::{
-    run_federation, AuditLedger, ChurnConfig, DirectoryBackend, FederationConfig, GridBank,
-    InvariantSentry, MessageLedger, MessageType, SchedulingMode,
+    run_federation, AuditLedger, CacheStats, ChurnConfig, ChurnSummary, DirectoryBackend,
+    ExecutionOutcome, FederationConfig, GridBank, InvariantSentry, JobRecord, MessageLedger,
+    MessageType, NetworkSummary, SchedulingMode, SharedState,
 };
 use grid_workload::{Job, JobId, Strategy, UserId};
 
@@ -40,9 +42,9 @@ fn healthy_state() -> (GridBank, MessageLedger, AnyDirectory, AuditLedger) {
 fn healthy_state_passes_repeated_checks() {
     let (bank, ledger, dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir, &audit);
-    sentry.check(10.0, &bank, &ledger, &dir, &audit);
-    sentry.check(10.0, &bank, &ledger, &dir, &audit); // equal time is fine
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], None);
+    sentry.check(10.0, &bank, &ledger, &dir, &audit, &[], None);
+    sentry.check(10.0, &bank, &ledger, &dir, &audit, &[], None); // equal time is fine
     assert_eq!(sentry.checks(), 3);
 }
 
@@ -51,10 +53,10 @@ fn healthy_state_passes_repeated_checks() {
 fn leaked_grid_dollar_fires_conservation() {
     let (mut bank, ledger, dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], None);
     // The corrupting double credits an owner without debiting any user.
     bank.corrupt_leak(1, 1.0);
-    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+    sentry.check(1.0, &bank, &ledger, &dir, &audit, &[], None);
 }
 
 #[test]
@@ -62,10 +64,10 @@ fn leaked_grid_dollar_fires_conservation() {
 fn shrinking_volume_fires_monotonicity() {
     let (bank, ledger, dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], None);
     // A *fresh* bank stands in for one that forgot recorded payments.
     let empty = GridBank::new(3);
-    sentry.check(1.0, &empty, &ledger, &dir, &audit);
+    sentry.check(1.0, &empty, &ledger, &dir, &audit, &[], None);
 }
 
 #[test]
@@ -73,8 +75,8 @@ fn shrinking_volume_fires_monotonicity() {
 fn reordered_check_fires_time_monotonicity() {
     let (bank, ledger, dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(10.0, &bank, &ledger, &dir, &audit);
-    sentry.check(5.0, &bank, &ledger, &dir, &audit);
+    sentry.check(10.0, &bank, &ledger, &dir, &audit, &[], None);
+    sentry.check(5.0, &bank, &ledger, &dir, &audit, &[], None);
 }
 
 #[test]
@@ -82,9 +84,9 @@ fn reordered_check_fires_time_monotonicity() {
 fn forgotten_traffic_fires_ledger_monotonicity() {
     let (bank, ledger, dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], None);
     let empty = MessageLedger::new(3);
-    sentry.check(1.0, &bank, &empty, &dir, &audit);
+    sentry.check(1.0, &bank, &empty, &dir, &audit, &[], None);
 }
 
 #[test]
@@ -92,10 +94,10 @@ fn forgotten_traffic_fires_ledger_monotonicity() {
 fn epoch_rewind_fires_on_every_backend() {
     let (bank, ledger, mut dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], None);
     // The corrupting double forgets every mutation's epoch bump.
     dir.corrupt_epoch_rewind();
-    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+    sentry.check(1.0, &bank, &ledger, &dir, &audit, &[], None);
 }
 
 #[test]
@@ -103,11 +105,11 @@ fn epoch_rewind_fires_on_every_backend() {
 fn tampered_audit_chain_fires_consistency() {
     let (bank, ledger, dir, mut audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], None);
     // The corrupting double rewrites a chain digest out of band, leaving
     // its witness stale — exactly the tamper case the chains exist to catch.
     audit.corrupt_chain(1);
-    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+    sentry.check(1.0, &bank, &ledger, &dir, &audit, &[], None);
 }
 
 #[test]
@@ -115,20 +117,20 @@ fn tampered_audit_chain_fires_consistency() {
 fn forgotten_audit_records_fire_monotonicity() {
     let (bank, ledger, dir, audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], None);
     // A fresh ledger stands in for one that dropped audited records.
     let empty = AuditLedger::new(3);
-    sentry.check(1.0, &bank, &ledger, &dir, &empty);
+    sentry.check(1.0, &bank, &ledger, &dir, &empty, &[], None);
 }
 
 #[test]
 fn audit_records_keep_the_sentry_green_as_they_accumulate() {
     let (bank, ledger, dir, mut audit) = healthy_state();
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], None);
     audit.record_message(MessageType::Negotiate, 1, 2);
     audit.record_publish(2, 3);
-    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+    sentry.check(1.0, &bank, &ledger, &dir, &audit, &[], None);
     assert_eq!(sentry.checks(), 2);
 }
 
@@ -153,10 +155,10 @@ fn membership_rewind_fires_monotonicity() {
     // A graceful departure bumps the membership epoch past zero.
     let _ = dir.node_depart(1, true);
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], None);
     // The corrupting double snaps the epoch back to the pre-churn ring.
     dir.corrupt_membership_rewind();
-    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+    sentry.check(1.0, &bank, &ledger, &dir, &audit, &[], None);
 }
 
 #[test]
@@ -165,10 +167,10 @@ fn overreplication_fires_replication_bound() {
     let (bank, ledger, mut dir, audit) = overlay_state(DirectoryBackend::Maan);
     dir.set_replication(2);
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], None);
     // The corrupting double piles more copies onto an entry than k allows.
     dir.corrupt_overreplicate();
-    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+    sentry.check(1.0, &bank, &ledger, &dir, &audit, &[], None);
 }
 
 #[test]
@@ -176,15 +178,15 @@ fn overreplication_fires_replication_bound() {
 fn serving_from_departed_node_fires_liveness() {
     let (bank, ledger, mut dir, audit) = overlay_state(DirectoryBackend::Chord);
     let mut sentry = InvariantSentry::new();
-    sentry.check(0.0, &bank, &ledger, &dir, &audit);
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], None);
     // The corrupting double marks the quote's owner down without the
     // handoff/repair that a real departure performs.
     dir.corrupt_serve_departed();
-    sentry.check(1.0, &bank, &ledger, &dir, &audit);
+    sentry.check(1.0, &bank, &ledger, &dir, &audit, &[], None);
 }
 
 /// End to end: a churning federation — departures, crashes, rejoins,
-/// stabilization and replica repair — keeps all eight invariants green on
+/// stabilization and replica repair — keeps every invariant green on
 /// the genuinely distributed backend.
 #[test]
 fn churning_federation_passes_under_invariant_checking() {
@@ -237,6 +239,119 @@ fn epoch_rewind_double_works_on_overlay_backends() {
         dir.corrupt_epoch_rewind();
         assert_eq!(dir.epoch(), 0, "{backend:?}: double must rewind the epoch");
     }
+}
+
+/// A minimal shared state with one concluded job, for the at-most-once
+/// doubles.
+fn shared_with_one_job() -> SharedState {
+    let mut shared = SharedState {
+        directory: DirectoryBackend::Ideal.build(2, 0xBEEF),
+        bank: GridBank::new(2),
+        ledger: MessageLedger::new(2),
+        jobs: Vec::new(),
+        resource_snapshots: vec![None; 2],
+        remote_processed: vec![0; 2],
+        directory_cache: CacheStats::default(),
+        audit: AuditLedger::new(2),
+        churn: ChurnSummary::default(),
+        net: None,
+        network: NetworkSummary::default(),
+        invariants: InvariantSentry::new(),
+    };
+    let id = JobId { origin: 0, seq: 0 };
+    shared.conclude_job(id, 4, 2);
+    shared.push_job_record(JobRecord {
+        id,
+        origin: 0,
+        strategy: Strategy::Ofc,
+        submit: 0.0,
+        processors: 4,
+        deadline: 600.0,
+        budget: 100.0,
+        expected_local_response: 120.0,
+        expected_local_cost: 8.0,
+        messages: 4,
+        directory_messages: 2,
+        outcome: ExecutionOutcome::Rejected,
+    });
+    shared
+}
+
+#[test]
+#[should_panic(expected = "concluded twice")]
+fn replayed_delivery_fires_at_most_once_conclude() {
+    let mut shared = shared_with_one_job();
+    let mut sentry = InvariantSentry::new();
+    sentry.check(
+        0.0,
+        &shared.bank,
+        &shared.ledger,
+        &shared.directory,
+        &shared.audit,
+        &shared.jobs,
+        None,
+    );
+    // The corrupting double replays the last concluded job, exactly as a
+    // duplicated completion delivery slipping past the dedup window would.
+    shared.corrupt_replay_message();
+    sentry.check(
+        1.0,
+        &shared.bank,
+        &shared.ledger,
+        &shared.directory,
+        &shared.audit,
+        &shared.jobs,
+        None,
+    );
+}
+
+#[test]
+#[should_panic(expected = "recorded twice")]
+fn duplicated_record_fires_at_most_once_record() {
+    let shared = shared_with_one_job();
+    let mut sentry = InvariantSentry::new();
+    // Same record id twice in the record stream, with the per-job ledger
+    // totals untouched: only the record-side scan can catch this one.
+    let mut jobs = shared.jobs.clone();
+    jobs.push(jobs[0].clone());
+    sentry.check(
+        0.0,
+        &shared.bank,
+        &shared.ledger,
+        &shared.directory,
+        &shared.audit,
+        &jobs,
+        None,
+    );
+}
+
+#[test]
+#[should_panic(expected = "dedup windows rewound")]
+fn dedup_rewind_fires_monotonicity() {
+    let (bank, ledger, dir, audit) = healthy_state();
+    let mut window = DedupWindow::default();
+    assert!(window.admit(200), "a fresh window admits any new sequence");
+    assert!(window.base() > 0, "admitting far ahead slides the window");
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], Some(window.base()));
+    // The corrupting double snaps the window back to its initial state, so
+    // already-admitted envelopes would be admitted again.
+    window.corrupt_rewind();
+    sentry.check(1.0, &bank, &ledger, &dir, &audit, &[], Some(window.base()));
+}
+
+#[test]
+fn advancing_dedup_windows_keep_the_sentry_green() {
+    let (bank, ledger, dir, audit) = healthy_state();
+    let mut sentry = InvariantSentry::new();
+    sentry.check(0.0, &bank, &ledger, &dir, &audit, &[], None);
+    sentry.check(1.0, &bank, &ledger, &dir, &audit, &[], Some(0));
+    sentry.check(2.0, &bank, &ledger, &dir, &audit, &[], Some(64));
+    sentry.check(3.0, &bank, &ledger, &dir, &audit, &[], Some(64));
+    // A reliable-transport check between network checks is not a rewind.
+    sentry.check(4.0, &bank, &ledger, &dir, &audit, &[], None);
+    sentry.check(5.0, &bank, &ledger, &dir, &audit, &[], Some(128));
+    assert_eq!(sentry.checks(), 6);
 }
 
 fn job(origin: usize, seq: usize, submit: f64, strategy: Strategy) -> Job {

@@ -1,0 +1,217 @@
+//! Unreliable-network coverage: the reliable-transport differential (an
+//! *inactive* [`NetworkFaultConfig`] must be indistinguishable, digest for
+//! digest, from no network config at all), determinism of the seeded fault
+//! layer, and the headline robustness claim — under moderate message loss,
+//! jitter and duplication, timeout/retransmit negotiation and receiver-side
+//! dedup keep every job outcome and balance **bit-identical** to the
+//! lossless run, with the retransmit traffic visible in the ledgers.
+
+use grid_cluster::ResourceSpec;
+use grid_federation_core::{
+    run_federation, DirectoryBackend, FederationConfig, FederationReport, Jitter,
+    NetworkFaultConfig, SchedulingMode,
+};
+use grid_workload::{Job, JobId, Strategy, UserId};
+use proptest::prelude::*;
+
+const GFAS: usize = 6;
+const DURATION: f64 = 50_000.0;
+
+fn resources() -> Vec<ResourceSpec> {
+    (0..GFAS)
+        .map(|i| {
+            ResourceSpec::new(
+                "cluster",
+                32,
+                500.0 + 100.0 * i as f64,
+                1.0 + 0.5 * i as f64,
+                2.0,
+            )
+        })
+        .collect()
+}
+
+/// A deterministic workload with plenty of remote negotiations: every GFA
+/// submits a job every 1 250 seconds, alternating OFC/OFT.
+fn workloads() -> Vec<Vec<Job>> {
+    (0..GFAS)
+        .map(|origin| {
+            (0..40)
+                .map(|seq| {
+                    let submit = 10.0 + 1_250.0 * seq as f64 + 17.0 * origin as f64;
+                    let mips = 500.0 + 100.0 * origin as f64;
+                    let mut job = Job::from_runtime(
+                        JobId { origin, seq },
+                        UserId { origin, local: seq % 4 },
+                        submit,
+                        4,
+                        300.0,
+                        mips,
+                        0.10,
+                    );
+                    job.qos.strategy = if seq % 2 == 0 { Strategy::Ofc } else { Strategy::Oft };
+                    job
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn run(backend: DirectoryBackend, network: Option<NetworkFaultConfig>, seed: u64) -> FederationReport {
+    run_federation(
+        resources(),
+        workloads(),
+        FederationConfig {
+            mode: SchedulingMode::Economy,
+            directory: backend,
+            seed,
+            utilization_horizon: Some(DURATION),
+            network,
+            ..FederationConfig::default()
+        },
+    )
+}
+
+const BACKENDS: [DirectoryBackend; 3] = [
+    DirectoryBackend::Ideal,
+    DirectoryBackend::Chord,
+    DirectoryBackend::Maan,
+];
+
+/// The reliable-transport differential: a fault config whose rates are all
+/// zero (the default) is bit-identical — full run digest, not just
+/// outcomes — to no network config at all, on every backend.
+#[test]
+fn inactive_network_config_is_digest_identical_to_none() {
+    for backend in BACKENDS {
+        let baseline = run(backend, None, 0xC0FFEE);
+        let inactive = run(backend, Some(NetworkFaultConfig::default()), 0xC0FFEE);
+        assert_eq!(
+            baseline.digest, inactive.digest,
+            "{backend:?}: an inactive fault config must not perturb the run"
+        );
+        assert!(
+            inactive.network.is_quiet(),
+            "{backend:?}: the reliable transport must report no fault traffic"
+        );
+        assert_eq!(baseline.network, inactive.network, "{backend:?}");
+    }
+}
+
+/// The headline claim: under moderate faults (2% loss, exponential jitter,
+/// 1% duplication) every job outcome and every balance is bit-identical to
+/// the lossless run — the retransmit/duplicate traffic lands only in the
+/// traffic chains, where it is visibly accounted.
+#[test]
+fn moderate_faults_keep_outcomes_bit_identical_to_lossless() {
+    for backend in BACKENDS {
+        let lossless = run(backend, None, 0xC0FFEE);
+        let lossy = run(backend, Some(NetworkFaultConfig::moderate()), 0xC0FFEE);
+        assert_eq!(
+            lossless.digest.outcomes, lossy.digest.outcomes,
+            "{backend:?}: outcomes and balances must survive the fault layer bit-identically"
+        );
+        assert_eq!(
+            lossless.jobs.len(),
+            lossy.jobs.len(),
+            "{backend:?}: every negotiation must eventually complete"
+        );
+        assert!(lossy.bank.is_balanced(), "{backend:?}");
+        assert!(
+            lossy.network.enveloped > 0,
+            "{backend:?}: protocol messages must travel enveloped"
+        );
+        assert!(
+            lossy.network.retransmissions > 0,
+            "{backend:?}: 2% loss over this workload must force retransmissions"
+        );
+        assert!(
+            lossy.network.extra_messages() > 0,
+            "{backend:?}: fault traffic must be charged"
+        );
+        assert_eq!(
+            lossy.network.dedup_drops, lossy.network.duplicates,
+            "{backend:?}: every in-flight duplicate must be delivered and deduplicated"
+        );
+        assert_ne!(
+            lossless.digest, lossy.digest,
+            "{backend:?}: the extra traffic must be visible in the full digest"
+        );
+        let base_traffic = lossless.messages.total_messages();
+        let lossy_traffic = lossy.messages.total_messages();
+        assert_eq!(
+            lossy_traffic,
+            base_traffic + lossy.network.retransmissions + lossy.network.duplicates,
+            "{backend:?}: retransmit and duplicate charges must land in the negotiation class"
+        );
+    }
+}
+
+/// The seeded fault layer is part of the deterministic simulation:
+/// identical configs replay to identical digests and fault telemetry.
+#[test]
+fn lossy_runs_are_deterministic() {
+    for backend in [DirectoryBackend::Chord, DirectoryBackend::Maan] {
+        let a = run(backend, Some(NetworkFaultConfig::moderate()), 0xFEED);
+        let b = run(backend, Some(NetworkFaultConfig::moderate()), 0xFEED);
+        assert_eq!(a.digest, b.digest, "{backend:?}");
+        assert_eq!(a.network, b.network, "{backend:?}");
+        assert!(a.network.retransmissions > 0, "{backend:?}");
+    }
+}
+
+/// Fault severity moves the traffic knob monotonically on the same seed:
+/// doubling the loss rate cannot reduce drop-forced retransmissions, and
+/// outcomes stay pinned throughout.
+#[test]
+fn heavier_loss_means_more_retransmissions_same_outcomes() {
+    let lossless = run(DirectoryBackend::Maan, None, 0xFEED);
+    let mut last = 0;
+    for drop in [0.01, 0.05, 0.10] {
+        let cfg = NetworkFaultConfig {
+            drop,
+            ..NetworkFaultConfig::moderate()
+        };
+        let lossy = run(DirectoryBackend::Maan, Some(cfg), 0xFEED);
+        assert_eq!(lossless.digest.outcomes, lossy.digest.outcomes, "drop={drop}");
+        assert!(
+            lossy.network.retransmissions >= last,
+            "drop={drop}: retransmissions must not shrink as loss grows"
+        );
+        last = lossy.network.retransmissions;
+    }
+    assert!(last > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The reliable-transport differential holds across the whole zero-rate
+    /// config family: whatever timeout, retransmit budget or reorder window
+    /// is configured, a config with zero drop/duplicate rates and no jitter
+    /// replays to the identical run digest on every backend.
+    #[test]
+    fn zero_rate_network_config_is_invisible(
+        timeout in 1.0f64..120.0,
+        max_retransmits in 1u32..12,
+        reorder_window in 0.0f64..30.0,
+        which in 0u32..3,
+    ) {
+        let backend = BACKENDS[which as usize];
+        let baseline = run(backend, None, 0xD1FF);
+        let inactive = run(
+            backend,
+            Some(NetworkFaultConfig {
+                drop: 0.0,
+                jitter: Jitter::None,
+                duplicate: 0.0,
+                reorder_window,
+                timeout,
+                max_retransmits,
+            }),
+            0xD1FF,
+        );
+        prop_assert_eq!(baseline.digest, inactive.digest);
+        prop_assert!(inactive.network.is_quiet());
+    }
+}

@@ -68,6 +68,7 @@
 
 pub mod entity;
 pub mod event;
+pub mod net;
 pub mod queue;
 pub mod rng;
 pub mod simulation;
@@ -77,6 +78,7 @@ pub mod trace;
 
 pub use entity::{Context, Entity, EntityId};
 pub use event::{Event, EventKind};
+pub use net::{DedupWindow, Jitter, LinkFaults, NetworkFaultConfig, TransmissionPlan};
 pub use queue::{BinaryHeapEventQueue, EventQueue};
 pub use rng::SimRng;
 pub use simulation::{RunOutcome, Simulation};

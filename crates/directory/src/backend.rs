@@ -265,6 +265,9 @@ impl FederationDirectory for AnyDirectory {
     fn set_replication(&mut self, k: usize) {
         dispatch!(self, d => d.set_replication(k));
     }
+    fn repair_faulted(&mut self) -> u64 {
+        dispatch!(self, d => d.repair_faulted())
+    }
     fn is_node_live(&self, gfa: usize) -> bool {
         dispatch!(self, d => d.is_node_live(gfa))
     }

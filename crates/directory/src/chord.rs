@@ -346,6 +346,9 @@ pub struct ChordDirectory {
     /// Fault flag of the most recent query/cursor operation (see
     /// [`FederationDirectory::take_fault`]).
     fault: std::cell::Cell<bool>,
+    /// The crashed node the most recent faulted route terminated at —
+    /// the target of a reactive [`FederationDirectory::repair_faulted`].
+    last_fault: std::cell::Cell<Option<usize>>,
 }
 
 /// `⌈log₂ n⌉`, clamped to at least one message — the modelled cost of one
@@ -375,6 +378,7 @@ impl ChordDirectory {
             pending_dead: Vec::new(),
             membership_epoch: 0,
             fault: std::cell::Cell::new(false),
+            last_fault: std::cell::Cell::new(None),
         }
     }
 
@@ -478,6 +482,7 @@ impl ChordDirectory {
         if self.replication >= 2 {
             (1, false)
         } else {
+            self.last_fault.set(Some(owner));
             (0, true)
         }
     }
@@ -726,6 +731,26 @@ impl FederationDirectory for ChordDirectory {
 
     fn set_replication(&mut self, k: usize) {
         self.replication = k.max(1);
+    }
+
+    fn repair_faulted(&mut self) -> u64 {
+        let Some(gfa) = self.last_fault.take() else {
+            return 0;
+        };
+        if !self.pending_dead.contains(&gfa) {
+            // Rejoined or already evicted by a stabilization round since the
+            // fault was recorded — nothing left to repair.
+            return 0;
+        }
+        self.pending_dead.retain(|&g| g != gfa);
+        if !self.overlay.remove_node(gfa) {
+            return 0;
+        }
+        self.membership_epoch += 1;
+        // Like a stabilization eviction, the targeted repair invalidates
+        // measured routes and cached charge replays.
+        self.exact.bump_epoch();
+        ceil_log2(self.overlay.live_len().max(1) as u64)
     }
 
     fn is_node_live(&self, gfa: usize) -> bool {

@@ -121,6 +121,9 @@ pub struct MaanDirectory {
     membership_epoch: u64,
     /// Fault flag of the most recent query/cursor operation.
     fault: Cell<bool>,
+    /// The crashed store node the most recent faulted lookup resolved to —
+    /// the target of a reactive [`FederationDirectory::repair_faulted`].
+    last_fault: Cell<Option<usize>>,
 }
 
 impl MaanDirectory {
@@ -148,6 +151,7 @@ impl MaanDirectory {
             pending_dead: Vec::new(),
             membership_epoch: 0,
             fault: Cell::new(false),
+            last_fault: Cell::new(None),
         }
     }
 
@@ -352,6 +356,7 @@ impl MaanDirectory {
         if self.copies[dim].iter().any(|&(g, h)| g == gfa && !self.down[h]) {
             (1, false)
         } else {
+            self.last_fault.set(Some(store_node));
             (0, true)
         }
     }
@@ -825,6 +830,34 @@ impl FederationDirectory for MaanDirectory {
 
     fn set_replication(&mut self, k: usize) {
         self.replication = k.max(1);
+    }
+
+    fn repair_faulted(&mut self) -> u64 {
+        let Some(gfa) = self.last_fault.take() else {
+            return 0;
+        };
+        if !self.pending_dead.contains(&gfa) {
+            // Rejoined or already evicted by a stabilization round since the
+            // fault was recorded — nothing left to repair.
+            return 0;
+        }
+        self.pending_dead.retain(|&g| g != gfa);
+        if !self.overlay.remove_node(gfa) {
+            return 0;
+        }
+        // A targeted single-node version of `stabilize`: the routed
+        // successor-list splice, the ghost store's entry handoffs, and (when
+        // replicated) the replica repair the eviction makes possible.
+        let mut messages = ceil_log2(self.overlay.live_len().max(1) as u64);
+        messages += self.reconcile_stores();
+        if self.replication > 1 {
+            messages += self.repair_replicas();
+        }
+        self.publish_messages += messages;
+        self.epoch += 1;
+        self.membership_epoch += 1;
+        self.rebuild_flat();
+        messages
     }
 
     fn is_node_live(&self, gfa: usize) -> bool {

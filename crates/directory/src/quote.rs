@@ -325,6 +325,18 @@ pub trait FederationDirectory {
         false
     }
 
+    /// **Reactive ring repair**: immediately evicts the crashed node the
+    /// most recent *faulted* lookup routed to (recorded at fault time),
+    /// reconciles its displaced entries and repairs replication, returning
+    /// the repair's message cost — the targeted, lookup-time alternative to
+    /// waiting a periodic [`Self::stabilize`] round out.  Returns 0 when
+    /// there is nothing to repair (no recorded fault, or the culprit was
+    /// already evicted).  A no-op on a central store, which cannot fault.
+    #[must_use = "the publish-side message cost must be charged into the ledger or explicitly dropped"]
+    fn repair_faulted(&mut self) -> u64 {
+        0
+    }
+
     /// Invariant probe: no stored entry has more copies than the configured
     /// replication factor.  Trivially `true` for a central store.
     #[must_use]

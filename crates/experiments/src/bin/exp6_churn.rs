@@ -3,8 +3,12 @@
 //! latency degradation swept over churn level × replication factor
 //! k ∈ {1, 2, 3} on the overlay backends.
 //!
-//! Usage: `exp6_churn [--quick] [--smoke] [--backend chord|maan|all]
+//! Usage: `exp6_churn [--quick] [--smoke] [--knee] [--backend chord|maan|all]
 //!         [--seed N] [--out DIR] [--jobs N]`
+//!
+//! `--knee` runs the availability-knee ramp instead of the grid sweep:
+//! churn intensity doubles from the moderate level (k pinned at 3) until
+//! the ≥ 99 % lookup-success gate breaks, and the table reports the knee.
 //!
 //! `--smoke` is the CI configuration: quick workloads with the moderate
 //! churn level only, all three replication factors, both overlay backends —
@@ -29,6 +33,7 @@ struct Args {
     out: PathBuf,
     backends: Vec<DirectoryBackend>,
     smoke: bool,
+    knee: bool,
     jobs: usize,
 }
 
@@ -38,6 +43,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("results"),
         backends: OVERLAY_BACKENDS.to_vec(),
         smoke: false,
+        knee: false,
         jobs: grid_experiments::parallel::default_jobs(),
     };
     // Applied after the loop so flag order cannot matter.
@@ -50,6 +56,7 @@ fn parse_args() -> Args {
                 args.options = WorkloadOptions::quick();
                 args.smoke = true;
             }
+            "--knee" => args.knee = true,
             "--out" => args.out = PathBuf::from(argv.next().expect("--out needs a directory")),
             "--seed" => {
                 seed = Some(
@@ -82,9 +89,44 @@ fn parse_args() -> Args {
     args
 }
 
+/// Doublings of the moderate churn rate the `--knee` ramp tries before
+/// giving up on breaking the lookup-success gate.
+const KNEE_MAX_STEPS: usize = 8;
+
+fn run_knee(args: &Args) {
+    std::fs::create_dir_all(&args.out).expect("failed to create output directory");
+    for &backend in &args.backends {
+        let sweep = exp6::run_knee_with_backend(&args.options, backend, KNEE_MAX_STEPS);
+        let table = exp6::figure_knee(&sweep);
+        println!("{}", table.to_ascii());
+        match sweep.knee {
+            Some(knee) => eprintln!(
+                "{}: k={} lookup-success gate breaks at {knee}x moderate churn",
+                backend.label(),
+                exp6::KNEE_REPLICATION
+            ),
+            None => eprintln!(
+                "{}: gate survived {KNEE_MAX_STEPS} doublings of moderate churn",
+                backend.label()
+            ),
+        }
+        let path = args.out.join(format!("churn_knee_{}.csv", backend.label()));
+        table.write_csv(&path).expect("failed to write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 fn main() {
     let args = parse_args();
     let backend_labels: Vec<&str> = args.backends.iter().map(|b| b.label()).collect();
+    if args.knee {
+        eprintln!(
+            "running experiment 6 knee ramp (churn intensity until the k=3 gate breaks) against backend(s): {}…",
+            backend_labels.join(", ")
+        );
+        run_knee(&args);
+        return;
+    }
     eprintln!(
         "running experiment 6 (churn tolerance sweep) against backend(s): {}…",
         backend_labels.join(", ")

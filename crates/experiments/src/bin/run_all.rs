@@ -14,7 +14,7 @@ use std::path::PathBuf;
 use grid_experiments::exp5::Stat;
 use grid_experiments::summary::HeadlineClaims;
 use grid_experiments::workloads::WorkloadOptions;
-use grid_experiments::{exp1, exp2, exp3, exp4, exp5, exp6};
+use grid_experiments::{exp1, exp2, exp3, exp4, exp5, exp6, exp7};
 use grid_workload::PopulationProfile;
 
 fn parse_args() -> (WorkloadOptions, PathBuf, bool, usize) {
@@ -54,13 +54,13 @@ fn main() {
     let (options, out, quick, jobs) = parse_args();
     fs::create_dir_all(&out).expect("failed to create output directory");
 
-    eprintln!("[1/6] experiment 1: independent resources");
+    eprintln!("[1/7] experiment 1: independent resources");
     let e1 = exp1::run(&options);
     exp1::table2(&e1)
         .write_csv(&out.join("table2_independent.csv"))
         .expect("write table2");
 
-    eprintln!("[2/6] experiment 2: federation without economy");
+    eprintln!("[2/7] experiment 2: federation without economy");
     let e2 = exp2::run(&options);
     exp2::table3(&e2)
         .write_csv(&out.join("table3_federation.csv"))
@@ -72,7 +72,7 @@ fn main() {
         .write_csv(&out.join("fig2b_job_migration.csv"))
         .expect("write fig2b");
 
-    eprintln!("[3/6] experiment 3: economy, 11 population profiles");
+    eprintln!("[3/7] experiment 3: economy, 11 population profiles");
     let sweep = exp3::run(&options);
     for (name, table) in [
         ("fig3a_incentive.csv", exp3::figure3a(&sweep)),
@@ -88,7 +88,7 @@ fn main() {
         table.write_csv(&out.join(name)).expect("write exp3 figure");
     }
 
-    eprintln!("[4/6] experiment 4: message complexity per GFA");
+    eprintln!("[4/7] experiment 4: message complexity per GFA");
     for (name, table) in [
         ("fig9a_remote_messages.csv", exp4::figure9a(&sweep)),
         ("fig9b_local_messages.csv", exp4::figure9b(&sweep)),
@@ -97,7 +97,7 @@ fn main() {
         table.write_csv(&out.join(name)).expect("write exp4 figure");
     }
 
-    eprintln!("[5/6] experiment 5: system size 10–50, all three directory backends");
+    eprintln!("[5/7] experiment 5: system size 10–50, all three directory backends");
     let (sizes, exp5_profiles): (Vec<usize>, Vec<PopulationProfile>) = if quick {
         (
             vec![10, 20, 30],
@@ -138,7 +138,7 @@ fn main() {
         .write_csv(&out.join("directory_backend_comparison.csv"))
         .expect("write backend comparison");
 
-    eprintln!("[6/6] experiment 6: churn tolerance, both overlay backends");
+    eprintln!("[6/7] experiment 6: churn tolerance, both overlay backends");
     let churn_sweeps: Vec<exp6::ChurnSweep> =
         [grid_federation_core::DirectoryBackend::Chord, grid_federation_core::DirectoryBackend::Maan]
             .iter()
@@ -159,6 +159,26 @@ fn main() {
         fs::write(out.join(format!("{name}.csv")), csv).expect("write exp6 table");
     }
 
+    eprintln!("[7/7] experiment 7: unreliable network, all three backends");
+    let fault_sweeps: Vec<exp7::UnreliableSweep> = grid_federation_core::DirectoryBackend::ALL
+        .iter()
+        .map(|&b| exp7::run_sweep_with_backend_jobs(&options, &exp7::DEFAULT_FAULTS, b, jobs))
+        .collect();
+    for sweep in &fault_sweeps {
+        exp7::assert_acceptance(sweep);
+    }
+    let repair_comparisons: Vec<exp7::RepairComparison> =
+        [grid_federation_core::DirectoryBackend::Chord, grid_federation_core::DirectoryBackend::Maan]
+            .iter()
+            .map(|&b| exp7::run_repair_comparison_jobs(&options, b, jobs))
+            .collect();
+    for cmp in &repair_comparisons {
+        exp7::assert_repair_acceptance(cmp);
+    }
+    for (name, csv) in exp7::render_all_csvs(&fault_sweeps, &repair_comparisons) {
+        fs::write(out.join(format!("{name}.csv")), csv).expect("write exp7 table");
+    }
+
     // The audit-ledger digest manifest: one line per federation run, each a
     // hash-chained commitment to that run's full job/bank/message history.
     // Re-running with the same options must reproduce this file byte for
@@ -173,6 +193,7 @@ fn main() {
     }
     manifest.push_str(&exp5::digest_manifest(&backend_sweeps));
     manifest.push_str(&exp6::digest_manifest(&churn_sweeps));
+    manifest.push_str(&exp7::digest_manifest(&fault_sweeps, &repair_comparisons));
     fs::write(out.join("MANIFEST_digests.txt"), &manifest).expect("write digest manifest");
 
     let claims = HeadlineClaims::extract(&e2, &sweep);

@@ -163,6 +163,109 @@ pub fn run(options: &WorkloadOptions, backend: DirectoryBackend) -> ChurnSweep {
     run_sweep_with_backend(options, &DEFAULT_LEVELS, &DEFAULT_KS, backend)
 }
 
+/// The lookup-success gate the knee ramp probes (the k = 3 acceptance
+/// criterion of [`assert_acceptance`]).
+pub const KNEE_THRESHOLD: f64 = 0.99;
+
+/// The replication factor the knee ramp pins (the gate is stated for k = 3).
+pub const KNEE_REPLICATION: usize = 3;
+
+/// The availability-knee ramp (the `--knee` mode): starting from the
+/// moderate churn level with replication pinned at k = 3, each step doubles
+/// the churn intensity (halves the mean uptime) until the ≥ 99 %
+/// lookup-success gate breaks — the knee is the first intensity past the
+/// gate, i.e. how much more churn than "moderate" the self-healing overlay
+/// absorbs before the acceptance criterion would fail.
+#[derive(Debug, Clone)]
+pub struct KneeSweep {
+    /// The directory backend every run of this ramp used.
+    pub backend: DirectoryBackend,
+    /// `(intensity, report)` per ramp step in ramp order, where intensity
+    /// is the multiple of the moderate churn rate.
+    pub points: Vec<(f64, FederationReport)>,
+    /// The first intensity whose lookup success fell below
+    /// [`KNEE_THRESHOLD`], or `None` if the ramp ended before the gate
+    /// broke.
+    pub knee: Option<f64>,
+}
+
+fn knee_config(options: &WorkloadOptions, intensity: f64) -> ChurnConfig {
+    let base = DEFAULT_LEVELS[1];
+    ChurnConfig {
+        mean_uptime: base.uptime_fraction * options.duration / intensity,
+        ..base.to_config(options, KNEE_REPLICATION)
+    }
+}
+
+/// Runs the availability-knee ramp for one backend, at most `max_steps`
+/// doublings.  The ramp is inherently sequential (each step only runs if
+/// the gate survived the previous one), so there is no `jobs` knob.
+#[must_use]
+pub fn run_knee_with_backend(
+    options: &WorkloadOptions,
+    backend: DirectoryBackend,
+    max_steps: usize,
+) -> KneeSweep {
+    let mut points = Vec::new();
+    let mut knee = None;
+    let mut intensity = 1.0;
+    for _ in 0..max_steps {
+        let setup = paper_workloads(PopulationProfile::new(50), options);
+        let report = run_federation(
+            setup.resources,
+            setup.workloads,
+            FederationConfig {
+                mode: SchedulingMode::Economy,
+                seed: options.seed,
+                utilization_horizon: Some(options.duration),
+                directory: backend,
+                churn: Some(knee_config(options, intensity)),
+                ..FederationConfig::default()
+            },
+        );
+        let rate = report.lookup_success_rate();
+        points.push((intensity, report));
+        if rate < KNEE_THRESHOLD {
+            knee = Some(intensity);
+            break;
+        }
+        intensity *= 2.0;
+    }
+    KneeSweep { backend, points, knee }
+}
+
+/// The knee ramp as a table: one row per step, the breaking step flagged.
+#[must_use]
+pub fn figure_knee(sweep: &KneeSweep) -> DataTable {
+    let mut table = DataTable::new(
+        &format!(
+            "Availability knee ({} backend, k={KNEE_REPLICATION}): churn intensity ramp until the {:.0}% lookup-success gate breaks{}",
+            sweep.backend.label(),
+            KNEE_THRESHOLD * 100.0,
+            match sweep.knee {
+                Some(knee) => format!(" — knee at {knee}x moderate churn"),
+                None => " — gate never broke within the ramp".to_string(),
+            },
+        ),
+        &[
+            "Churn xModerate",
+            "Lookup faults",
+            "Lookup success %",
+            "Gate",
+        ],
+    );
+    for (intensity, report) in &sweep.points {
+        let rate = report.lookup_success_rate();
+        table.push_row(vec![
+            format!("{intensity}"),
+            format!("{}", report.churn.lookup_faults),
+            f2(rate * 100.0),
+            if rate < KNEE_THRESHOLD { "KNEE".to_string() } else { "ok".to_string() },
+        ]);
+    }
+    table
+}
+
 /// Which churn metric a table reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Metric {
@@ -396,6 +499,21 @@ mod tests {
         assert_eq!(manifest.lines().count(), 3);
         assert!(manifest.starts_with("exp6/chord/baseline "), "got {manifest:?}");
         assert_eq!(manifest, digest_manifest(std::slice::from_ref(&sweep)));
+    }
+
+    #[test]
+    fn knee_ramp_doubles_until_the_gate_breaks() {
+        let sweep = run_knee_with_backend(&WorkloadOptions::quick(), DirectoryBackend::Maan, 8);
+        for (i, (intensity, _)) in sweep.points.iter().enumerate() {
+            assert_eq!(*intensity, (1u64 << i) as f64, "intensities must double");
+        }
+        let knee = sweep.knee.expect("k=3 must break within 8 doublings of moderate churn");
+        let (last_intensity, last) = sweep.points.last().expect("ramp ran");
+        assert_eq!(*last_intensity, knee, "the ramp stops at the knee");
+        assert!(last.lookup_success_rate() < KNEE_THRESHOLD);
+        let table = figure_knee(&sweep);
+        assert_eq!(table.len(), sweep.points.len());
+        assert!(table.title.contains("knee at"), "got {:?}", table.title);
     }
 
     #[test]

@@ -1,0 +1,472 @@
+//! Experiment 7 — unreliable network (beyond the paper): the DBC
+//! negotiation protocol under seeded message loss, latency jitter and
+//! duplication, and the repair-mode tradeoff for faulted lookups.
+//!
+//! Two panels:
+//!
+//! * **Fault differential** — every directory backend runs the Table 1
+//!   federation lossless and again under each fault level of the sweep.
+//!   The acceptance gate pins the headline robustness claim: the outcome
+//!   digest (job records, balances, payments) is **bit-identical** to the
+//!   lossless run at every fault level, every negotiation eventually
+//!   completes, and the retransmit/duplicate traffic is visible in the
+//!   ledgers — exactly-once *effect* over at-most-once delivery.
+//! * **Repair-mode comparison** — both overlay backends run under moderate
+//!   churn (k = 1, so crashed stores actually fault lookups) *and* moderate
+//!   network faults, once with periodic-only stabilization and once with
+//!   reactive lookup-time repair.  The table reports the messages-vs-latency
+//!   tradeoff: reactive repair must measurably cut the mean wait a faulted
+//!   lookup spends in retry backoff, paying for it in targeted repair
+//!   messages.
+//!
+//! Like exp6, the lossless baseline runs alongside every sweep and is folded
+//! into the digest manifest, so the reliable-transport differential
+//! (`network: None` ≡ inactive config) stays pinned in CI.
+
+use grid_federation_core::federation::{run_federation, FederationConfig, SchedulingMode};
+use grid_federation_core::{
+    DirectoryBackend, FederationReport, Jitter, NetworkFaultConfig, RepairMode,
+};
+use grid_workload::PopulationProfile;
+
+use crate::exp6;
+use crate::parallel;
+use crate::report::{f2, DataTable};
+use crate::workloads::{paper_workloads, WorkloadOptions};
+
+/// One fault intensity of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultLevel {
+    /// Label used in tables and manifest lines.
+    pub label: &'static str,
+    /// The fault layer configuration this level injects.
+    pub config: NetworkFaultConfig,
+}
+
+/// The default fault grid: light (1% loss), moderate (the acceptance
+/// criterion's ≥1% drop + jitter + duplication) and heavy (8% loss, every
+/// twelfth message duplicated, half-second mean jitter).
+pub const DEFAULT_FAULTS: [FaultLevel; 3] = [
+    FaultLevel {
+        label: "light",
+        config: NetworkFaultConfig {
+            drop: 0.01,
+            jitter: Jitter::Exponential { mean: 0.1 },
+            duplicate: 0.005,
+            reorder_window: 2.0,
+            timeout: 30.0,
+            max_retransmits: 8,
+        },
+    },
+    FaultLevel {
+        label: "moderate",
+        config: NetworkFaultConfig {
+            drop: 0.02,
+            jitter: Jitter::Exponential { mean: 0.2 },
+            duplicate: 0.01,
+            reorder_window: 5.0,
+            timeout: 30.0,
+            max_retransmits: 8,
+        },
+    },
+    FaultLevel {
+        label: "heavy",
+        config: NetworkFaultConfig {
+            drop: 0.08,
+            jitter: Jitter::Exponential { mean: 0.5 },
+            duplicate: 0.08,
+            reorder_window: 10.0,
+            timeout: 20.0,
+            max_retransmits: 10,
+        },
+    },
+];
+
+/// The fault sweep for one backend: the lossless run the differential is
+/// against, plus one report per fault level.
+#[derive(Debug, Clone)]
+pub struct UnreliableSweep {
+    /// The directory backend every run of this sweep used.
+    pub backend: DirectoryBackend,
+    /// Fault levels, in table-row order.
+    pub levels: Vec<FaultLevel>,
+    /// The lossless (`network: None`) run of the same workload and backend.
+    pub lossless: FederationReport,
+    /// One report per fault level, same order as `levels`.
+    pub reports: Vec<FederationReport>,
+}
+
+/// Runs the fault sweep for one backend with a worker pool sized to the
+/// machine.
+#[must_use]
+pub fn run_sweep_with_backend(
+    options: &WorkloadOptions,
+    levels: &[FaultLevel],
+    backend: DirectoryBackend,
+) -> UnreliableSweep {
+    run_sweep_with_backend_jobs(options, levels, backend, parallel::default_jobs())
+}
+
+/// Runs the fault sweep for one backend across at most `jobs` worker
+/// threads.  Point 0 is the lossless baseline; the fault streams derive
+/// from the master seed and the link endpoints alone, so the sweep is
+/// bitwise-identical for any `jobs` value.
+#[must_use]
+pub fn run_sweep_with_backend_jobs(
+    options: &WorkloadOptions,
+    levels: &[FaultLevel],
+    backend: DirectoryBackend,
+    jobs: usize,
+) -> UnreliableSweep {
+    let nets: Vec<Option<NetworkFaultConfig>> = std::iter::once(None)
+        .chain(levels.iter().map(|level| Some(level.config)))
+        .collect();
+    let point = |i: usize| {
+        let setup = paper_workloads(PopulationProfile::new(50), options);
+        run_federation(
+            setup.resources,
+            setup.workloads,
+            FederationConfig {
+                mode: SchedulingMode::Economy,
+                seed: options.seed,
+                utilization_horizon: Some(options.duration),
+                directory: backend,
+                network: nets[i],
+                ..FederationConfig::default()
+            },
+        )
+    };
+    let mut flat = parallel::run_indexed(nets.len(), jobs, point).into_iter();
+    let lossless = flat.next().expect("the lossless run is point 0");
+    let reports: Vec<FederationReport> = levels
+        .iter()
+        .map(|_| flat.next().expect("one report per fault level"))
+        .collect();
+    UnreliableSweep {
+        backend,
+        levels: levels.to_vec(),
+        lossless,
+        reports,
+    }
+}
+
+/// One repair-mode comparison: the same churned, lossy federation run with
+/// periodic-only stabilization and with reactive lookup-time repair.
+#[derive(Debug, Clone)]
+pub struct RepairComparison {
+    /// The overlay backend both runs used.
+    pub backend: DirectoryBackend,
+    /// The periodic-only run ([`RepairMode::Periodic`]).
+    pub periodic: FederationReport,
+    /// The reactive lookup-time repair run ([`RepairMode::Reactive`]).
+    pub reactive: FederationReport,
+}
+
+/// Mean seconds a faulted lookup spends waiting in retry backoff before
+/// the overlay can answer again — the latency the repair mode trades
+/// messages against.
+#[must_use]
+pub fn mean_fault_wait(report: &FederationReport) -> f64 {
+    let faults = report.churn.lookup_faults;
+    if faults == 0 {
+        0.0
+    } else {
+        report.churn.fault_wait_seconds / faults as f64
+    }
+}
+
+/// Runs the repair-mode comparison for one overlay backend: moderate churn
+/// with k = 1 (no replicas, so a crashed store faults its lookups) plus
+/// moderate network faults, across at most `jobs` worker threads.
+#[must_use]
+pub fn run_repair_comparison_jobs(
+    options: &WorkloadOptions,
+    backend: DirectoryBackend,
+    jobs: usize,
+) -> RepairComparison {
+    let modes = [RepairMode::Periodic, RepairMode::Reactive];
+    let point = |i: usize| {
+        let mut churn = exp6::DEFAULT_LEVELS[1].to_config(options, 1);
+        churn.repair = modes[i];
+        let setup = paper_workloads(PopulationProfile::new(50), options);
+        run_federation(
+            setup.resources,
+            setup.workloads,
+            FederationConfig {
+                mode: SchedulingMode::Economy,
+                seed: options.seed,
+                utilization_horizon: Some(options.duration),
+                directory: backend,
+                churn: Some(churn),
+                network: Some(DEFAULT_FAULTS[1].config),
+                ..FederationConfig::default()
+            },
+        )
+    };
+    let mut flat = parallel::run_indexed(modes.len(), jobs, point).into_iter();
+    let periodic = flat.next().expect("the periodic run is point 0");
+    let reactive = flat.next().expect("the reactive run is point 1");
+    RepairComparison {
+        backend,
+        periodic,
+        reactive,
+    }
+}
+
+/// Fault-layer traffic per fault level: what the retransmission protocol
+/// spent to keep the outcome digest pinned.
+#[must_use]
+pub fn figure_fault_traffic(sweep: &UnreliableSweep) -> DataTable {
+    let mut table = DataTable::new(
+        &format!(
+            "Unreliable network ({} backend): fault traffic vs. fault level (outcomes pinned to lossless at every level)",
+            sweep.backend.label()
+        ),
+        &[
+            "Fault level",
+            "Enveloped",
+            "Retransmits",
+            "Duplicates",
+            "Dedup drops",
+            "Dir retransmits",
+            "Publish retransmits",
+            "Backoff s",
+            "Outcomes pinned",
+        ],
+    );
+    for (level, report) in sweep.levels.iter().zip(&sweep.reports) {
+        let net = &report.network;
+        table.push_row(vec![
+            level.label.to_string(),
+            format!("{}", net.enveloped),
+            format!("{}", net.retransmissions),
+            format!("{}", net.duplicates),
+            format!("{}", net.dedup_drops),
+            format!("{}", net.directory_retransmissions),
+            format!("{}", net.publish_retransmissions),
+            f2(net.backoff_seconds),
+            if report.digest.outcomes == sweep.lossless.digest.outcomes {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
+        ]);
+    }
+    table
+}
+
+/// The repair-mode tradeoff table: mean faulted-lookup wait vs. repair
+/// traffic, one row per (backend, mode).
+#[must_use]
+pub fn figure_repair_tradeoff(comparisons: &[RepairComparison]) -> DataTable {
+    let mut table = DataTable::new(
+        "Reactive vs. periodic ring repair (moderate churn k=1 + moderate faults): mean faulted-lookup wait vs. repair traffic",
+        &[
+            "Backend",
+            "Repair mode",
+            "Lookup faults",
+            "Mean wait/fault s",
+            "Reactive repairs",
+            "Repair messages",
+            "Lookup success %",
+        ],
+    );
+    for cmp in comparisons {
+        for (mode, report) in [
+            (RepairMode::Periodic, &cmp.periodic),
+            (RepairMode::Reactive, &cmp.reactive),
+        ] {
+            let churn = &report.churn;
+            table.push_row(vec![
+                cmp.backend.label().to_string(),
+                mode.label().to_string(),
+                format!("{}", churn.lookup_faults),
+                f2(mean_fault_wait(report)),
+                format!("{}", churn.reactive_repairs),
+                format!(
+                    "{}",
+                    churn.stabilization_messages + churn.reactive_repair_messages
+                ),
+                f2(report.lookup_success_rate() * 100.0),
+            ]);
+        }
+    }
+    table
+}
+
+/// Renders every CSV the experiment produces, as `(name, csv)` pairs in a
+/// stable order.
+#[must_use]
+pub fn render_all_csvs(
+    sweeps: &[UnreliableSweep],
+    comparisons: &[RepairComparison],
+) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for sweep in sweeps {
+        out.push((
+            format!("network_fault_traffic_{}", sweep.backend.label()),
+            figure_fault_traffic(sweep).to_csv(),
+        ));
+    }
+    if !comparisons.is_empty() {
+        out.push((
+            "network_repair_tradeoff".to_string(),
+            figure_repair_tradeoff(comparisons).to_csv(),
+        ));
+    }
+    out
+}
+
+/// Renders the audit-ledger digest lines of the experiment in a stable
+/// order — the format `run_all` appends to `MANIFEST_digests.txt`.
+#[must_use]
+pub fn digest_manifest(
+    sweeps: &[UnreliableSweep],
+    comparisons: &[RepairComparison],
+) -> String {
+    let mut out = String::new();
+    for sweep in sweeps {
+        let b = sweep.backend.label();
+        out.push_str(&format!("exp7/{b}/lossless {}\n", sweep.lossless.digest));
+        for (level, report) in sweep.levels.iter().zip(&sweep.reports) {
+            out.push_str(&format!("exp7/{b}/{} {}\n", level.label, report.digest));
+        }
+    }
+    for cmp in comparisons {
+        let b = cmp.backend.label();
+        out.push_str(&format!("exp7/repair/{b}/periodic {}\n", cmp.periodic.digest));
+        out.push_str(&format!("exp7/repair/{b}/reactive {}\n", cmp.reactive.digest));
+    }
+    out
+}
+
+/// The fault-differential acceptance gate; called by the `exp7_unreliable`
+/// binary (and `run_all`) after every sweep — CI runs it as a blocking
+/// step.
+///
+/// # Panics
+/// Panics when a criterion fails: outcome digest not pinned to the
+/// lossless run, a negotiation that never completed, a Grid-Dollar leak,
+/// or fault traffic that is invisible in the ledgers.
+pub fn assert_acceptance(sweep: &UnreliableSweep) {
+    let b = sweep.backend.label();
+    assert!(
+        sweep.lossless.network.is_quiet(),
+        "{b}: the lossless baseline must report no fault traffic"
+    );
+    for (level, report) in sweep.levels.iter().zip(&sweep.reports) {
+        let l = level.label;
+        assert_eq!(
+            sweep.lossless.digest.outcomes, report.digest.outcomes,
+            "{b}/{l}: job outcomes and balances must be bit-identical to the lossless run"
+        );
+        assert_eq!(
+            sweep.lossless.jobs.len(),
+            report.jobs.len(),
+            "{b}/{l}: every negotiation must eventually complete"
+        );
+        assert!(report.bank.is_balanced(), "{b}/{l}: Grid Dollars leaked");
+        assert!(
+            report.network.enveloped > 0,
+            "{b}/{l}: protocol messages must travel enveloped"
+        );
+        assert!(
+            report.network.retransmissions > 0,
+            "{b}/{l}: ≥1% loss over this workload must force retransmissions"
+        );
+        assert!(
+            report.network.extra_messages() > 0,
+            "{b}/{l}: retransmit traffic must be visible in the ledgers"
+        );
+        assert_eq!(
+            report.network.dedup_drops, report.network.duplicates,
+            "{b}/{l}: every delivered duplicate must be deduplicated, and nothing else"
+        );
+    }
+}
+
+/// The repair-mode acceptance gate: reactive repair must fire and must
+/// measurably reduce the mean faulted-lookup wait relative to periodic-only
+/// stabilization on the same seed.
+///
+/// # Panics
+/// Panics when reactive repair never fires, fails to beat the periodic
+/// mean wait, or either run leaks Grid Dollars.
+pub fn assert_repair_acceptance(cmp: &RepairComparison) {
+    let b = cmp.backend.label();
+    assert!(cmp.periodic.bank.is_balanced(), "{b}: periodic run leaked");
+    assert!(cmp.reactive.bank.is_balanced(), "{b}: reactive run leaked");
+    assert_eq!(
+        cmp.periodic.churn.reactive_repairs, 0,
+        "{b}: periodic-only stabilization must never repair reactively"
+    );
+    assert!(
+        cmp.periodic.churn.lookup_faults > 0,
+        "{b}: the comparison needs faulted lookups to measure"
+    );
+    assert!(
+        cmp.reactive.churn.reactive_repairs > 0,
+        "{b}: reactive mode must execute lookup-time repairs"
+    );
+    let periodic_wait = mean_fault_wait(&cmp.periodic);
+    let reactive_wait = mean_fault_wait(&cmp.reactive);
+    assert!(
+        reactive_wait < periodic_wait,
+        "{b}: reactive repair must reduce the mean faulted-lookup wait \
+         ({reactive_wait:.2}s vs. {periodic_wait:.2}s periodic)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_sweep_upholds_acceptance_on_every_backend() {
+        let options = WorkloadOptions::quick();
+        for backend in [
+            DirectoryBackend::Ideal,
+            DirectoryBackend::Chord,
+            DirectoryBackend::Maan,
+        ] {
+            let sweep =
+                run_sweep_with_backend(&options, &[DEFAULT_FAULTS[1]], backend);
+            assert_acceptance(&sweep);
+            let table = figure_fault_traffic(&sweep);
+            assert_eq!(table.len(), 1);
+            assert_eq!(table.columns.len(), 9);
+        }
+    }
+
+    #[test]
+    fn reactive_repair_beats_periodic_on_the_overlays() {
+        let options = WorkloadOptions::quick();
+        let comparisons: Vec<RepairComparison> =
+            [DirectoryBackend::Chord, DirectoryBackend::Maan]
+                .iter()
+                .map(|&b| run_repair_comparison_jobs(&options, b, 2))
+                .collect();
+        for cmp in &comparisons {
+            assert_repair_acceptance(cmp);
+        }
+        let table = figure_repair_tradeoff(&comparisons);
+        assert_eq!(table.len(), 4, "two backends × two modes");
+    }
+
+    #[test]
+    fn sweep_is_parallel_deterministic_and_manifest_stable() {
+        let options = WorkloadOptions::quick();
+        let levels = [DEFAULT_FAULTS[0]];
+        let seq = run_sweep_with_backend_jobs(&options, &levels, DirectoryBackend::Maan, 1);
+        let par = run_sweep_with_backend_jobs(&options, &levels, DirectoryBackend::Maan, 4);
+        let seq_manifest = digest_manifest(std::slice::from_ref(&seq), &[]);
+        assert_eq!(seq_manifest, digest_manifest(std::slice::from_ref(&par), &[]));
+        // Lossless baseline + one level = 2 lines.
+        assert_eq!(seq_manifest.lines().count(), 2);
+        assert!(seq_manifest.starts_with("exp7/maan/lossless "));
+        assert_eq!(
+            render_all_csvs(std::slice::from_ref(&seq), &[]),
+            render_all_csvs(std::slice::from_ref(&par), &[])
+        );
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`exp4`] | Fig. 9 (local/remote/total message complexity) |
 //! | [`exp5`] | Fig. 10–11 (message complexity vs. system size 10–50) |
 //! | [`exp6`] | beyond the paper: churn tolerance (lookup availability, retry and stabilization traffic, latency degradation vs. churn rate × replication factor) |
+//! | [`exp7`] | beyond the paper: unreliable network (loss/jitter/duplication fault sweep with the outcome digest pinned to the lossless run; reactive vs. periodic ring repair) |
 //! | [`summary`] | the headline claims checked in `EXPERIMENTS.md` |
 //!
 //! Shared infrastructure: [`workloads`] builds the calibrated synthetic
@@ -34,6 +35,7 @@ pub mod exp3;
 pub mod exp4;
 pub mod exp5;
 pub mod exp6;
+pub mod exp7;
 pub mod parallel;
 pub mod report;
 pub mod summary;

@@ -16,6 +16,7 @@
 //! | `undocumented-pub` | sim crates | `pub` items without a doc comment |
 //! | `hot-path-unwrap` | PR 3 hot-path files | `.unwrap()` / `.expect(` on the per-event path |
 //! | `eager-materialise` | sim + workload/experiments crates | collecting a full `Vec<Job>` outside the streaming adapter |
+//! | `unbounded-retry` | sim crates | a retry/retransmit counter incremented with no bounded policy in sight |
 //! | `bare-allow` | whole workspace | an allow escape whose comment does not name the invariant it waives |
 //!
 //! The *sim crates* — `grid-des`, `grid-cluster`, `grid-federation-core`,
@@ -67,6 +68,10 @@ pub enum Rule {
     /// A full workload collected into a `Vec<Job>` outside the streaming
     /// adapter and test code.
     EagerMaterialise,
+    /// A retry/retransmit counter incremented in a sim crate with no
+    /// bounded policy (`max_retries`, `max_retransmits`, `RetryPolicy`, …)
+    /// referenced nearby.
+    UnboundedRetry,
     /// A `fedlint: allow(...)` escape whose surrounding comment never names
     /// the invariant it waives.  Cannot itself be allow-listed.
     BareAllow,
@@ -74,7 +79,7 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::HashIteration,
         Rule::WallClock,
         Rule::FloatSort,
@@ -82,6 +87,7 @@ impl Rule {
         Rule::UndocumentedPub,
         Rule::HotPathUnwrap,
         Rule::EagerMaterialise,
+        Rule::UnboundedRetry,
         Rule::BareAllow,
     ];
 
@@ -96,6 +102,7 @@ impl Rule {
             Rule::UndocumentedPub => "undocumented-pub",
             Rule::HotPathUnwrap => "hot-path-unwrap",
             Rule::EagerMaterialise => "eager-materialise",
+            Rule::UnboundedRetry => "unbounded-retry",
             Rule::BareAllow => "bare-allow",
         }
     }
@@ -135,6 +142,9 @@ impl Rule {
             Rule::EagerMaterialise => {
                 "collecting a full Vec<Job> pins the whole workload in memory; stream through JobSource and call collect_jobs() only at the engine boundary"
             }
+            Rule::UnboundedRetry => {
+                "a retry/retransmit loop with no bounded policy can spin forever on a faulted link; gate the counter on max_retries/max_retransmits or a RetryPolicy"
+            }
             Rule::BareAllow => {
                 "an allow escape is a waived invariant; its comment block must say why the invariant holds here, and the waiver itself cannot be waived"
             }
@@ -155,6 +165,7 @@ impl Rule {
             Rule::UndocumentedPub => &["doc"],
             Rule::HotPathUnwrap => &["always", "never", "panic", "infallib", "invariant"],
             Rule::EagerMaterialise => &["memory", "stream", "engine", "bound"],
+            Rule::UnboundedRetry => &["bound", "cap", "budget", "finite", "max"],
             Rule::BareAllow => &[],
         }
     }
@@ -752,6 +763,28 @@ pub fn scan_source(rel_path: &str, content: &str) -> Vec<Finding> {
             }
         }
 
+        // --- robustness: unbounded-retry -----------------------------------
+        if class.sim && !in_test && !suppressed(Rule::UnboundedRetry) {
+            if let Some(ident) = retry_increment_on(code) {
+                let start = idx.saturating_sub(RETRY_BOUND_WINDOW);
+                let end = (idx + 3).min(stripped.len());
+                let bounded = stripped[start..end]
+                    .iter()
+                    .any(|(c, _)| RETRY_BOUND_TOKENS.iter().any(|t| c.contains(t)));
+                if !bounded {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule: Rule::UnboundedRetry,
+                        message: format!(
+                            "`{ident} += 1` with no bounded policy in sight — gate the counter on a budget ({}) so a faulted link cannot retry forever",
+                            RETRY_BOUND_TOKENS.join(", "),
+                        ),
+                    });
+                }
+            }
+        }
+
         // --- hygiene: bare-allow -------------------------------------------
         // Tests are exempt (same policy as the other hygiene rules): an
         // escape there waives nothing paper-facing, and test sources often
@@ -883,6 +916,51 @@ fn eager_materialise_on(code: &str) -> Option<&'static str> {
         from = idx + ".collect".len();
     }
     None
+}
+
+/// Bounded-policy tokens: any one of these inside the
+/// [`RETRY_BOUND_WINDOW`] around a retry increment counts as evidence the
+/// counter is capped.
+const RETRY_BOUND_TOKENS: [&str; 6] = [
+    "max_retries",
+    "max_retransmits",
+    "max_attempts",
+    "MAX_BACKOFF",
+    "RetryPolicy",
+    "backoff_delay",
+];
+
+/// Code lines above a retry increment inside which a bound token must
+/// appear (the increment's own line and two below are also searched).
+const RETRY_BOUND_WINDOW: usize = 8;
+
+/// If `code` increments a retry/retransmit/attempt-style counter by exactly
+/// one, returns the counter's identifier.
+fn retry_increment_on(code: &str) -> Option<String> {
+    let idx = code.find("+= 1")?;
+    // `+= 10`, `+= 1_000` etc. are accumulations, not loop steps.
+    if code[idx + "+= 1".len()..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    {
+        return None;
+    }
+    let lhs = code[..idx].trim_end();
+    let ident: String = lhs
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    let lower = ident.to_lowercase();
+    if lower.contains("retr") || lower.contains("attempt") {
+        Some(ident)
+    } else {
+        None
+    }
 }
 
 /// If the line declares a `pub` item (not `pub use` / `pub(crate)`),

@@ -1,0 +1,54 @@
+//! Seeded violations for the `unbounded-retry` rule.  Never compiled —
+//! scanned under a pretended sim-crate file name.
+
+struct Sender {
+    retries: u32,
+    attempts: u32,
+}
+
+fn spin_forever(s: &mut Sender, lossy: bool) {
+    while lossy {
+        s.retries += 1;
+    }
+}
+
+fn also_unbounded(s: &mut Sender) {
+    loop {
+        s.attempts += 1;
+    }
+}
+
+fn bounded_by_policy(s: &mut Sender, max_retries: u32) {
+    while s.retries < max_retries {
+        s.retries += 1;
+    }
+}
+
+fn bounded_by_config(s: &mut Sender, cfg: &Config) {
+    while s.attempts < cfg.max_retransmits {
+        s.attempts += 1;
+    }
+}
+
+fn justified(s: &mut Sender) {
+    // The caller drains at most one pending job per event, so this counter
+    // is bounded by the event budget of the run.
+    // fedlint: allow(unbounded-retry)
+    s.retries += 1;
+}
+
+fn accumulations_pass(s: &mut Sender, extra: u32) {
+    // Folding a batch of retransmissions into telemetry is not a loop step.
+    s.retries += 10;
+    s.attempts += extra;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_counters_are_exempt() {
+        let mut retries = 0;
+        retries += 1;
+        let _ = retries;
+    }
+}

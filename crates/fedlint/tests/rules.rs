@@ -153,6 +153,24 @@ fn eager_materialise_exempts_the_adapter_tests_and_other_crates() {
 }
 
 #[test]
+fn unbounded_retry_fires_on_fixture() {
+    let src = include_str!("fixtures/unbounded_retry.rs");
+    let path = "crates/core/src/fixture.rs";
+    // Two naked loop increments; the `max_retries`/`max_retransmits`-gated
+    // loops, the justified escape, the non-unit accumulations and the
+    // test-module counter all pass.
+    assert_eq!(lines(path, src, Rule::UnboundedRetry), vec![11, 17]);
+    assert_eq!(other_rules(path, src, Rule::UnboundedRetry), vec![]);
+}
+
+#[test]
+fn unbounded_retry_is_scoped_to_sim_crates() {
+    let src = include_str!("fixtures/unbounded_retry.rs");
+    assert_eq!(lines("crates/experiments/src/fixture.rs", src, Rule::UnboundedRetry), vec![]);
+    assert_eq!(lines("crates/core/tests/fixture.rs", src, Rule::UnboundedRetry), vec![]);
+}
+
+#[test]
 fn shims_and_fixtures_are_out_of_scope() {
     let src = include_str!("fixtures/wall_clock.rs");
     assert_eq!(scan_source("crates/shims/criterion/src/lib.rs", src), vec![]);
