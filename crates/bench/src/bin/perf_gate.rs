@@ -17,7 +17,11 @@
 //! * **workload generation jobs/s** (`workload.jobs_per_sec`) — higher is
 //!   better, promoted from informational to gated once the streaming
 //!   refactor landed so eager-materialisation regressions in the
-//!   generation path fail CI instead of only moving a tracked number.
+//!   generation path fail CI instead of only moving a tracked number;
+//! * **workload streaming jobs/s** (`workload.stream_jobs_per_sec`) —
+//!   higher is better, promoted alongside the observability layer: the
+//!   lazy stream is the path million-job runs drain through, so a decay
+//!   back toward eager-materialisation throughput fails CI.
 //!
 //! The gated figures are *absolute* per-op numbers, so the comparison is
 //! only meaningful when baseline and current ran on comparable hardware.
@@ -136,7 +140,7 @@ struct Gate {
     direction: Direction,
 }
 
-const GATES: [Gate; 8] = [
+const GATES: [Gate; 9] = [
     Gate {
         label: "event queue (4-ary heap events/s)",
         anchor: None,
@@ -183,6 +187,12 @@ const GATES: [Gate; 8] = [
         label: "workload generation (jobs/s)",
         anchor: Some("workload"),
         key: "jobs_per_sec",
+        direction: Direction::HigherIsBetter,
+    },
+    Gate {
+        label: "workload streaming (stream jobs/s)",
+        anchor: Some("workload"),
+        key: "stream_jobs_per_sec",
         direction: Direction::HigherIsBetter,
     },
 ];
@@ -368,6 +378,17 @@ mod tests {
         let failures = run_gates(SAMPLE, &current, 0.30);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("workload generation"));
+    }
+
+    #[test]
+    fn stream_throughput_drop_fails() {
+        let current = tweaked(
+            "\"stream_jobs_per_sec\": 4500000.00",
+            "\"stream_jobs_per_sec\": 2000000.00",
+        );
+        let failures = run_gates(SAMPLE, &current, 0.30);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("streaming"));
     }
 
     #[test]

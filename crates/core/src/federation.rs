@@ -14,7 +14,9 @@ use grid_cluster::{EasyBackfilling, LocalScheduler, ResourceSpec, SpaceSharedFcf
 use grid_des::{
     DedupWindow, LinkFaults, NetworkFaultConfig, RunOutcome, SimRng, Simulation, TransmissionPlan,
 };
+use grid_des::{FlowRecord, SpanRecord};
 use grid_directory::{AnyDirectory, CacheStats, DirectoryBackend, FederationDirectory, Quote};
+use grid_obs::{Counter, FSum, HandlerProfiler, HistId, MetricsRegistry, ProfileTable, SpanCollector};
 use grid_workload::Job;
 
 use crate::audit::AuditLedger;
@@ -390,23 +392,23 @@ pub struct SharedState {
     pub resource_snapshots: Vec<Option<ResourceSnapshot>>,
     /// Number of remote jobs each resource executed.
     pub remote_processed: Vec<usize>,
-    /// Quote-cache hit/miss counters, merged in by each GFA at end of run.
-    pub directory_cache: CacheStats,
     /// Hash-chained audit ledger folding every outcome, charge and bank
     /// mutation (see [`crate::audit`]).
     pub audit: AuditLedger,
-    /// Churn/self-healing telemetry, incremented by the GFAs as churn
-    /// events are delivered.  Kept outside the audit chains so zero-churn
-    /// runs stay digest-identical to the static-ring path.
-    pub churn: ChurnSummary,
     /// The unreliable-network fault layer, or `None` on the reliable
     /// transport (including inactive fault configs).
     pub net: Option<NetState>,
-    /// Unreliable-network telemetry, incremented as envelopes are planned
-    /// and deduplicated.  Like [`SharedState::churn`], kept outside the
-    /// audit chains; the retransmit *charges* themselves go through the
-    /// regular charge helpers and do enter the traffic chains.
-    pub network: NetworkSummary,
+    /// The single accounting surface for every observability counter,
+    /// sum and histogram of the run: churn/self-healing telemetry,
+    /// unreliable-network telemetry, quote-cache hit/miss tallies and the
+    /// wait/slowdown/latency percentile panels all live here.  Kept
+    /// strictly outside the audit chains, so recording into the registry
+    /// can never move a [`crate::audit::RunDigest`].
+    pub metrics: MetricsRegistry,
+    /// The span-aware trace sink, when a run is traced.  `None` (the
+    /// default) costs one discriminant test per emission site; emitting
+    /// spans reads sim state but never writes it.
+    pub tracer: Option<Rc<RefCell<SpanCollector>>>,
     /// Runtime invariant observer, consulted after every delivered event.
     #[cfg(feature = "invariants")]
     pub invariants: crate::invariants::InvariantSentry,
@@ -428,11 +430,12 @@ impl SharedState {
     pub fn charge_directory(&mut self, gfa: usize, messages: u64, seconds: f64) {
         self.ledger.record_directory(gfa, messages, seconds);
         self.audit.record_directory(gfa, messages);
+        self.metrics.observe(HistId::DirectoryLookupLatency, seconds);
         if messages > 0 {
             if let Some(net) = &mut self.net {
                 let extra = net.query_extra(gfa, messages);
                 if extra > 0 {
-                    self.network.directory_retransmissions += extra;
+                    self.metrics.add(gfa, Counter::NetDirectoryRetransmissions, extra);
                     let per_hop = seconds / messages as f64;
                     self.ledger
                         .record_directory(gfa, extra, per_hop * extra as f64);
@@ -451,7 +454,7 @@ impl SharedState {
             if let Some(net) = &mut self.net {
                 let extra = net.publish_extra(gfa, messages);
                 if extra > 0 {
-                    self.network.publish_retransmissions += extra;
+                    self.metrics.add(gfa, Counter::NetPublishRetransmissions, extra);
                     let per_hop = seconds / messages as f64;
                     self.ledger.record_publish(gfa, extra, per_hop * extra as f64);
                     self.audit.record_publish(gfa, extra);
@@ -474,10 +477,71 @@ impl SharedState {
     }
 
     /// Appends a finished job record, folding it into the origin's outcome
-    /// chain first.
+    /// chain first, and records its wait/slowdown/negotiation observations
+    /// plus its lifecycle span.  All observability here happens *after* the
+    /// audit fold, on quantities already decided, so it cannot perturb the
+    /// chain.
     pub fn push_job_record(&mut self, record: JobRecord) {
         self.audit.record_outcome(&record);
+        self.metrics
+            .observe(HistId::NegotiationMessages, f64::from(record.messages));
+        match record.outcome {
+            crate::metrics::ExecutionOutcome::Completed { start, finish, .. } => {
+                self.metrics.inc(record.origin, Counter::JobsCompleted);
+                self.metrics
+                    .observe(HistId::JobWait, (start - record.submit).max(0.0));
+                let service = finish - start;
+                if service > 0.0 {
+                    self.metrics
+                        .observe(HistId::JobSlowdown, (finish - record.submit) / service);
+                }
+                if self.tracer.is_some() {
+                    self.emit_span(SpanRecord {
+                        gfa: record.origin,
+                        track: grid_des::SpanTrack::Lifecycle,
+                        name: "job",
+                        start: grid_des::SimTime::new(record.submit),
+                        end: grid_des::SimTime::new(finish),
+                        detail: format!("{} completed", record.id),
+                    });
+                }
+            }
+            crate::metrics::ExecutionOutcome::Rejected => {
+                self.metrics.inc(record.origin, Counter::JobsRejected);
+                if self.tracer.is_some() {
+                    self.emit_span(SpanRecord {
+                        gfa: record.origin,
+                        track: grid_des::SpanTrack::Lifecycle,
+                        name: "job",
+                        start: grid_des::SimTime::new(record.submit),
+                        end: grid_des::SimTime::new(record.submit),
+                        detail: format!("{} rejected", record.id),
+                    });
+                }
+            }
+        }
         self.jobs.push(record);
+    }
+
+    /// Forwards a completed span to the armed trace sink, if any.
+    pub fn emit_span(&self, record: SpanRecord) {
+        if let Some(tracer) = &self.tracer {
+            grid_des::TraceSink::span(&mut *tracer.borrow_mut(), record);
+        }
+    }
+
+    /// Forwards one endpoint of a cross-GFA flow to the armed trace sink.
+    pub fn emit_flow(&self, record: FlowRecord) {
+        if let Some(tracer) = &self.tracer {
+            grid_des::TraceSink::flow(&mut *tracer.borrow_mut(), record);
+        }
+    }
+
+    /// Whether a span-aware trace sink is armed (emission sites use this to
+    /// skip building detail strings on untraced runs).
+    #[must_use]
+    pub fn trace_armed(&self) -> bool {
+        self.tracer.is_some()
     }
 
     /// Corrupting test double: replays the conclusion of the last finished
@@ -646,6 +710,8 @@ pub struct FederationBuilder {
     resources: Vec<ResourceSpec>,
     workloads: Vec<Vec<Job>>,
     config: FederationConfig,
+    tracer: Option<Rc<RefCell<SpanCollector>>>,
+    profiler: Option<Rc<RefCell<ProfileTable>>>,
 }
 
 impl FederationBuilder {
@@ -657,6 +723,8 @@ impl FederationBuilder {
             resources,
             workloads: vec![Vec::new(); n],
             config: FederationConfig::default(),
+            tracer: None,
+            profiler: None,
         }
     }
 
@@ -664,6 +732,28 @@ impl FederationBuilder {
     #[must_use]
     pub fn config(mut self, config: FederationConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Arms a span-aware trace sink: the run emits job-lifecycle,
+    /// negotiation, directory and execution spans (plus cross-GFA dispatch
+    /// and completion flows) into the collector.  Observation sites live
+    /// outside the builder's `Clone + PartialEq` [`FederationConfig`]
+    /// because sinks are identity, not configuration — two runs differing
+    /// only in armed sinks are the same run, and the obs-inertness tests
+    /// pin exactly that.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Rc<RefCell<SpanCollector>>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Arms the self-profiling hook: every delivered event's handler is
+    /// bracketed with wall-clock timing, aggregated per event type into the
+    /// shared table.  Timings live strictly outside sim state.
+    #[must_use]
+    pub fn profiler(mut self, table: Rc<RefCell<ProfileTable>>) -> Self {
+        self.profiler = Some(table);
         self
     }
 
@@ -713,6 +803,8 @@ impl FederationBuilder {
             resources,
             mut workloads,
             config,
+            tracer,
+            profiler,
         } = self;
         let n = resources.len();
         assert!(n > 0, "a federation needs at least one resource");
@@ -774,16 +866,18 @@ impl FederationBuilder {
             jobs: Vec::with_capacity(total_jobs),
             resource_snapshots: vec![None; n],
             remote_processed: vec![0; n],
-            directory_cache: CacheStats::default(),
             audit,
-            churn: ChurnSummary::default(),
             net,
-            network: NetworkSummary::default(),
+            metrics: MetricsRegistry::new(n),
+            tracer,
             #[cfg(feature = "invariants")]
             invariants: crate::invariants::InvariantSentry::new(),
         }));
 
         let mut sim: Simulation<FedMessage> = Simulation::new(config.seed);
+        if let Some(table) = profiler {
+            sim.set_profiler(Box::new(HandlerProfiler::new(table, FedMessage::label)));
+        }
         for (i, spec) in resources.iter().enumerate() {
             let lrms: Box<dyn LocalScheduler> = match config.lrms {
                 LrmsKind::SpaceSharedFcfs => Box::new(SpaceSharedFcfs::new(spec.processors)),
@@ -870,12 +964,41 @@ fn assemble_report(
         jobs,
         resource_snapshots,
         remote_processed,
-        directory_cache,
         audit,
-        churn,
-        network,
+        metrics: registry,
         ..
     } = state;
+    // The legacy report summaries are *views* of the metrics registry now:
+    // one accounting surface, with the reported values pinned unchanged
+    // (counters are added in the same event order the loose fields used to
+    // be, so the f64 sums are bit-identical too).
+    let directory_cache = CacheStats {
+        hits: registry.counter(Counter::CacheHits),
+        misses: registry.counter(Counter::CacheMisses),
+    };
+    let churn = ChurnSummary {
+        graceful_leaves: registry.counter(Counter::GracefulLeaves),
+        crashes: registry.counter(Counter::Crashes),
+        rejoins: registry.counter(Counter::Rejoins),
+        stabilization_rounds: registry.counter(Counter::StabilizationRounds),
+        stabilization_messages: registry.counter(Counter::StabilizationMessages),
+        lookup_faults: registry.counter(Counter::LookupFaults),
+        retries: registry.counter(Counter::FaultRetries),
+        local_fallbacks: registry.counter(Counter::LocalFallbacks),
+        reactive_repairs: registry.counter(Counter::ReactiveRepairs),
+        reactive_repair_messages: registry.counter(Counter::ReactiveRepairMessages),
+        fault_wait_seconds: registry.fsum(FSum::FaultWaitSeconds),
+    };
+    let network = NetworkSummary {
+        enveloped: registry.counter(Counter::NetEnveloped),
+        retransmissions: registry.counter(Counter::NetRetransmissions),
+        duplicates: registry.counter(Counter::NetDuplicates),
+        dedup_drops: registry.counter(Counter::NetDedupDrops),
+        directory_retransmissions: registry.counter(Counter::NetDirectoryRetransmissions),
+        publish_retransmissions: registry.counter(Counter::NetPublishRetransmissions),
+        jitter_seconds: registry.fsum(FSum::JitterSeconds),
+        backoff_seconds: registry.fsum(FSum::BackoffSeconds),
+    };
     let directory_queries = directory.queries_served();
     let directory_avg_route_messages = directory.average_route_messages();
 
@@ -937,6 +1060,7 @@ fn assemble_report(
         directory_cache,
         churn,
         network,
+        metrics: registry,
         digest: audit.digest(),
     }
 }

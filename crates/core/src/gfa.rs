@@ -39,8 +39,9 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use grid_cluster::{completion_time, ClusterJob, LocalScheduler, ResourceSpec, StartedJob};
-use grid_des::{Context, Entity, EntityId, Event, SimTime};
+use grid_des::{Context, Entity, EntityId, Event, FlowRecord, SimTime, SpanRecord, SpanTrack};
 use grid_directory::{FederationDirectory, Quote, QuoteCache, RankCursor, RankOrder, TracedQuote};
+use grid_obs::{Counter, FSum, HistId};
 use grid_workload::{Job, JobId, Strategy};
 
 use crate::economy::ChargingPolicy;
@@ -70,6 +71,9 @@ struct PendingJob {
     /// Backoff retries already spent after faulted lookups (see
     /// [`RetryPolicy`]).
     retries: u32,
+    /// When the current remote negotiation round-trip was launched (only
+    /// meaningful while a reply is awaited; read by the negotiation span).
+    negotiation_start: f64,
     /// Service time and cost on the candidate currently being negotiated
     /// with, so they need not be recomputed when the reply arrives.
     candidate_service: f64,
@@ -244,7 +248,7 @@ impl Gfa {
         ledger_counterpart: usize,
         build: impl Fn(u64) -> FedMessage,
         ctx: &mut Context<'_, FedMessage>,
-    ) {
+    ) -> u64 {
         debug_assert_ne!(to, self.index, "protocol sends are strictly remote");
         let delay = self.message_delay(to);
         let mut seq = 0;
@@ -260,15 +264,21 @@ impl Gfa {
             });
             if let Some((envelope, plan)) = planned {
                 seq = envelope;
-                state.network.enveloped += 1;
-                state.network.retransmissions += u64::from(plan.retransmissions);
-                state.network.backoff_seconds += plan.backoff_seconds;
-                state.network.jitter_seconds += plan.jitter_seconds;
+                state.metrics.inc(self.index, Counter::NetEnveloped);
+                state
+                    .metrics
+                    .add(self.index, Counter::NetRetransmissions, u64::from(plan.retransmissions));
+                state
+                    .metrics
+                    .add_f(self.index, FSum::BackoffSeconds, plan.backoff_seconds);
+                state
+                    .metrics
+                    .add_f(self.index, FSum::JitterSeconds, plan.jitter_seconds);
                 for _ in 0..plan.retransmissions {
                     state.charge_message(ty, ledger_origin, ledger_counterpart);
                 }
                 if plan.duplicate {
-                    state.network.duplicates += 1;
+                    state.metrics.inc(self.index, Counter::NetDuplicates);
                     state.charge_message(ty, ledger_origin, ledger_counterpart);
                     duplicate_delay = Some(plan.duplicate_delay);
                 }
@@ -279,6 +289,21 @@ impl Gfa {
             // Same-timestamp events deliver in insertion order, so even a
             // zero-window duplicate arrives after the original.
             ctx.send(self.entity_of(to), delay + extra, build(seq));
+        }
+        seq
+    }
+
+    /// Deterministic flow identity linking a send to its delivery in the
+    /// trace.  With an envelope sequence the id composes the directed link
+    /// and the PR-9 sequence number (unique because seqs are per-link
+    /// monotone); on the reliable transport (`seq == 0`) it falls back to
+    /// the job identity plus a completion bit, which is unique because each
+    /// job dispatches and completes at most once.
+    fn flow_id(seq: u64, src: usize, dst: usize, job: JobId, completion: bool) -> u64 {
+        if seq != 0 {
+            ((src as u64) << 52) | ((dst as u64) << 44) | (seq & 0xFFF_FFFF_FFFF)
+        } else {
+            (1 << 63) | ((job.origin as u64) << 40) | ((job.seq as u64) << 1) | u64::from(completion)
         }
     }
 
@@ -304,7 +329,7 @@ impl Gfa {
         if net.admit(src, self.index, seq) {
             true
         } else {
-            state.network.dedup_drops += 1;
+            state.metrics.inc(self.index, Counter::NetDedupDrops);
             false
         }
     }
@@ -327,6 +352,10 @@ impl Gfa {
     fn on_job_arrival(&mut self, job: Job, ctx: &mut Context<'_, FedMessage>) {
         let expected_local_response = completion_time(&job, &self.spec, &self.spec);
         let expected_local_cost = self.charging.charge(&job, &self.spec);
+        self.shared
+            .borrow_mut()
+            .metrics
+            .observe(HistId::QueueDepth, self.lrms.queued_count() as f64);
 
         match self.mode {
             SchedulingMode::Independent => {
@@ -344,6 +373,7 @@ impl Gfa {
                     messages: 0,
                     directory_messages: 0,
                     retries: 0,
+                    negotiation_start: 0.0,
                     candidate_service: 0.0,
                     candidate_cost: 0.0,
                     expected_local_response,
@@ -401,6 +431,7 @@ impl Gfa {
         order: RankOrder,
         r: usize,
         cursor: &mut Option<RankCursor>,
+        now: f64,
     ) -> (TracedQuote, bool) {
         let (traced, fault) = {
             let shared = self.shared.borrow();
@@ -414,11 +445,22 @@ impl Gfa {
             (traced, shared.directory.take_fault())
         };
         if traced.messages > 0 {
-            self.shared.borrow_mut().charge_directory(
-                self.index,
-                traced.messages,
-                traced.messages as f64 * self.latency,
-            );
+            let seconds = traced.messages as f64 * self.latency;
+            let mut shared = self.shared.borrow_mut();
+            shared.charge_directory(self.index, traced.messages, seconds);
+            if shared.trace_armed() {
+                // Lookups are accounted out-of-band (they never delay the
+                // negotiation timeline), so the span renders the simulated
+                // hops × latency interval the charge represents.
+                shared.emit_span(SpanRecord {
+                    gfa: self.index,
+                    track: SpanTrack::Directory,
+                    name: "probe",
+                    start: SimTime::new(now),
+                    end: SimTime::new(now + seconds),
+                    detail: format!("rank {r}{}", if fault { " (faulted)" } else { "" }),
+                });
+            }
         }
         (traced, fault)
     }
@@ -448,7 +490,7 @@ impl Gfa {
                         None
                     } else {
                         let (traced, fault) =
-                            self.probe_directory(RankOrder::Fastest, r, &mut pending.cursor);
+                            self.probe_directory(RankOrder::Fastest, r, &mut pending.cursor, now);
                         pending.directory_messages += u32::try_from(traced.messages).unwrap_or(u32::MAX);
                         if fault {
                             self.defer_after_fault(pending, ctx);
@@ -467,7 +509,7 @@ impl Gfa {
                     } else {
                         RankOrder::Cheapest
                     };
-                    let (traced, fault) = self.probe_directory(order, r, &mut pending.cursor);
+                    let (traced, fault) = self.probe_directory(order, r, &mut pending.cursor, now);
                     pending.directory_messages += u32::try_from(traced.messages).unwrap_or(u32::MAX);
                     if fault {
                         self.defer_after_fault(pending, ctx);
@@ -527,6 +569,18 @@ impl Gfa {
                     let mut shared = self.shared.borrow_mut();
                     shared.charge_message(MessageType::Negotiate, self.index, self.index);
                     shared.charge_message(MessageType::Reply, self.index, self.index);
+                    if shared.trace_armed() {
+                        // Self-negotiation resolves within the event: a
+                        // zero-duration round-trip on the negotiation track.
+                        shared.emit_span(SpanRecord {
+                            gfa: self.index,
+                            track: SpanTrack::Negotiation,
+                            name: "negotiation",
+                            start: SimTime::new(now),
+                            end: SimTime::new(now),
+                            detail: format!("{} self", job.id),
+                        });
+                    }
                 }
                 pending.messages += 2;
                 let estimate = self.lrms.estimate_completion(job.processors, service, now);
@@ -551,6 +605,7 @@ impl Gfa {
             pending.messages += 1;
             pending.candidate_service = service;
             pending.candidate_cost = cost;
+            pending.negotiation_start = now;
             let attempt = u32::try_from(pending.next_rank - 1).unwrap_or(u32::MAX);
             let origin = self.index;
             let job_id = job.id;
@@ -727,12 +782,28 @@ impl Gfa {
             panic!("negotiate reply for unknown pending job {job}");
         };
         pending.messages += 1;
+        {
+            let shared = self.shared.borrow();
+            if shared.trace_armed() {
+                shared.emit_span(SpanRecord {
+                    gfa: self.index,
+                    track: SpanTrack::Negotiation,
+                    name: "negotiation",
+                    start: SimTime::new(pending.negotiation_start),
+                    end: SimTime::new(ctx.now().as_secs()),
+                    detail: format!(
+                        "{job} gfa-{candidate} {}",
+                        if accept { "accepted" } else { "refused" }
+                    ),
+                });
+            }
+        }
         if accept {
             let service = pending.candidate_service;
             let cost = pending.candidate_cost;
             pending.messages += 1;
             let dispatched = pending.job.clone();
-            self.send_protocol(
+            let seq = self.send_protocol(
                 candidate,
                 MessageType::JobSubmission,
                 self.index,
@@ -745,6 +816,18 @@ impl Gfa {
                 },
                 ctx,
             );
+            {
+                let shared = self.shared.borrow();
+                if shared.trace_armed() {
+                    shared.emit_flow(FlowRecord {
+                        id: Self::flow_id(seq, self.index, candidate, job, false),
+                        gfa: self.index,
+                        track: SpanTrack::Negotiation,
+                        time: ctx.now(),
+                        start: true,
+                    });
+                }
+            }
             self.awaiting_remote.insert(
                 job,
                 AwaitingRemote {
@@ -762,13 +845,25 @@ impl Gfa {
     }
 
     /// Handles the arrival of an actual job we previously accepted.
-    fn on_job_dispatch(&mut self, job: Job, _service_time: f64, _cost: f64) {
+    fn on_job_dispatch(&mut self, job: Job, _service_time: f64, _cost: f64, seq: u64, now: SimTime) {
         assert!(
             self.executing.contains_key(&job.id),
             "job {} dispatched to {} without a prior reservation",
             job.id,
             self.name
         );
+        let shared = self.shared.borrow();
+        if shared.trace_armed() {
+            // Consuming endpoint of the dispatch flow; the id composes the
+            // same link + envelope sequence the producing side used.
+            shared.emit_flow(FlowRecord {
+                id: Self::flow_id(seq, job.id.origin, self.index, job.id, false),
+                gfa: self.index,
+                track: SpanTrack::Execution,
+                time: now,
+                start: false,
+            });
+        }
     }
 
     /// Handles the completion of a job running on the local LRMS.
@@ -789,6 +884,19 @@ impl Gfa {
             shared.pay(entry.origin, self.index, entry.cost);
             if entry.origin != self.index {
                 shared.remote_processed[self.index] += 1;
+            }
+            shared
+                .metrics
+                .observe(HistId::QueueDepth, self.lrms.queued_count() as f64);
+            if shared.trace_armed() {
+                shared.emit_span(SpanRecord {
+                    gfa: self.index,
+                    track: SpanTrack::Execution,
+                    name: "execute",
+                    start: SimTime::new(entry.start.unwrap_or(now)),
+                    end: SimTime::new(now),
+                    detail: format!("{job} origin gfa-{}", entry.origin),
+                });
             }
         }
 
@@ -823,7 +931,7 @@ impl Gfa {
         } else {
             let executed_on = self.index;
             let cost = entry.cost;
-            self.send_protocol(
+            let seq = self.send_protocol(
                 entry.origin,
                 MessageType::JobCompletion,
                 entry.origin,
@@ -837,16 +945,46 @@ impl Gfa {
                 },
                 ctx,
             );
+            let shared = self.shared.borrow();
+            if shared.trace_armed() {
+                shared.emit_flow(FlowRecord {
+                    id: Self::flow_id(seq, self.index, entry.origin, job, true),
+                    gfa: self.index,
+                    track: SpanTrack::Execution,
+                    time: ctx.now(),
+                    start: true,
+                });
+            }
         }
     }
 
     /// Handles the completion notification of one of our jobs that executed
     /// remotely.
-    fn on_job_completion(&mut self, job: JobId, executed_on: usize, finish: f64, cost: f64) {
+    fn on_job_completion(
+        &mut self,
+        job: JobId,
+        executed_on: usize,
+        finish: f64,
+        cost: f64,
+        seq: u64,
+        now: SimTime,
+    ) {
         let Some(mut awaiting) = self.awaiting_remote.remove(&job) else {
             panic!("completion message for unknown job {job}");
         };
         awaiting.messages += 1;
+        {
+            let shared = self.shared.borrow();
+            if shared.trace_armed() {
+                shared.emit_flow(FlowRecord {
+                    id: Self::flow_id(seq, executed_on, self.index, job, true),
+                    gfa: self.index,
+                    track: SpanTrack::Lifecycle,
+                    time: now,
+                    start: false,
+                });
+            }
+        }
         let record = JobRecord {
             id: job,
             origin: self.index,
@@ -888,7 +1026,10 @@ impl Gfa {
     /// once the retry budget is exhausted, treat the directory as
     /// unreachable and fall back to local-only scheduling.
     fn defer_after_fault(&mut self, mut pending: PendingJob, ctx: &mut Context<'_, FedMessage>) {
-        self.shared.borrow_mut().churn.lookup_faults += 1;
+        self.shared
+            .borrow_mut()
+            .metrics
+            .inc(self.index, Counter::LookupFaults);
         if self.repair == RepairMode::Reactive {
             // Reactive ring repair: evict the crashed store this lookup hit
             // right now (a targeted repair, charged as publish traffic) and
@@ -901,8 +1042,10 @@ impl Gfa {
                 let mut shared = self.shared.borrow_mut();
                 let messages = shared.directory.repair_faulted();
                 if messages > 0 {
-                    shared.churn.reactive_repairs += 1;
-                    shared.churn.reactive_repair_messages += messages;
+                    shared.metrics.inc(self.index, Counter::ReactiveRepairs);
+                    shared
+                        .metrics
+                        .add(self.index, Counter::ReactiveRepairMessages, messages);
                     Self::record_publish(
                         &mut shared,
                         self.index,
@@ -925,8 +1068,10 @@ impl Gfa {
             let delay = self.retry.backoff_delay(pending.retries);
             {
                 let mut shared = self.shared.borrow_mut();
-                shared.churn.retries += 1;
-                shared.churn.fault_wait_seconds += delay;
+                shared.metrics.inc(self.index, Counter::FaultRetries);
+                shared
+                    .metrics
+                    .add_f(self.index, FSum::FaultWaitSeconds, delay);
             }
             let job = pending.job.id;
             ctx.timer_at(
@@ -939,7 +1084,10 @@ impl Gfa {
         // Retry budget exhausted: schedule as if the federation were
         // unreachable (Experiment-1 behaviour), keeping the message
         // counters the job accumulated while the directory was still up.
-        self.shared.borrow_mut().churn.local_fallbacks += 1;
+        self.shared
+            .borrow_mut()
+            .metrics
+            .inc(self.index, Counter::LocalFallbacks);
         let job = pending.job;
         let now = ctx.now().as_secs();
         let service = completion_time(&job, &self.spec, &self.spec);
@@ -1004,9 +1152,9 @@ impl Gfa {
         self.departed = true;
         let mut shared = self.shared.borrow_mut();
         if graceful {
-            shared.churn.graceful_leaves += 1;
+            shared.metrics.inc(self.index, Counter::GracefulLeaves);
         } else {
-            shared.churn.crashes += 1;
+            shared.metrics.inc(self.index, Counter::Crashes);
         }
         let messages = shared.directory.node_depart(self.index, graceful);
         Self::record_publish(&mut shared, self.index, messages, self.latency, self.charge_publish);
@@ -1022,7 +1170,7 @@ impl Gfa {
         }
         self.departed = false;
         let mut shared = self.shared.borrow_mut();
-        shared.churn.rejoins += 1;
+        shared.metrics.inc(self.index, Counter::Rejoins);
         let join = shared.directory.node_join(self.index);
         let publish = shared.directory.subscribe(Quote::from_spec(self.index, &self.spec));
         Self::record_publish(
@@ -1042,8 +1190,8 @@ impl Gfa {
     fn on_stabilize(&mut self, _ctx: &mut Context<'_, FedMessage>) {
         let mut shared = self.shared.borrow_mut();
         let messages = shared.directory.stabilize();
-        shared.churn.stabilization_rounds += 1;
-        shared.churn.stabilization_messages += messages;
+        shared.metrics.inc(self.index, Counter::StabilizationRounds);
+        shared.metrics.add(self.index, Counter::StabilizationMessages, messages);
         Self::record_publish(&mut shared, self.index, messages, self.latency, self.charge_publish);
     }
 
@@ -1131,15 +1279,15 @@ impl Entity<FedMessage> for Gfa {
                     job,
                     service_time,
                     cost,
-                    seq: _,
-                } => self.on_job_dispatch(job, service_time, cost),
+                    seq,
+                } => self.on_job_dispatch(job, service_time, cost, seq, ctx.now()),
                 FedMessage::JobCompletion {
                     job,
                     executed_on,
                     finish,
                     cost,
-                    seq: _,
-                } => self.on_job_completion(job, executed_on, finish, cost),
+                    seq,
+                } => self.on_job_completion(job, executed_on, finish, cost, seq, ctx.now()),
                 FedMessage::LocalJobFinished { job } => self.on_local_job_finished(job, ctx),
                 FedMessage::Depart => self.on_depart(),
                 FedMessage::Reprice { price } => self.on_reprice(price),
@@ -1185,6 +1333,8 @@ impl Entity<FedMessage> for Gfa {
             busy_processor_seconds: self.lrms.busy_processor_seconds(now),
             utilization: self.lrms.utilization(now),
         });
-        shared.directory_cache = shared.directory_cache.merged(self.quote_cache.stats());
+        let stats = self.quote_cache.stats();
+        shared.metrics.add(self.index, Counter::CacheHits, stats.hits);
+        shared.metrics.add(self.index, Counter::CacheMisses, stats.misses);
     }
 }

@@ -78,6 +78,10 @@ pub use federation::{
 };
 pub use grid_des::{Jitter, NetworkFaultConfig};
 pub use grid_directory::{CacheStats, DirectoryBackend};
+pub use grid_obs::{
+    Counter, FSum, HistId, MetricsRegistry, PercentileSummary, ProfileTable, Quantiles,
+    SpanCollector,
+};
 pub use gfa::Gfa;
 #[cfg(feature = "invariants")]
 pub use invariants::InvariantSentry;

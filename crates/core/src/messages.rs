@@ -139,6 +139,26 @@ impl FedMessage {
             _ => None,
         }
     }
+
+    /// A static per-variant label, used by the self-profiling hook to
+    /// aggregate wall-clock handler timings by event type.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FedMessage::JobArrival(_) => "job_arrival",
+            FedMessage::Negotiate { .. } => "negotiate",
+            FedMessage::NegotiateReply { .. } => "negotiate_reply",
+            FedMessage::JobDispatch { .. } => "job_dispatch",
+            FedMessage::JobCompletion { .. } => "job_completion",
+            FedMessage::LocalJobFinished { .. } => "local_job_finished",
+            FedMessage::Depart => "depart",
+            FedMessage::Reprice { .. } => "reprice",
+            FedMessage::ChurnDepart { .. } => "churn_depart",
+            FedMessage::ChurnJoin => "churn_join",
+            FedMessage::Stabilize => "stabilize",
+            FedMessage::DirectoryRetry { .. } => "directory_retry",
+        }
+    }
 }
 
 /// The four accountable message types of the paper.

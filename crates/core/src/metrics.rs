@@ -8,6 +8,7 @@
 //! jobs (Fig. 7–8), and message counts (Fig. 9–11).
 
 use grid_directory::{CacheStats, DirectoryBackend};
+use grid_obs::{MetricsRegistry, PercentileSummary};
 use grid_workload::{JobId, Strategy};
 
 use crate::audit::RunDigest;
@@ -325,6 +326,12 @@ pub struct FederationReport {
     /// Unreliable-network telemetry (all-zero without an active fault
     /// config).
     pub network: NetworkSummary,
+    /// The run's full metrics registry: every counter, floating-point sum
+    /// and log-linear histogram the model recorded at event boundaries.
+    /// [`FederationReport::directory_cache`], [`FederationReport::churn`]
+    /// and [`FederationReport::network`] are reconstructed views of this
+    /// registry, kept for API stability.
+    pub metrics: MetricsRegistry,
     /// The run's hash-chained audit digest (see [`crate::audit`]): two runs
     /// with equal `digest.full` executed the same audited history; equal
     /// `digest.outcomes` means identical job outcomes and bank transfers
@@ -333,6 +340,13 @@ pub struct FederationReport {
 }
 
 impl FederationReport {
+    /// p50/p90/p99 panels over the run's wait, slowdown, negotiation,
+    /// lookup-latency and queue-depth distributions.
+    #[must_use]
+    pub fn percentiles(&self) -> PercentileSummary {
+        self.metrics.percentiles()
+    }
+
     /// Mean acceptance rate across resources (the paper's "average job
     /// acceptance rate over all resources", 90.3 % → 98.6 %).
     #[must_use]
@@ -605,6 +619,7 @@ mod tests {
             directory_cache: CacheStats::default(),
             churn: ChurnSummary::default(),
             network: NetworkSummary::default(),
+            metrics: MetricsRegistry::new(2),
             digest: crate::audit::AuditLedger::new(2).digest(),
         }
     }
@@ -678,6 +693,7 @@ mod tests {
             directory_cache: CacheStats::default(),
             churn: ChurnSummary::default(),
             network: NetworkSummary::default(),
+            metrics: MetricsRegistry::new(0),
             digest: crate::audit::AuditLedger::new(0).digest(),
         };
         assert_eq!(rep.mean_acceptance_rate(), 0.0);

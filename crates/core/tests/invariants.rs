@@ -11,9 +11,9 @@ use grid_cluster::ResourceSpec;
 use grid_des::DedupWindow;
 use grid_directory::{AnyDirectory, FederationDirectory, Quote};
 use grid_federation_core::{
-    run_federation, AuditLedger, CacheStats, ChurnConfig, ChurnSummary, DirectoryBackend,
-    ExecutionOutcome, FederationConfig, GridBank, InvariantSentry, JobRecord, MessageLedger,
-    MessageType, NetworkSummary, SchedulingMode, SharedState,
+    run_federation, AuditLedger, ChurnConfig, DirectoryBackend, ExecutionOutcome,
+    FederationConfig, GridBank, InvariantSentry, JobRecord, MessageLedger, MessageType,
+    MetricsRegistry, SchedulingMode, SharedState,
 };
 use grid_workload::{Job, JobId, Strategy, UserId};
 
@@ -251,11 +251,10 @@ fn shared_with_one_job() -> SharedState {
         jobs: Vec::new(),
         resource_snapshots: vec![None; 2],
         remote_processed: vec![0; 2],
-        directory_cache: CacheStats::default(),
         audit: AuditLedger::new(2),
-        churn: ChurnSummary::default(),
         net: None,
-        network: NetworkSummary::default(),
+        metrics: MetricsRegistry::new(2),
+        tracer: None,
         invariants: InvariantSentry::new(),
     };
     let id = JobId { origin: 0, seq: 0 };

@@ -84,4 +84,4 @@ pub use rng::SimRng;
 pub use simulation::{RunOutcome, Simulation};
 pub use stats::SimStats;
 pub use time::SimTime;
-pub use trace::{TraceRecord, TraceSink};
+pub use trace::{EventProfiler, FlowRecord, SpanRecord, SpanTrack, TraceRecord, TraceSink};

@@ -6,7 +6,7 @@ use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::stats::SimStats;
 use crate::time::SimTime;
-use crate::trace::{truncate_label, TraceRecord, TraceSink};
+use crate::trace::{truncate_label, EventProfiler, TraceRecord, TraceSink};
 
 /// Why a [`Simulation::run`] call returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +37,10 @@ pub struct Simulation<M> {
     /// Installed trace sink, if any.  Kept optional so the per-event
     /// `format!("{:?}", payload)` label is only paid when someone records.
     trace: Option<Box<dyn TraceSink>>,
+    /// Installed handler profiler, if any.  The disabled path is a single
+    /// `Option` discriminant test per event — measured by the dispatch
+    /// perf gate, which is exactly the hot path this sits on.
+    profiler: Option<Box<dyn EventProfiler<M>>>,
     started: bool,
 }
 
@@ -54,6 +58,7 @@ impl<M: std::fmt::Debug> Simulation<M> {
             horizon: None,
             max_events: u64::MAX,
             trace: None,
+            profiler: None,
             started: false,
         }
     }
@@ -73,6 +78,13 @@ impl<M: std::fmt::Debug> Simulation<M> {
     /// Installs a trace sink that receives every delivered event.
     pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
         self.trace = Some(sink);
+    }
+
+    /// Installs a handler profiler whose `enter`/`exit` bracket every
+    /// `Entity::on_event` invocation.  The profiler sees only the event
+    /// payload (by reference) and cannot touch sim state.
+    pub fn set_profiler(&mut self, profiler: Box<dyn EventProfiler<M>>) {
+        self.profiler = Some(profiler);
     }
 
     /// Registers an entity and returns its id.
@@ -267,7 +279,14 @@ impl<M: std::fmt::Debug> Simulation<M> {
                 rng: &mut self.rng,
                 stop_requested: &mut stop_requested,
             };
-            entity.on_event(event, &mut ctx);
+            match self.profiler.as_deref_mut() {
+                None => entity.on_event(event, &mut ctx),
+                Some(profiler) => {
+                    profiler.enter(&event.payload);
+                    entity.on_event(event, &mut ctx);
+                    profiler.exit();
+                }
+            }
             self.entities[dst] = Some(entity);
         };
 
@@ -456,6 +475,38 @@ mod tests {
         sim.add_entity(Box::new(Kickoff { target: EntityId::new(0) }));
         sim.run();
         sim.add_entity(Box::new(Kickoff { target: EntityId::new(0) }));
+    }
+
+    #[test]
+    fn profiler_brackets_every_handler_in_strict_pairs() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct CountingProfiler {
+            entered: Rc<RefCell<u64>>,
+            open: bool,
+        }
+        impl crate::trace::EventProfiler<Msg> for CountingProfiler {
+            fn enter(&mut self, _payload: &Msg) {
+                assert!(!self.open, "enter without a matching exit");
+                self.open = true;
+                *self.entered.borrow_mut() += 1;
+            }
+            fn exit(&mut self) {
+                assert!(self.open, "exit without a matching enter");
+                self.open = false;
+            }
+        }
+        let entered = Rc::new(RefCell::new(0u64));
+        let mut sim = Simulation::new(5);
+        sim.add_entity(Box::new(Clocker {
+            period: 1.0,
+            remaining: 4,
+            fired: 0,
+            finished: false,
+        }));
+        sim.set_profiler(Box::new(CountingProfiler { entered: Rc::clone(&entered), open: false }));
+        assert_eq!(sim.run(), RunOutcome::Exhausted);
+        assert_eq!(*entered.borrow(), sim.stats().events_delivered);
     }
 
     #[test]

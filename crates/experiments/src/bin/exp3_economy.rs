@@ -6,6 +6,7 @@
 use std::path::PathBuf;
 
 use grid_experiments::exp3;
+use grid_experiments::obs::percentile_panel;
 use grid_experiments::workloads::WorkloadOptions;
 
 fn parse_args() -> (WorkloadOptions, PathBuf) {
@@ -50,5 +51,8 @@ fn main() {
         let path = out.join(name);
         table.write_csv(&path).expect("failed to write CSV");
         eprintln!("wrote {}", path.display());
+    }
+    if let Some(report) = sweep.report_for(100) {
+        println!("{}", percentile_panel("exp3 economy, 100 % OFT", report).to_ascii());
     }
 }

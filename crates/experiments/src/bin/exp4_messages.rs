@@ -5,6 +5,7 @@
 
 use std::path::PathBuf;
 
+use grid_experiments::obs::percentile_panel;
 use grid_experiments::workloads::WorkloadOptions;
 use grid_experiments::{exp3, exp4};
 
@@ -44,5 +45,11 @@ fn main() {
         let path = out.join(name);
         table.write_csv(&path).expect("failed to write CSV");
         eprintln!("wrote {}", path.display());
+    }
+    if let Some(report) = sweep.report_for(100) {
+        println!(
+            "{}",
+            percentile_panel("exp4 message complexity, 100 % OFT", report).to_ascii()
+        );
     }
 }

@@ -26,6 +26,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use grid_experiments::exp5::{self, ScalabilitySweep, Stat};
+use grid_experiments::obs::percentile_panel;
 use grid_experiments::workloads::{scaled_stream_config, WorkloadOptions};
 use grid_federation_core::DirectoryBackend;
 use grid_workload::{Job, PopulationProfile};
@@ -218,5 +219,12 @@ fn main() {
         let path = args.out.join(name);
         table.write_csv(&path).expect("failed to write CSV");
         eprintln!("wrote {}", path.display());
+    }
+    // The largest federation of the first backend is the sweep's headline run.
+    if let Some((sweep, size)) = sweeps.first().zip(sizes.last()) {
+        if let Some(report) = sweep.reports.last().and_then(|row| row.last()) {
+            let label = format!("exp5 {} backend, {size} clusters", sweep.backend.label());
+            println!("{}", percentile_panel(&label, report).to_ascii());
+        }
     }
 }

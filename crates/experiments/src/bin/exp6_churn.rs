@@ -20,6 +20,7 @@
 use std::path::PathBuf;
 
 use grid_experiments::exp6::{self, ChurnSweep};
+use grid_experiments::obs::percentile_panel;
 use grid_experiments::workloads::WorkloadOptions;
 use grid_federation_core::DirectoryBackend;
 
@@ -169,6 +170,11 @@ fn main() {
             table.write_csv(&path).expect("failed to write CSV");
             eprintln!("wrote {}", path.display());
         }
+    }
+    // Headline percentile panel: the first backend's baseline run.
+    if let Some(sweep) = sweeps.first() {
+        let label = format!("exp6 {} backend, zero-churn baseline", sweep.backend.label());
+        println!("{}", percentile_panel(&label, &sweep.baseline).to_ascii());
     }
     eprintln!("acceptance criteria upheld: zero-churn baseline clean, moderate churn with k=3 ≥ 99% lookup success");
 }

@@ -17,6 +17,7 @@
 use std::path::PathBuf;
 
 use grid_experiments::exp7::{self, RepairComparison, UnreliableSweep};
+use grid_experiments::obs::percentile_panel;
 use grid_experiments::workloads::WorkloadOptions;
 use grid_federation_core::DirectoryBackend;
 
@@ -132,6 +133,14 @@ fn main() {
         let path = args.out.join("network_repair_tradeoff.csv");
         table.write_csv(&path).expect("failed to write CSV");
         eprintln!("wrote {}", path.display());
+    }
+    // Headline percentile panel: the worst fault level of the first backend
+    // (the run where retransmission backoff actually moves the tails).
+    if let Some(sweep) = sweeps.first() {
+        if let Some(report) = sweep.reports.last() {
+            let label = format!("exp7 {} backend, heaviest fault level", sweep.backend.label());
+            println!("{}", percentile_panel(&label, report).to_ascii());
+        }
     }
     eprintln!(
         "acceptance criteria upheld: outcomes bit-identical to lossless on every \

@@ -12,6 +12,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use grid_experiments::exp5::Stat;
+use grid_experiments::obs::percentile_summary;
 use grid_experiments::summary::HeadlineClaims;
 use grid_experiments::workloads::WorkloadOptions;
 use grid_experiments::{exp1, exp2, exp3, exp4, exp5, exp6, exp7};
@@ -195,6 +196,24 @@ fn main() {
     manifest.push_str(&exp6::digest_manifest(&churn_sweeps));
     manifest.push_str(&exp7::digest_manifest(&fault_sweeps, &repair_comparisons));
     fs::write(out.join("MANIFEST_digests.txt"), &manifest).expect("write digest manifest");
+
+    // The cross-experiment percentile summary: p50/p90/p99 of every
+    // run-scope distribution for each headline report.  Read-only over the
+    // registries the runs above already produced — it adds a CSV without
+    // perturbing any digest in the manifest.
+    let mut panels: Vec<(String, &grid_federation_core::FederationReport)> = vec![
+        ("exp1/independent".to_string(), &e1.report),
+        ("exp2/independent".to_string(), &e2.independent),
+        ("exp2/federated".to_string(), &e2.federated),
+    ];
+    for (profile, report) in sweep.profiles.iter().zip(&sweep.reports) {
+        panels.push((format!("exp3/{}", profile.label()), report));
+    }
+    let panel_refs: Vec<(&str, &grid_federation_core::FederationReport)> =
+        panels.iter().map(|(label, report)| (label.as_str(), *report)).collect();
+    percentile_summary(&panel_refs)
+        .write_csv(&out.join("percentile_summary.csv"))
+        .expect("write percentile summary");
 
     let claims = HeadlineClaims::extract(&e2, &sweep);
     let claims_table = claims.to_table();

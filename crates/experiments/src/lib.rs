@@ -19,6 +19,8 @@
 //! traces for the Table 1 resources (and replicated federations for
 //! Experiment 5); [`report`] provides the [`report::DataTable`] type every
 //! figure is rendered into (ASCII for the terminal, CSV for plotting);
+//! [`obs`] renders the p50/p90/p99 percentile panels every binary prints
+//! and drives the `--metrics-out` / `--trace-out` artifact flags;
 //! [`parallel`] fans independent sweep points across a bounded worker pool
 //! (`--jobs N`) with a deterministic, run-ordered merge.
 //!
@@ -36,6 +38,7 @@ pub mod exp4;
 pub mod exp5;
 pub mod exp6;
 pub mod exp7;
+pub mod obs;
 pub mod parallel;
 pub mod report;
 pub mod summary;

@@ -17,6 +17,7 @@
 //! | `hot-path-unwrap` | PR 3 hot-path files | `.unwrap()` / `.expect(` on the per-event path |
 //! | `eager-materialise` | sim + workload/experiments crates | collecting a full `Vec<Job>` outside the streaming adapter |
 //! | `unbounded-retry` | sim crates | a retry/retransmit counter incremented with no bounded policy in sight |
+//! | `adhoc-print` | sim crates | `println!`/`eprintln!`/`dbg!` outside the obs layer and test code |
 //! | `bare-allow` | whole workspace | an allow escape whose comment does not name the invariant it waives |
 //!
 //! The *sim crates* — `grid-des`, `grid-cluster`, `grid-federation-core`,
@@ -72,6 +73,10 @@ pub enum Rule {
     /// bounded policy (`max_retries`, `max_retransmits`, `RetryPolicy`, …)
     /// referenced nearby.
     UnboundedRetry,
+    /// `println!`/`eprintln!`/`dbg!` in a sim crate outside test code: all
+    /// run telemetry must flow through the observability layer so reports
+    /// stay machine-readable and the hot path stays I/O-free.
+    AdhocPrint,
     /// A `fedlint: allow(...)` escape whose surrounding comment never names
     /// the invariant it waives.  Cannot itself be allow-listed.
     BareAllow,
@@ -79,7 +84,7 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 10] = [
         Rule::HashIteration,
         Rule::WallClock,
         Rule::FloatSort,
@@ -88,6 +93,7 @@ impl Rule {
         Rule::HotPathUnwrap,
         Rule::EagerMaterialise,
         Rule::UnboundedRetry,
+        Rule::AdhocPrint,
         Rule::BareAllow,
     ];
 
@@ -103,6 +109,7 @@ impl Rule {
             Rule::HotPathUnwrap => "hot-path-unwrap",
             Rule::EagerMaterialise => "eager-materialise",
             Rule::UnboundedRetry => "unbounded-retry",
+            Rule::AdhocPrint => "adhoc-print",
             Rule::BareAllow => "bare-allow",
         }
     }
@@ -145,6 +152,9 @@ impl Rule {
             Rule::UnboundedRetry => {
                 "a retry/retransmit loop with no bounded policy can spin forever on a faulted link; gate the counter on max_retries/max_retransmits or a RetryPolicy"
             }
+            Rule::AdhocPrint => {
+                "ad-hoc printing from a sim crate bypasses the metrics registry and trace sinks; record through grid-obs so every run artifact stays machine-readable"
+            }
             Rule::BareAllow => {
                 "an allow escape is a waived invariant; its comment block must say why the invariant holds here, and the waiver itself cannot be waived"
             }
@@ -166,6 +176,7 @@ impl Rule {
             Rule::HotPathUnwrap => &["always", "never", "panic", "infallib", "invariant"],
             Rule::EagerMaterialise => &["memory", "stream", "engine", "bound"],
             Rule::UnboundedRetry => &["bound", "cap", "budget", "finite", "max"],
+            Rule::AdhocPrint => &["diagnostic", "metric", "registry", "obs", "report"],
             Rule::BareAllow => &[],
         }
     }
@@ -247,7 +258,11 @@ fn classify(rel: &str) -> Option<FileClass> {
     let sim = SIM_CRATE_PREFIXES.iter().any(|p| rel.starts_with(p));
     Some(FileClass {
         sim,
+        // `crates/obs/` hosts the self-profiler, the one sanctioned
+        // `Instant::now` site: wall-clock readings there live strictly
+        // outside simulation state, so they cannot perturb a run.
         wall_clock_exempt: rel.starts_with("crates/bench/")
+            || rel.starts_with("crates/obs/")
             || rel == "crates/experiments/src/parallel.rs",
         hot_path: HOT_PATH_FILES.contains(&rel),
         test_file: rel.contains("/tests/") || rel.contains("/benches/"),
@@ -588,6 +603,12 @@ const FLOAT_SORT_OPENERS: [&str; 6] = [
 /// Wall-clock / OS-thread tokens banned outside the sanctioned scopes.
 const WALL_CLOCK_TOKENS: [&str; 3] = ["Instant::now", "SystemTime", "thread::spawn"];
 
+/// Print-style macros banned in sim crates outside test code: run telemetry
+/// belongs in the grid-obs metrics registry and trace sinks, not on stdio.
+/// Matched at token boundaries, so `eprintln!` can never double-report as
+/// `println!`.
+const ADHOC_PRINT_MACROS: [&str; 3] = ["println!", "eprintln!", "dbg!"];
+
 /// Item keywords that `undocumented-pub` recognises after `pub `.
 const PUB_ITEM_KEYWORDS: [&str; 11] = [
     "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union", "async", "unsafe",
@@ -782,6 +803,25 @@ pub fn scan_source(rel_path: &str, content: &str) -> Vec<Finding> {
                         ),
                     });
                 }
+            }
+        }
+
+        // --- hygiene: adhoc-print ------------------------------------------
+        if class.sim && !in_test && !suppressed(Rule::AdhocPrint) {
+            if let Some(mac) = ADHOC_PRINT_MACROS.iter().find(|m| {
+                let bare = &m[..m.len() - 1];
+                token_positions(code, bare)
+                    .iter()
+                    .any(|&p| code[p + bare.len()..].starts_with('!'))
+            }) {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::AdhocPrint,
+                    message: format!(
+                        "`{mac}` in a sim crate — route run telemetry through the grid-obs metrics registry or trace sinks instead of ad-hoc output"
+                    ),
+                });
             }
         }
 

@@ -1,0 +1,34 @@
+//! Fixture for `adhoc-print`: seeded print-macro violations in sim code.
+
+/// Ad-hoc prints on the sim path are findings.
+fn noisy(depth: usize) {
+    println!("queue depth {depth}");
+    eprintln!("warning: depth {depth}");
+    let _ = dbg!(depth);
+}
+
+/// Output routed through a justified escape passes.
+fn legacy(depth: usize) {
+    // This diagnostic predates the obs metric registry and stays on
+    // stderr for the legacy harness.  fedlint: allow(adhoc-print)
+    eprintln!("depth {depth}");
+}
+
+/// Look-alike identifiers are not macro calls.
+fn quiet(depth: usize) -> usize {
+    let println = depth; // a binding, not the macro
+    my_println(println);
+    println
+}
+
+fn my_println(d: usize) -> usize {
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("test diagnostics are exempt");
+    }
+}

@@ -171,6 +171,25 @@ fn unbounded_retry_is_scoped_to_sim_crates() {
 }
 
 #[test]
+fn adhoc_print_fires_on_fixture() {
+    let src = include_str!("fixtures/adhoc_print.rs");
+    let path = "crates/core/src/fixture.rs";
+    // `println!`, `eprintln!` and `dbg!` on the sim path; the justified
+    // escape, the look-alike identifiers and the test-module print pass.
+    assert_eq!(lines(path, src, Rule::AdhocPrint), vec![5, 6, 7]);
+    assert_eq!(other_rules(path, src, Rule::AdhocPrint), vec![]);
+}
+
+#[test]
+fn adhoc_print_is_scoped_to_sim_crate_sources() {
+    let src = include_str!("fixtures/adhoc_print.rs");
+    // The experiment drivers render tables on stdout by design…
+    assert_eq!(lines("crates/experiments/src/fixture.rs", src, Rule::AdhocPrint), vec![]);
+    // …and sim-crate test targets may print diagnostics freely.
+    assert_eq!(lines("crates/core/tests/fixture.rs", src, Rule::AdhocPrint), vec![]);
+}
+
+#[test]
 fn shims_and_fixtures_are_out_of_scope() {
     let src = include_str!("fixtures/wall_clock.rs");
     assert_eq!(scan_source("crates/shims/criterion/src/lib.rs", src), vec![]);

@@ -1,0 +1,204 @@
+//! Self-profiling: wall-clock per-event-type handler timing.
+//!
+//! [`HandlerProfiler`] implements the engine's [`EventProfiler`] hook: the
+//! simulation brackets every `Entity::on_event` call with `enter`/`exit`,
+//! and the profiler charges the elapsed wall-clock time to a per-event-type
+//! row in a shared [`ProfileTable`].  This is the **only** place in the
+//! observability layer — and, outside the benchmark crate, the only place
+//! in the workspace — allowed to read `Instant::now`: timings live strictly
+//! outside simulation state, so the profile can never perturb a run, only
+//! describe it.  The aggregated table feeds the `profile` section of
+//! `BENCH_perf.json`.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+use grid_des::EventProfiler;
+
+/// Accumulated timing for one event type.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProfileEntry {
+    /// Number of handler invocations charged to this row.
+    pub events: u64,
+    /// Total wall-clock seconds spent in those handlers.
+    pub total_secs: f64,
+    /// The single slowest invocation, in seconds.
+    pub max_secs: f64,
+}
+
+impl ProfileEntry {
+    /// Mean handler time in seconds (0 when no events were charged).
+    #[must_use]
+    pub fn mean_secs(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.total_secs / self.events as f64
+        }
+    }
+}
+
+/// Aggregated per-event-type handler timings, keyed by the static label the
+/// model's classifier assigns to each payload.  `BTreeMap` keeps the rows in
+/// deterministic label order for stable JSON and table output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileTable {
+    entries: BTreeMap<&'static str, ProfileEntry>,
+}
+
+impl ProfileTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> ProfileTable {
+        ProfileTable::default()
+    }
+
+    /// Charges one handler invocation of `secs` seconds to `label`.
+    pub fn record(&mut self, label: &'static str, secs: f64) {
+        let entry = self.entries.entry(label).or_default();
+        entry.events += 1;
+        entry.total_secs += secs;
+        if secs > entry.max_secs {
+            entry.max_secs = secs;
+        }
+    }
+
+    /// The rows in deterministic (label-sorted) order.
+    pub fn rows(&self) -> impl Iterator<Item = (&'static str, &ProfileEntry)> {
+        self.entries.iter().map(|(label, entry)| (*label, entry))
+    }
+
+    /// Total handler invocations across all rows.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.entries.values().map(|e| e.events).sum()
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the table as a JSON object keyed by label, suitable for
+    /// embedding as the `profile` section of `BENCH_perf.json`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (label, entry)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let _ = write!(
+                out,
+                "  \"{}\": {{ \"events\": {}, \"total_us\": {:.2}, \"mean_ns\": {:.1}, \"max_us\": {:.2} }}",
+                crate::json::esc(label),
+                entry.events,
+                entry.total_secs * 1e6,
+                entry.mean_secs() * 1e9,
+                entry.max_secs * 1e6,
+            );
+        }
+        out.push_str("\n}");
+        out
+    }
+}
+
+/// The engine-facing profiler: classifies each payload to a static label via
+/// the supplied closure, times the handler with `Instant`, and charges the
+/// shared [`ProfileTable`].
+pub struct HandlerProfiler<M> {
+    label: Box<dyn Fn(&M) -> &'static str>,
+    table: Rc<RefCell<ProfileTable>>,
+    open: Option<(&'static str, Instant)>,
+}
+
+impl<M> HandlerProfiler<M> {
+    /// Creates a profiler charging the given shared table, classifying
+    /// payloads with `label`.
+    pub fn new(
+        table: Rc<RefCell<ProfileTable>>,
+        label: impl Fn(&M) -> &'static str + 'static,
+    ) -> HandlerProfiler<M> {
+        HandlerProfiler { label: Box::new(label), table, open: None }
+    }
+}
+
+impl<M> std::fmt::Debug for HandlerProfiler<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HandlerProfiler")
+            .field("open", &self.open.as_ref().map(|(label, _)| label))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> EventProfiler<M> for HandlerProfiler<M> {
+    fn enter(&mut self, payload: &M) {
+        self.open = Some(((self.label)(payload), Instant::now()));
+    }
+
+    fn exit(&mut self) {
+        if let Some((label, started)) = self.open.take() {
+            self.table.borrow_mut().record(label, started.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aggregates_per_label() {
+        let mut table = ProfileTable::new();
+        table.record("negotiate", 2e-6);
+        table.record("negotiate", 4e-6);
+        table.record("dispatch", 1e-6);
+        let rows: Vec<_> = table.rows().collect();
+        assert_eq!(rows.len(), 2);
+        // BTreeMap order: dispatch before negotiate.
+        assert_eq!(rows[0].0, "dispatch");
+        assert_eq!(rows[1].0, "negotiate");
+        let negotiate = rows[1].1;
+        assert_eq!(negotiate.events, 2);
+        assert!((negotiate.total_secs - 6e-6).abs() < 1e-12);
+        assert!((negotiate.max_secs - 4e-6).abs() < 1e-12);
+        assert!((negotiate.mean_secs() - 3e-6).abs() < 1e-12);
+        assert_eq!(table.total_events(), 3);
+    }
+
+    #[test]
+    fn json_output_parses_and_carries_every_row() {
+        let mut table = ProfileTable::new();
+        table.record("a", 1e-6);
+        table.record("b", 2e-6);
+        let doc = table.to_json();
+        let parsed = crate::json::parse(&doc).expect("profile json parses");
+        assert!(parsed.get("a").is_some());
+        assert_eq!(
+            parsed.get("b").and_then(|b| b.get("events")).and_then(crate::json::Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn profiler_charges_bracketed_time() {
+        #[derive(Debug)]
+        enum Msg {
+            Tick,
+        }
+        let table = Rc::new(RefCell::new(ProfileTable::new()));
+        let mut profiler = HandlerProfiler::new(Rc::clone(&table), |_msg: &Msg| "tick");
+        profiler.enter(&Msg::Tick);
+        profiler.exit();
+        profiler.exit(); // unpaired exit is a no-op
+        let table = table.borrow();
+        let (label, entry) = table.rows().next().expect("one row");
+        assert_eq!(label, "tick");
+        assert_eq!(entry.events, 1);
+        assert!(entry.total_secs >= 0.0);
+    }
+}

@@ -10,6 +10,7 @@
 //! | Module | Workspace crate |
 //! |---|---|
 //! | [`des`] | `grid-des` — deterministic discrete-event engine |
+//! | [`obs`] | `grid-obs` — metrics registry, span tracing, self-profiling |
 //! | [`workload`] | `grid-workload` — jobs, SWF traces, synthetic generators |
 //! | [`cluster`] | `grid-cluster` — resources, cost model, LRMS policies |
 //! | [`directory`] | `grid-directory` — shared federation directory |
@@ -26,6 +27,7 @@ pub use grid_des as des;
 pub use grid_directory as directory;
 pub use grid_experiments as experiments;
 pub use grid_federation_core as core;
+pub use grid_obs as obs;
 pub use grid_workload as workload;
 
 /// Convenience prelude bringing the most commonly used types into scope.
